@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks behind Figures 2.3–2.5: the cost of one
+//! produce/consume round-trip on the bounded buffer, per mechanism and per
+//! runtime.
+//!
+//! The figure binaries measure end-to-end trial times with real concurrency;
+//! these benches isolate the single-threaded per-operation overhead each
+//! mechanism adds (instrumentation, wake-up checks), which is the component
+//! the paper attributes the p1c1/p2c2/p4c4 differences to.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_workloads::runtime::RuntimeKind;
+use tm_workloads::{AnyRuntime, PcParams};
+
+use condsync::Mechanism;
+use tm_core::TmConfig;
+use tm_sync::TmBoundedBuffer;
+
+fn roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_roundtrip");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for kind in RuntimeKind::ALL {
+        for mechanism in [
+            Mechanism::TmCondVar,
+            Mechanism::WaitPred,
+            Mechanism::Await,
+            Mechanism::Retry,
+            Mechanism::Restart,
+        ] {
+            let rt: AnyRuntime = kind.build(TmConfig::default().with_heap_words(1 << 12));
+            let system = Arc::clone(rt.system());
+            let buffer = TmBoundedBuffer::new(&system, 16);
+            buffer.prefill(&system, 8);
+            let th = system.register_thread();
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), mechanism.label()),
+                &mechanism,
+                |b, &mechanism| {
+                    b.iter(|| {
+                        rt.atomically(&th, |tx| buffer.produce(mechanism, tx, 7));
+                        rt.atomically(&th, |tx| buffer.consume(mechanism, tx))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn pthread_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_roundtrip_pthreads");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    let buffer = tm_sync::PthreadBuffer::new(16);
+    buffer.prefill(8);
+    group.bench_function("pthreads", |b| {
+        b.iter(|| {
+            buffer.produce(7);
+            buffer.consume()
+        })
+    });
+    group.finish();
+}
+
+fn small_trial(c: &mut Criterion) {
+    // A whole (tiny) trial per iteration: 1 producer, 1 consumer, 512 items.
+    // This is the shape of one Figure 2.3 data point, scaled down ~2000×.
+    let mut group = c.benchmark_group("buffer_trial_p1c1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    for mechanism in [Mechanism::Pthreads, Mechanism::Retry, Mechanism::Restart] {
+        group.bench_function(mechanism.label(), |b| {
+            b.iter(|| {
+                let params = PcParams::new(1, 1, 16, 512, mechanism);
+                tm_workloads::run_pc(RuntimeKind::EagerStm, &params)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, roundtrip, pthread_baseline, small_trial);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks behind Figures 2.6–2.8: one iteration runs a whole
+//! PARSEC-like kernel at test scale.
+//!
+//! The figure binaries sweep thread counts and mechanisms; these benches pin
+//! a representative configuration (2 threads, eager STM) and compare the
+//! kernels and a few mechanisms head-to-head under Criterion's statistics.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use condsync::Mechanism;
+use tm_workloads::parsec::{KernelParams, ParsecApp, Scale};
+use tm_workloads::runtime::RuntimeKind;
+
+fn kernels_under_retry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parsec_retry_eager_2t");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    for app in ParsecApp::ALL {
+        let params = KernelParams::new(2, Mechanism::Retry, RuntimeKind::EagerStm, Scale::Test);
+        group.bench_with_input(BenchmarkId::from_parameter(app.label()), &app, |b, &app| {
+            b.iter(|| app.run(&params))
+        });
+    }
+    group.finish();
+}
+
+fn ferret_across_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parsec_ferret_mechanisms");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    for mechanism in Mechanism::ALL {
+        let params = KernelParams::new(2, mechanism, RuntimeKind::EagerStm, Scale::Test);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.label()),
+            &params,
+            |b, params| b.iter(|| ParsecApp::Ferret.run(params)),
+        );
+    }
+    group.finish();
+}
+
+fn dedup_across_runtimes(c: &mut Criterion) {
+    // dedup is the paper's pathological TM case (serialized I/O stage); the
+    // interesting comparison is TM runtimes against the lock baseline.
+    let mut group = c.benchmark_group("parsec_dedup_runtimes");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("pthreads", |b| {
+        let params = KernelParams::new(2, Mechanism::Pthreads, RuntimeKind::EagerStm, Scale::Test);
+        b.iter(|| ParsecApp::Dedup.run(&params))
+    });
+    for kind in RuntimeKind::ALL {
+        let params = KernelParams::new(2, Mechanism::Retry, kind, Scale::Test);
+        group.bench_with_input(BenchmarkId::new("retry", kind.label()), &params, |b, params| {
+            b.iter(|| ParsecApp::Dedup.run(params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels_under_retry, ferret_across_mechanisms, dedup_across_runtimes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Runs the complete evaluation: Figures 2.3–2.8 and Table 2.1, writing each
+//! report to `target/experiments/` and printing a cross-figure summary of who
+//! wins where (the qualitative shape EXPERIMENTS.md records).
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin all_experiments
+//! TM_EXP_FULL=1 cargo run --release -p tm-bench --bin all_experiments
+//! ```
+
+use tm_bench::{bounded_buffer_figure, emit, parsec_figure, table_2_1, FigureOptions};
+use tm_workloads::report::Report;
+use tm_workloads::runtime::RuntimeKind;
+
+fn summarize(report: &Report) {
+    println!("== {} [{}] — winners per panel ==", report.experiment, report.runtime);
+    for panel in &report.panels {
+        let xs = panel.xs();
+        let winners: Vec<String> = xs
+            .iter()
+            .filter_map(|&x| panel.winner_at(x).map(|m| format!("{x}: {m}")))
+            .collect();
+        println!("  {:<16} {}", panel.label, winners.join(", "));
+    }
+    println!();
+}
+
+fn main() {
+    let opts = FigureOptions::from_env();
+
+    println!("=== Producer/consumer micro-benchmark (Figures 2.3–2.5) ===\n");
+    let mut reports = Vec::new();
+    for kind in RuntimeKind::ALL {
+        let report = bounded_buffer_figure(kind, &opts);
+        emit(&report);
+        reports.push(report);
+    }
+
+    println!("=== PARSEC-like kernels (Figures 2.6–2.8) ===\n");
+    for kind in RuntimeKind::ALL {
+        let report = parsec_figure(kind, &opts);
+        emit(&report);
+        reports.push(report);
+    }
+
+    println!("=== Table 2.1 ===\n");
+    print!("{}", table_2_1());
+    println!();
+
+    println!("=== Summary ===\n");
+    for report in &reports {
+        summarize(report);
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 2.3: bounded-buffer producer/consumer performance on
+//! the **eager STM** (undo-log) runtime.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_3
+//! TM_EXP_FULL=1 cargo run --release -p tm-bench --bin fig2_3   # paper scale
+//! ```
+
+use tm_bench::{bounded_buffer_figure, emit, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = bounded_buffer_figure(RuntimeKind::EagerStm, &opts);
+    emit(&report);
+}

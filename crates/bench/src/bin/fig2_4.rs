@@ -1,0 +1,15 @@
+//! Regenerates Figure 2.4: bounded-buffer producer/consumer performance on
+//! the **lazy STM** (redo-log, TL2-style) runtime.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_4
+//! ```
+
+use tm_bench::{bounded_buffer_figure, emit, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = bounded_buffer_figure(RuntimeKind::LazyStm, &opts);
+    emit(&report);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 2.5: bounded-buffer producer/consumer performance on
+//! the **HTM** (simulated best-effort hardware TM) runtime.  `Retry-Orig` is
+//! omitted, as in the paper, because it requires STM lock metadata.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_5
+//! ```
+
+use tm_bench::{bounded_buffer_figure, emit, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = bounded_buffer_figure(RuntimeKind::Htm, &opts);
+    emit(&report);
+}

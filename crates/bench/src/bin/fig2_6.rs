@@ -1,0 +1,16 @@
+//! Regenerates Figure 2.6: PARSEC-like kernel runtime versus thread count on
+//! the **eager STM** runtime.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_6
+//! TM_EXP_SCALE=small cargo run --release -p tm-bench --bin fig2_6
+//! ```
+
+use tm_bench::{emit, parsec_figure, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = parsec_figure(RuntimeKind::EagerStm, &opts);
+    emit(&report);
+}

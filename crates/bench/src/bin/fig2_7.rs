@@ -1,0 +1,15 @@
+//! Regenerates Figure 2.7: PARSEC-like kernel runtime versus thread count on
+//! the **lazy STM** runtime.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_7
+//! ```
+
+use tm_bench::{emit, parsec_figure, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = parsec_figure(RuntimeKind::LazyStm, &opts);
+    emit(&report);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 2.8: PARSEC-like kernel runtime versus thread count on
+//! the **HTM** (simulated) runtime.  `Retry-Orig` is omitted, as in the paper.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin fig2_8
+//! ```
+
+use tm_bench::{emit, parsec_figure, FigureOptions};
+use tm_workloads::runtime::RuntimeKind;
+
+fn main() {
+    let opts = FigureOptions::from_env();
+    let report = parsec_figure(RuntimeKind::Htm, &opts);
+    emit(&report);
+}

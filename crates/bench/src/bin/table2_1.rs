@@ -1,0 +1,13 @@
+//! Regenerates Table 2.1: lines of code added and removed per PARSEC
+//! benchmark for each condition-synchronization mechanism.
+//!
+//! Prints the paper's reported numbers followed by this reproduction's
+//! measured adapter-line counts for the synthetic kernels.
+//!
+//! ```text
+//! cargo run --release -p tm-bench --bin table2_1
+//! ```
+
+fn main() {
+    print!("{}", tm_bench::table_2_1());
+}

@@ -1,0 +1,41 @@
+//! Condition synchronization for transactional memory.
+//!
+//! This crate implements the paper's contribution: the **Deschedule**
+//! abstract mechanism (Algorithm 4) and, on top of it, the three linguistic
+//! constructs the paper proposes or adapts:
+//!
+//! * [`retry`] — Haskell-style `Retry` (Algorithm 5): sleep until some
+//!   location read by the failed attempt changes value.
+//! * [`await_addrs`] — Atomos-style `Await` (Algorithm 6): sleep until one of
+//!   an explicit list of addresses changes value.
+//! * [`wait_pred`] — `WaitPred` (Algorithm 7): sleep until a user-supplied
+//!   predicate over shared state becomes true.
+//!
+//! plus the baselines the evaluation compares against:
+//!
+//! * [`restart`] — abort and immediately re-execute (no sleeping),
+//! * [`orig`] — the original lock-metadata-based `Retry` (Algorithm 1),
+//! * [`condvar::TmCondVar`] — transaction-safe condition variables, which
+//!   commit the in-flight transaction at the wait point (breaking atomicity).
+//!
+//! All of the paper's mechanisms are expressed as a rollback followed by
+//! [`deschedule::deschedule`]; committed writers call
+//! [`deschedule::wake_waiters`], which evaluates each sleeper's wait
+//! condition as an ordinary read-only transaction over shared memory.  No
+//! access to the writer's write set is required, which is what makes the
+//! design compatible with (simulated) hardware TM.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod condvar;
+pub mod deschedule;
+pub mod mechanism;
+pub mod mechanisms;
+pub mod orig;
+
+pub use condvar::TmCondVar;
+pub use deschedule::{deschedule, wake_waiters, DescheduleOutcome};
+pub use mechanism::Mechanism;
+pub use mechanisms::{await_addrs, await_one, restart, retry, retry_orig, wait_pred};
+pub use orig::{OrigRegistry, OrigWaiter};

@@ -1,0 +1,149 @@
+//! Enumeration of the condition-synchronization mechanisms compared in the
+//! evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The seven condition-synchronization mechanisms of §2.4.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Locks + POSIX-style condition variables (no transactions at all).
+    Pthreads,
+    /// Transactions + transaction-safe condition variables (breaks atomicity
+    /// at the wait point).
+    TmCondVar,
+    /// The paper's predicate-based mechanism (Algorithm 7).
+    WaitPred,
+    /// The paper's explicit-address mechanism (Algorithm 6).
+    Await,
+    /// The paper's value-based Retry (Algorithm 5).
+    Retry,
+    /// The original lock-metadata Retry (Algorithm 1); software runtimes only.
+    RetryOrig,
+    /// Abort-and-immediately-restart baseline (no sleeping).
+    Restart,
+}
+
+impl Mechanism {
+    /// All mechanisms, in the order the paper's figure legends list them.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::Pthreads,
+        Mechanism::TmCondVar,
+        Mechanism::WaitPred,
+        Mechanism::Await,
+        Mechanism::Retry,
+        Mechanism::RetryOrig,
+        Mechanism::Restart,
+    ];
+
+    /// The mechanisms that run on the HTM configuration (Retry-Orig is
+    /// STM-only, so Figures 2.5 and 2.8 omit it).
+    pub const HTM_SET: [Mechanism; 6] = [
+        Mechanism::Pthreads,
+        Mechanism::TmCondVar,
+        Mechanism::WaitPred,
+        Mechanism::Await,
+        Mechanism::Retry,
+        Mechanism::Restart,
+    ];
+
+    /// The label used in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::Pthreads => "Pthreads",
+            Mechanism::TmCondVar => "TMCondVar",
+            Mechanism::WaitPred => "WaitPred",
+            Mechanism::Await => "Await",
+            Mechanism::Retry => "Retry",
+            Mechanism::RetryOrig => "Retry-Orig",
+            Mechanism::Restart => "Restart",
+        }
+    }
+
+    /// True for the three mechanisms the paper introduces (all built on
+    /// Deschedule).
+    pub fn is_deschedule_based(self) -> bool {
+        matches!(self, Mechanism::WaitPred | Mechanism::Await | Mechanism::Retry)
+    }
+
+    /// True if the mechanism uses transactions at all.
+    pub fn is_transactional(self) -> bool {
+        self != Mechanism::Pthreads
+    }
+
+    /// True if the mechanism can run on the HTM configuration.
+    pub fn supports_htm(self) -> bool {
+        self != Mechanism::RetryOrig
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Mechanism {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace(['-', '_'], "");
+        Ok(match norm.as_str() {
+            "pthreads" | "pthread" | "lock" => Mechanism::Pthreads,
+            "tmcondvar" | "condvar" => Mechanism::TmCondVar,
+            "waitpred" => Mechanism::WaitPred,
+            "await" => Mechanism::Await,
+            "retry" => Mechanism::Retry,
+            "retryorig" | "orig" => Mechanism::RetryOrig,
+            "restart" => Mechanism::Restart,
+            _ => return Err(format!("unknown mechanism: {s}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Mechanism::Pthreads.label(), "Pthreads");
+        assert_eq!(Mechanism::RetryOrig.label(), "Retry-Orig");
+        assert_eq!(Mechanism::ALL.len(), 7);
+        assert_eq!(Mechanism::HTM_SET.len(), 6);
+    }
+
+    #[test]
+    fn htm_set_excludes_retry_orig() {
+        assert!(!Mechanism::HTM_SET.contains(&Mechanism::RetryOrig));
+        assert!(!Mechanism::RetryOrig.supports_htm());
+        assert!(Mechanism::Retry.supports_htm());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Mechanism::Retry.is_deschedule_based());
+        assert!(Mechanism::Await.is_deschedule_based());
+        assert!(Mechanism::WaitPred.is_deschedule_based());
+        assert!(!Mechanism::TmCondVar.is_deschedule_based());
+        assert!(!Mechanism::Pthreads.is_transactional());
+        assert!(Mechanism::Restart.is_transactional());
+    }
+
+    #[test]
+    fn parsing_accepts_legend_spellings() {
+        assert_eq!("Retry-Orig".parse::<Mechanism>().unwrap(), Mechanism::RetryOrig);
+        assert_eq!("waitpred".parse::<Mechanism>().unwrap(), Mechanism::WaitPred);
+        assert_eq!("PTHREADS".parse::<Mechanism>().unwrap(), Mechanism::Pthreads);
+        assert_eq!("TMCondVar".parse::<Mechanism>().unwrap(), Mechanism::TmCondVar);
+        assert!("bogus".parse::<Mechanism>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_fromstr() {
+        for m in Mechanism::ALL {
+            assert_eq!(m.to_string().parse::<Mechanism>().unwrap(), m);
+        }
+    }
+}

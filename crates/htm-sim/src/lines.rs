@@ -1,0 +1,260 @@
+//! The simulated cache-coherence directory: per-line reader/writer
+//! registrations used for eager conflict detection.
+//!
+//! Each simulated cache line hashes to a slot holding a bitmask of threads
+//! that currently read the line speculatively and the (single) thread that
+//! currently writes it speculatively.  Conflicts are detected at access time
+//! ("requester wins", like an invalidation-based coherence protocol): a new
+//! writer dooms registered readers and any previous writer; a new reader that
+//! finds a foreign writer aborts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_core::{LineId, ThreadId};
+
+/// Maximum number of threads the reader bitmask can represent.
+pub const MAX_HW_THREADS: usize = 64;
+
+/// One directory slot.
+#[derive(Debug, Default)]
+pub struct LineState {
+    /// Bitmask of thread ids currently reading this line speculatively.
+    readers: AtomicU64,
+    /// Thread id + 1 of the current speculative writer, or 0.
+    writer: AtomicU64,
+}
+
+/// Outcome of attempting to register a speculative writer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteRegistration {
+    /// Registration succeeded; the listed foreign readers (and possibly a
+    /// previous writer) must be doomed by the caller.
+    Acquired {
+        /// Foreign threads that had the line in their speculative read set.
+        doomed_readers: Vec<ThreadId>,
+        /// A foreign thread that had the line in its speculative write set.
+        doomed_writer: Option<ThreadId>,
+    },
+    /// The line already had a foreign writer that could not be displaced;
+    /// the caller must abort (the foreign writer is doomed as well).
+    Conflict {
+        /// The conflicting writer.
+        other: ThreadId,
+    },
+}
+
+/// The global table of line states, hashed by [`LineId`].
+#[derive(Debug)]
+pub struct LineTable {
+    slots: Box<[LineState]>,
+    mask: usize,
+}
+
+impl LineTable {
+    /// Creates a table with `size` slots (rounded up to a power of two).
+    pub fn new(size: usize) -> Self {
+        let size = size.next_power_of_two().max(2);
+        let slots = (0..size).map(|_| LineState::default()).collect::<Vec<_>>();
+        LineTable {
+            slots: slots.into_boxed_slice(),
+            mask: size - 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the table has no slots (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maps a line to its slot index.
+    #[inline]
+    pub fn slot_for(&self, line: LineId) -> usize {
+        const K: u64 = 0x9E37_79B9_7F4A_7C15;
+        ((line.0 as u64).wrapping_mul(K) >> 32) as usize & self.mask
+    }
+
+    /// Registers `tid` as a speculative reader of the slot.  Returns the
+    /// conflicting speculative writer, if any (in which case the reader must
+    /// abort; the caller is also expected to doom that writer, modelling the
+    /// coherence invalidation its read request would cause).
+    pub fn register_reader(&self, slot: usize, tid: ThreadId) -> Option<ThreadId> {
+        debug_assert!(tid < MAX_HW_THREADS);
+        let s = &self.slots[slot];
+        s.readers.fetch_or(1 << tid, Ordering::SeqCst);
+        let w = s.writer.load(Ordering::SeqCst);
+        if w != 0 && w != tid as u64 + 1 {
+            Some((w - 1) as ThreadId)
+        } else {
+            None
+        }
+    }
+
+    /// Registers `tid` as the speculative writer of the slot.
+    pub fn register_writer(&self, slot: usize, tid: ThreadId) -> WriteRegistration {
+        debug_assert!(tid < MAX_HW_THREADS);
+        let s = &self.slots[slot];
+        let me = tid as u64 + 1;
+        let mut doomed_writer = None;
+        loop {
+            let cur = s.writer.load(Ordering::SeqCst);
+            if cur == me {
+                break;
+            }
+            if cur == 0 {
+                if s.writer
+                    .compare_exchange(0, me, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+                continue;
+            }
+            // A foreign speculative writer holds the line.  Requester-wins:
+            // our store request would invalidate its line, dooming it; but we
+            // also abort ourselves rather than taking over mid-flight, which
+            // keeps the protocol simple and still guarantees progress via the
+            // serial fallback.
+            doomed_writer = Some((cur - 1) as ThreadId);
+            return WriteRegistration::Conflict {
+                other: doomed_writer.unwrap(),
+            };
+        }
+        // Doom all foreign readers of the line.
+        let readers = s.readers.load(Ordering::SeqCst);
+        let doomed_readers = (0..MAX_HW_THREADS)
+            .filter(|&t| t != tid && readers & (1 << t) != 0)
+            .collect();
+        WriteRegistration::Acquired {
+            doomed_readers,
+            doomed_writer,
+        }
+    }
+
+    /// Removes `tid`'s reader registration from the slot.
+    pub fn clear_reader(&self, slot: usize, tid: ThreadId) {
+        self.slots[slot]
+            .readers
+            .fetch_and(!(1u64 << tid), Ordering::SeqCst);
+    }
+
+    /// Removes `tid`'s writer registration from the slot (if it still owns
+    /// it).
+    pub fn clear_writer(&self, slot: usize, tid: ThreadId) {
+        let _ = self.slots[slot].writer.compare_exchange(
+            tid as u64 + 1,
+            0,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// The current speculative writer of a slot, if any (for tests).
+    pub fn writer_of(&self, slot: usize) -> Option<ThreadId> {
+        let w = self.slots[slot].writer.load(Ordering::SeqCst);
+        if w == 0 {
+            None
+        } else {
+            Some((w - 1) as ThreadId)
+        }
+    }
+
+    /// True if `tid` is registered as a reader of the slot (for tests).
+    pub fn is_reader(&self, slot: usize, tid: ThreadId) -> bool {
+        self.slots[slot].readers.load(Ordering::SeqCst) & (1 << tid) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_registration_round_trip() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(3));
+        assert_eq!(t.register_reader(slot, 2), None);
+        assert!(t.is_reader(slot, 2));
+        t.clear_reader(slot, 2);
+        assert!(!t.is_reader(slot, 2));
+    }
+
+    #[test]
+    fn reader_sees_foreign_writer() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(5));
+        match t.register_writer(slot, 1) {
+            WriteRegistration::Acquired { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(t.register_reader(slot, 2), Some(1));
+        // The writer itself can keep reading its own line.
+        assert_eq!(t.register_reader(slot, 1), None);
+    }
+
+    #[test]
+    fn writer_dooms_foreign_readers() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(7));
+        t.register_reader(slot, 0);
+        t.register_reader(slot, 3);
+        t.register_reader(slot, 5);
+        match t.register_writer(slot, 3) {
+            WriteRegistration::Acquired {
+                mut doomed_readers,
+                doomed_writer,
+            } => {
+                doomed_readers.sort_unstable();
+                assert_eq!(doomed_readers, vec![0, 5], "own read registration is not doomed");
+                assert_eq!(doomed_writer, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_writer_conflicts() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(9));
+        assert!(matches!(
+            t.register_writer(slot, 1),
+            WriteRegistration::Acquired { .. }
+        ));
+        assert_eq!(
+            t.register_writer(slot, 2),
+            WriteRegistration::Conflict { other: 1 }
+        );
+        // Re-registration by the same writer is idempotent.
+        assert!(matches!(
+            t.register_writer(slot, 1),
+            WriteRegistration::Acquired { .. }
+        ));
+    }
+
+    #[test]
+    fn clear_writer_only_clears_owner() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(2));
+        t.register_writer(slot, 4);
+        t.clear_writer(slot, 5);
+        assert_eq!(t.writer_of(slot), Some(4));
+        t.clear_writer(slot, 4);
+        assert_eq!(t.writer_of(slot), None);
+    }
+
+    #[test]
+    fn distinct_lines_usually_map_to_distinct_slots() {
+        let t = LineTable::new(4096);
+        let mut distinct = 0;
+        for i in 0..1000 {
+            if t.slot_for(LineId(i)) != t.slot_for(LineId(i + 1)) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 900);
+    }
+}

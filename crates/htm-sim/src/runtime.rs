@@ -1,0 +1,458 @@
+//! The HTM simulator's driver loop: speculative attempts, the GCC-style
+//! serial fallback, and the software-mode fallback for descheduling
+//! transactions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tm_core::backoff::Backoff;
+use tm_core::stats::TxStats;
+use tm_core::{
+    AbortReason, ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
+    TxResult, WaitSpec,
+};
+
+use crate::lines::LineTable;
+use crate::tx::HtmTx;
+
+/// The simulated best-effort hardware TM runtime.
+pub struct HtmSim {
+    system: Arc<TmSystem>,
+    lines: LineTable,
+    /// The serial fallback lock, doubling as the subscription word that
+    /// hardware transactions observe: they refuse to start (and abort) while
+    /// it is held.
+    fallback_flag: AtomicBool,
+    seed: AtomicU64,
+}
+
+impl std::fmt::Debug for HtmSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmSim")
+            .field("fallback_held", &self.fallback_held())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HtmSim {
+    /// Creates a runtime over `system`.
+    pub fn new(system: Arc<TmSystem>) -> Arc<Self> {
+        let lines = LineTable::new(system.config.orec_count);
+        Arc::new(HtmSim {
+            system,
+            lines,
+            fallback_flag: AtomicBool::new(false),
+            seed: AtomicU64::new(1),
+        })
+    }
+
+    /// The simulated coherence directory.
+    pub fn lines(&self) -> &LineTable {
+        &self.lines
+    }
+
+    /// The shared system.
+    pub fn system(&self) -> &Arc<TmSystem> {
+        &self.system
+    }
+
+    /// True while some transaction holds the serial fallback lock.
+    #[inline]
+    pub fn fallback_held(&self) -> bool {
+        self.fallback_flag.load(Ordering::SeqCst)
+    }
+
+    /// Spins until the fallback lock is free (hardware transactions subscribe
+    /// to the lock before starting, as in lock elision).
+    pub fn wait_fallback_clear(&self) {
+        let mut spins = 0u32;
+        while self.fallback_held() {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Acquires the serial lock and dooms every in-flight hardware
+    /// transaction (their next access or commit will abort, exactly as
+    /// acquiring the fallback lock aborts elided transactions on real
+    /// hardware).
+    pub fn acquire_serial(&self, thread: &Arc<ThreadCtx>) {
+        let mut spins = 0u32;
+        while self
+            .fallback_flag
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        TxStats::bump(&thread.stats.serial_acquires);
+        self.system.threads.for_each_other(thread.id, |t| t.doom());
+    }
+
+    /// Releases the serial lock.
+    pub fn release_serial(&self) {
+        self.fallback_flag.store(false, Ordering::SeqCst);
+    }
+
+    /// Delivers a conflict abort to another thread's in-flight hardware
+    /// transaction.
+    pub fn doom_thread(&self, tid: ThreadId) {
+        if let Some(t) = self.system.threads.get(tid) {
+            t.doom();
+        }
+    }
+
+    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        let seed = self
+            .seed
+            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
+            .wrapping_add(thread.id as u64);
+        let mut backoff = Backoff::new(self.system.config.backoff, seed);
+        let mut mode = TxMode::Hardware;
+        let mut hw_failures: u32 = 0;
+        let mut attempts: u32 = 0;
+
+        loop {
+            let mut tx = HtmTx::begin(self, TxCommon::new(Arc::clone(thread), mode, attempts));
+            let ctl = match body(&mut tx) {
+                Ok(value) => match tx.try_commit() {
+                    Ok(info) => {
+                        if info.hardware {
+                            TxStats::bump(&thread.stats.hw_commits);
+                        } else {
+                            TxStats::bump(&thread.stats.sw_commits);
+                        }
+                        drop(tx);
+                        if info.was_writer {
+                            // Post-commit wake-ups run outside the (already
+                            // committed) transaction; on this runtime the
+                            // condition checks themselves execute as hardware
+                            // transactions where possible.
+                            condsync::wake_waiters(self, thread);
+                        }
+                        return value;
+                    }
+                    Err(ctl) => ctl,
+                },
+                Err(ctl) => ctl,
+            };
+
+            attempts += 1;
+            let hardware_attempt = tx.is_hardware();
+            match ctl {
+                TxCtl::Abort(reason) => {
+                    tx.rollback();
+                    drop(tx);
+                    if hardware_attempt {
+                        TxStats::bump(&thread.stats.hw_aborts);
+                        if let AbortReason::Explicit(_) = reason {
+                            // Program-requested restarts (the Restart
+                            // baseline) stay speculative; only genuine
+                            // conflict/capacity failures count towards the
+                            // fallback budget.
+                            TxStats::bump(&thread.stats.explicit_aborts);
+                        } else {
+                            hw_failures += 1;
+                        }
+                        // GCC libitm policy: after a bounded number of
+                        // speculative failures, suspend concurrency and run
+                        // serially so the transaction is guaranteed to finish.
+                        if hw_failures >= self.system.config.htm.max_attempts {
+                            mode = TxMode::Serial;
+                        }
+                    } else {
+                        TxStats::bump(&thread.stats.sw_aborts);
+                        if let AbortReason::Explicit(_) = reason {
+                            TxStats::bump(&thread.stats.explicit_aborts);
+                        }
+                    }
+                    if reason.is_conflict() {
+                        backoff.abort_and_wait();
+                    }
+                }
+                TxCtl::Deschedule(spec) => {
+                    if hardware_attempt {
+                        // No escape actions in hardware: abort and re-execute
+                        // in the software (serial) mode, value-logging if the
+                        // request was a Retry (§2.2.3).
+                        tx.rollback();
+                        drop(tx);
+                        TxStats::bump(&thread.stats.hw_aborts);
+                        mode = match spec {
+                            WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
+                                TxStats::bump(&thread.stats.retry_relogs);
+                                TxMode::SoftwareRetry
+                            }
+                            _ => TxMode::Serial,
+                        };
+                    } else if matches!(spec, WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks)
+                        && mode != TxMode::SoftwareRetry
+                    {
+                        tx.rollback();
+                        drop(tx);
+                        TxStats::bump(&thread.stats.retry_relogs);
+                        mode = TxMode::SoftwareRetry;
+                    } else {
+                        match tx.rollback_for_deschedule(spec) {
+                            Ok(cond) => {
+                                drop(tx);
+                                condsync::deschedule(self, thread, cond);
+                            }
+                            Err(_) => {
+                                drop(tx);
+                                TxStats::bump(&thread.stats.sw_aborts);
+                            }
+                        }
+                        // After waking, try hardware again from scratch.
+                        mode = TxMode::Hardware;
+                        hw_failures = 0;
+                    }
+                }
+                TxCtl::SwitchToSoftware => {
+                    tx.rollback();
+                    drop(tx);
+                    mode = TxMode::Serial;
+                }
+                TxCtl::BecomeSerial => {
+                    tx.rollback();
+                    drop(tx);
+                    mode = TxMode::Serial;
+                }
+            }
+        }
+    }
+}
+
+impl TmRuntime for HtmSim {
+    fn system(&self) -> &Arc<TmSystem> {
+        &self.system
+    }
+
+    fn name(&self) -> &'static str {
+        "htm"
+    }
+
+    fn exec_u64(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+    ) -> u64 {
+        self.run(thread, body)
+    }
+
+    fn exec_bool(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
+    ) -> bool {
+        self.run(thread, body)
+    }
+}
+
+impl TmRt for HtmSim {
+    fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        self.run(thread, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{Addr, HtmConfig, TmConfig, TmVar};
+
+    fn runtime() -> (Arc<TmSystem>, Arc<HtmSim>) {
+        let system = TmSystem::new(TmConfig::small());
+        let rt = HtmSim::new(Arc::clone(&system));
+        (system, rt)
+    }
+
+    #[test]
+    fn simple_transaction_commits_in_hardware() {
+        let (system, rt) = runtime();
+        let th = system.register_thread();
+        let v = TmVar::<u64>::alloc(&system, 5);
+        let out = rt.atomically(&th, |tx| {
+            let x = v.get(tx)?;
+            v.set(tx, x + 1)?;
+            Ok(x + 1)
+        });
+        assert_eq!(out, 6);
+        assert_eq!(v.load_direct(&system), 6);
+        let stats = th.stats.snapshot();
+        assert_eq!(stats.hw_commits, 1);
+        assert_eq!(stats.sw_commits, 0);
+    }
+
+    #[test]
+    fn capacity_overflow_falls_back_to_serial() {
+        let system = TmSystem::new(
+            TmConfig::small().with_htm(HtmConfig {
+                max_read_lines: 4,
+                max_write_lines: 2,
+                max_attempts: 2,
+            }),
+        );
+        let rt = HtmSim::new(Arc::clone(&system));
+        let th = system.register_thread();
+        let arr = tm_core::TmArray::<u64>::alloc(&system, 256, 0);
+        rt.atomically(&th, |tx| {
+            // Touch many distinct lines so the write capacity overflows.
+            for i in 0..64 {
+                arr.set(tx, i, i as u64)?;
+            }
+            Ok(())
+        });
+        for i in 0..64 {
+            assert_eq!(arr.load_direct(&system, i), i as u64);
+        }
+        let stats = th.stats.snapshot();
+        assert!(stats.hw_aborts >= 2, "should abort speculatively first");
+        assert_eq!(stats.sw_commits, 1, "must finish in serial mode");
+        assert!(stats.serial_acquires >= 1);
+        assert!(!rt.fallback_held(), "serial lock must be released");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let (system, rt) = runtime();
+        let counter = TmVar::<u64>::alloc(&system, 0);
+        let threads = 4;
+        let per_thread = 300;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rt = Arc::clone(&rt);
+            let system = Arc::clone(&system);
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                let th = system.register_thread();
+                for _ in 0..per_thread {
+                    rt.atomically(&th, |tx| {
+                        let x = counter.get(tx)?;
+                        counter.set(tx, x + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_direct(&system), threads * per_thread);
+        assert!(!rt.fallback_held());
+    }
+
+    #[test]
+    fn retry_switches_to_software_and_wakes() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::retry(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 3));
+        assert_eq!(waiter.join().unwrap(), 3);
+        assert!(!rt.fallback_held());
+    }
+
+    #[test]
+    fn await_and_waitpred_work_on_htm() {
+        let (system, rt) = runtime();
+        let count = TmVar::<u64>::alloc(&system, 0);
+
+        let c1 = count.clone();
+        let rt1 = Arc::clone(&rt);
+        let s1 = Arc::clone(&system);
+        let awaiter = std::thread::spawn(move || {
+            let th = s1.register_thread();
+            rt1.atomically(&th, |tx| {
+                let v = c1.get(tx)?;
+                if v == 0 {
+                    return condsync::await_one(tx, c1.addr());
+                }
+                Ok(v)
+            })
+        });
+
+        fn nonzero(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+            Ok(tx.read(Addr(args[0] as usize))? != 0)
+        }
+        let c2 = count.clone();
+        let rt2 = Arc::clone(&rt);
+        let s2 = Arc::clone(&system);
+        let predwaiter = std::thread::spawn(move || {
+            let th = s2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = c2.get(tx)?;
+                if v == 0 {
+                    return condsync::wait_pred(tx, nonzero, &[c2.addr().0 as u64]);
+                }
+                Ok(v)
+            })
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| count.set(tx, 9));
+        assert_eq!(awaiter.join().unwrap(), 9);
+        assert_eq!(predwaiter.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn explicit_restart_works_on_htm() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let spinner = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::restart(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 1));
+        assert_eq!(spinner.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn serial_lock_round_trip() {
+        let (system, rt) = runtime();
+        let th = system.register_thread();
+        assert!(!rt.fallback_held());
+        rt.acquire_serial(&th);
+        assert!(rt.fallback_held());
+        rt.release_serial();
+        assert!(!rt.fallback_held());
+    }
+}

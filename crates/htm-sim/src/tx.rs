@@ -1,0 +1,413 @@
+//! The per-attempt transaction descriptor for the HTM simulator.
+//!
+//! A transaction attempt is either **hardware** (speculative: redo-buffered
+//! writes, line-granularity conflict detection, capacity limits, no escape
+//! actions) or **serial** (runs while holding the global fallback lock:
+//! direct writes with an undo log so that condition synchronization can still
+//! roll it back).  The serial flavour doubles as the "software mode with
+//! escape actions" that descheduling hardware transactions must fall back to
+//! (§2.2.2), and as GCC-style serial-irrevocable execution after repeated
+//! aborts.
+
+use std::sync::Arc;
+
+use tm_core::stats::TxStats;
+use tm_core::{
+    AbortReason, Addr, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
+};
+
+use crate::lines::WriteRegistration;
+use crate::runtime::HtmSim;
+
+/// Information returned by a successful commit.
+#[derive(Debug)]
+pub struct CommitInfo {
+    /// True if the transaction wrote anything.
+    pub was_writer: bool,
+    /// True if the attempt committed in hardware.
+    pub hardware: bool,
+}
+
+/// Execution state specific to the attempt flavour.
+#[derive(Debug)]
+enum State {
+    Hardware {
+        /// Directory slots registered as read.
+        read_slots: Vec<usize>,
+        /// Directory slots registered as written.
+        write_slots: Vec<usize>,
+        /// Buffered writes.
+        redo: Vec<(Addr, u64)>,
+    },
+    Serial {
+        /// True while this attempt holds the global serial lock.
+        holding: bool,
+        /// Old values of written locations.
+        undo: Vec<(Addr, u64)>,
+    },
+}
+
+/// An in-flight attempt on the HTM simulator.
+#[derive(Debug)]
+pub struct HtmTx<'rt> {
+    rt: &'rt HtmSim,
+    common: TxCommon,
+    state: State,
+    mallocs: Vec<(Addr, usize)>,
+    frees: Vec<(Addr, usize)>,
+}
+
+impl<'rt> HtmTx<'rt> {
+    /// Begins a new attempt.  Hardware attempts wait for the fallback lock to
+    /// be free before starting (lock-elision subscription); serial attempts
+    /// acquire the lock and doom all in-flight hardware transactions.
+    pub fn begin(rt: &'rt HtmSim, common: TxCommon) -> Self {
+        let state = if common.mode == TxMode::Hardware {
+            rt.wait_fallback_clear();
+            // A stale doom flag from a previous attempt must not kill this one.
+            common.thread.take_doomed();
+            State::Hardware {
+                read_slots: Vec::new(),
+                write_slots: Vec::new(),
+                redo: Vec::new(),
+            }
+        } else {
+            rt.acquire_serial(&common.thread);
+            State::Serial {
+                holding: true,
+                undo: Vec::new(),
+            }
+        };
+        HtmTx {
+            rt,
+            common,
+            state,
+            mallocs: Vec::new(),
+            frees: Vec::new(),
+        }
+    }
+
+    /// True if this attempt is speculative (hardware).
+    pub fn is_hardware(&self) -> bool {
+        matches!(self.state, State::Hardware { .. })
+    }
+
+    fn retry_log(&mut self, addr: Addr, observed: u64) {
+        if self.common.mode != TxMode::SoftwareRetry {
+            return;
+        }
+        // Substitute the pre-transaction value for locations this (serial)
+        // attempt has already written, as Algorithm 5 does with the undo log.
+        let logged = match &self.state {
+            State::Serial { undo, .. } => undo
+                .iter()
+                .find(|&&(a, _)| a == addr)
+                .map(|&(_, old)| old)
+                .unwrap_or(observed),
+            State::Hardware { .. } => observed,
+        };
+        self.common.log_retry_read(addr, logged);
+    }
+
+    /// Rolls the attempt back.  Safe to call more than once.  Serial attempts
+    /// release the fallback lock.
+    pub fn rollback(&mut self) {
+        match &mut self.state {
+            State::Hardware {
+                read_slots,
+                write_slots,
+                redo,
+            } => {
+                let me = self.common.thread.id;
+                for &slot in read_slots.iter() {
+                    self.rt.lines().clear_reader(slot, me);
+                }
+                for &slot in write_slots.iter() {
+                    self.rt.lines().clear_writer(slot, me);
+                }
+                read_slots.clear();
+                write_slots.clear();
+                redo.clear();
+                self.common.thread.take_doomed();
+            }
+            State::Serial { holding, undo } => {
+                for &(addr, old) in undo.iter().rev() {
+                    self.rt.system().heap.store(addr, old);
+                }
+                undo.clear();
+                if *holding {
+                    self.rt.release_serial();
+                    *holding = false;
+                }
+            }
+        }
+        for &(addr, words) in &self.mallocs {
+            self.rt.system().heap.dealloc(addr, words);
+        }
+        self.mallocs.clear();
+        self.frees.clear();
+    }
+
+    /// Attempts to commit.  On failure the caller must call
+    /// [`HtmTx::rollback`].
+    pub fn try_commit(&mut self) -> Result<CommitInfo, TxCtl> {
+        let system = Arc::clone(self.rt.system());
+        match &mut self.state {
+            State::Hardware {
+                read_slots,
+                write_slots,
+                redo,
+            } => {
+                if self.common.thread.is_doomed() {
+                    return Err(TxCtl::Abort(AbortReason::HwConflict));
+                }
+                let was_writer = !redo.is_empty();
+                // Write back the buffered stores.  All conflicting in-flight
+                // transactions were doomed when we registered as writer of
+                // their lines, and our writer registrations are still in
+                // place, so no new reader can adopt a partial view without
+                // observing the conflict.
+                for &(addr, val) in redo.iter() {
+                    system.heap.store(addr, val);
+                }
+                let me = self.common.thread.id;
+                for &slot in write_slots.iter() {
+                    self.rt.lines().clear_writer(slot, me);
+                }
+                for &slot in read_slots.iter() {
+                    self.rt.lines().clear_reader(slot, me);
+                }
+                read_slots.clear();
+                write_slots.clear();
+                redo.clear();
+                for &(addr, words) in &self.frees {
+                    system.heap.dealloc(addr, words);
+                }
+                self.mallocs.clear();
+                self.frees.clear();
+                Ok(CommitInfo {
+                    was_writer,
+                    hardware: true,
+                })
+            }
+            State::Serial { holding, undo } => {
+                let was_writer = !undo.is_empty();
+                undo.clear();
+                for &(addr, words) in &self.frees {
+                    system.heap.dealloc(addr, words);
+                }
+                self.mallocs.clear();
+                self.frees.clear();
+                if *holding {
+                    self.rt.release_serial();
+                    *holding = false;
+                }
+                Ok(CommitInfo {
+                    was_writer,
+                    hardware: false,
+                })
+            }
+        }
+    }
+
+    /// Rolls back and materialises the wait condition for a deschedule
+    /// request.  Only meaningful for serial attempts (hardware attempts are
+    /// switched to the serial mode by the driver before descheduling).
+    pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        match spec {
+            WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
+                let pairs = std::mem::take(&mut self.common.waitset);
+                self.rollback();
+                Ok(WaitCondition::ValuesChanged(pairs))
+            }
+            WaitSpec::Addrs(addrs) => {
+                // Undo our writes first so the captured snapshot reflects the
+                // pre-transaction state; as the serial-lock holder we are the
+                // only transaction running, so plain loads are consistent.
+                if let State::Serial { undo, .. } = &mut self.state {
+                    for &(addr, old) in undo.iter().rev() {
+                        self.rt.system().heap.store(addr, old);
+                    }
+                    undo.clear();
+                }
+                let pairs = addrs
+                    .iter()
+                    .map(|&a| (a, self.rt.system().heap.load(a)))
+                    .collect();
+                self.rollback();
+                Ok(WaitCondition::ValuesChanged(pairs))
+            }
+            WaitSpec::Pred { f, args } => {
+                self.rollback();
+                Ok(WaitCondition::Pred { f, args })
+            }
+        }
+    }
+}
+
+impl Drop for HtmTx<'_> {
+    fn drop(&mut self) {
+        // Defensive: never leak the serial lock or stale line registrations
+        // if a body panics.
+        self.rollback();
+    }
+}
+
+impl Tx for HtmTx<'_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if addr.index() >= self.rt.system().heap.len() {
+            // A zombie transaction may compute a garbage address; turn that
+            // into an abort instead of a panic.
+            return Err(TxCtl::Abort(AbortReason::HwConflict));
+        }
+        if !self.is_hardware() {
+            let val = self.rt.system().heap.load(addr);
+            self.retry_log(addr, val);
+            return Ok(val);
+        }
+        if self.common.thread.is_doomed() {
+            return Err(TxCtl::Abort(AbortReason::HwConflict));
+        }
+        if self.rt.fallback_held() {
+            return Err(TxCtl::Abort(AbortReason::HwFallbackLock));
+        }
+        let State::Hardware {
+            read_slots, redo, ..
+        } = &mut self.state
+        else {
+            unreachable!("checked above");
+        };
+        if let Some(&(_, v)) = redo.iter().rev().find(|&&(a, _)| a == addr) {
+            return Ok(v);
+        }
+        let slot = self.rt.lines().slot_for(addr.line());
+        if let Some(writer) = self.rt.lines().register_reader(slot, self.common.thread.id) {
+            // Our coherence request dooms the speculative writer; we abort as
+            // well rather than consuming a possibly torn value.
+            self.rt.doom_thread(writer);
+            self.rt.lines().clear_reader(slot, self.common.thread.id);
+            return Err(TxCtl::Abort(AbortReason::HwConflict));
+        }
+        if !read_slots.contains(&slot) {
+            read_slots.push(slot);
+            if read_slots.len() > self.rt.system().config.htm.max_read_lines {
+                return Err(TxCtl::Abort(AbortReason::HwCapacity));
+            }
+        }
+        Ok(self.rt.system().heap.load(addr))
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        if addr.index() >= self.rt.system().heap.len() {
+            return Err(TxCtl::Abort(AbortReason::HwConflict));
+        }
+        match &mut self.state {
+            State::Hardware {
+                write_slots, redo, ..
+            } => {
+                if self.common.thread.is_doomed() {
+                    return Err(TxCtl::Abort(AbortReason::HwConflict));
+                }
+                if self.rt.fallback_held() {
+                    return Err(TxCtl::Abort(AbortReason::HwFallbackLock));
+                }
+                let slot = self.rt.lines().slot_for(addr.line());
+                match self.rt.lines().register_writer(slot, self.common.thread.id) {
+                    WriteRegistration::Acquired {
+                        doomed_readers,
+                        doomed_writer,
+                    } => {
+                        for tid in doomed_readers {
+                            self.rt.doom_thread(tid);
+                        }
+                        if let Some(tid) = doomed_writer {
+                            self.rt.doom_thread(tid);
+                        }
+                    }
+                    WriteRegistration::Conflict { other } => {
+                        self.rt.doom_thread(other);
+                        return Err(TxCtl::Abort(AbortReason::HwConflict));
+                    }
+                }
+                if !write_slots.contains(&slot) {
+                    write_slots.push(slot);
+                    if write_slots.len() > self.rt.system().config.htm.max_write_lines {
+                        return Err(TxCtl::Abort(AbortReason::HwCapacity));
+                    }
+                }
+                redo.push((addr, val));
+                Ok(())
+            }
+            State::Serial { undo, .. } => {
+                let old = self.rt.system().heap.load(addr);
+                undo.push((addr, old));
+                self.rt.system().heap.store(addr, val);
+                Ok(())
+            }
+        }
+    }
+
+    fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        match self.rt.system().heap.alloc(words) {
+            Some(addr) => {
+                self.mallocs.push((addr, words));
+                Ok(addr)
+            }
+            None => Err(TxCtl::Abort(AbortReason::OutOfMemory)),
+        }
+    }
+
+    fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+        self.frees.push((addr, words));
+        Ok(())
+    }
+
+    fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+        let hardware = self.is_hardware();
+        match self.try_commit() {
+            Ok(info) => {
+                let stats = &self.common.thread.stats;
+                if info.hardware {
+                    TxStats::bump(&stats.hw_commits);
+                } else {
+                    TxStats::bump(&stats.sw_commits);
+                }
+                block();
+                // Begin the continuation transaction in the same flavour.
+                if hardware {
+                    self.rt.wait_fallback_clear();
+                    self.common.thread.take_doomed();
+                    self.state = State::Hardware {
+                        read_slots: Vec::new(),
+                        write_slots: Vec::new(),
+                        redo: Vec::new(),
+                    };
+                } else {
+                    self.rt.acquire_serial(&self.common.thread);
+                    self.state = State::Serial {
+                        holding: true,
+                        undo: Vec::new(),
+                    };
+                }
+                Ok(())
+            }
+            Err(ctl) => Err(ctl),
+        }
+    }
+
+    fn explicit_abort(&mut self, code: u8) -> TxCtl {
+        TxCtl::Abort(AbortReason::Explicit(code))
+    }
+
+    fn common(&self) -> &TxCommon {
+        &self.common
+    }
+
+    fn common_mut(&mut self) -> &mut TxCommon {
+        &mut self.common
+    }
+
+    fn system(&self) -> &Arc<TmSystem> {
+        self.rt.system()
+    }
+}

@@ -1,0 +1,30 @@
+//! An eager (undo-log, encounter-time locking) software TM, following the
+//! paper's Appendix A (Algorithms 8–11), in the style of TinySTM and the GCC
+//! libitm "ml-wt" method the paper evaluates as **Eager STM**.
+//!
+//! * Writes acquire the ownership record covering the address at encounter
+//!   time, log the old value in an undo log, and update memory in place.
+//! * Reads are validated against the global version clock at the time they
+//!   happen (giving opacity) and re-validated at commit.
+//! * Commit increments the global clock, validates the read set (with the
+//!   TL2-style fast path when no other writer intervened), releases locks at
+//!   the new version, performs deferred frees and quiesces for privatization
+//!   safety.
+//! * Abort undoes writes in reverse order, releases locks at `version + 1`,
+//!   blindly bumps the clock, and undoes transactional allocations.
+//!
+//! Condition synchronization is layered on via the driver loop in
+//! [`runtime::EagerStm`]: when a body requests descheduling the transaction
+//! is rolled back, the wait condition is materialised (capturing values for
+//! `Await` while locks are still held), and control passes to
+//! [`condsync::deschedule`].  After every writer commit the driver calls
+//! [`condsync::wake_waiters`] and the `Retry-Orig` registry.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runtime;
+pub mod tx;
+
+pub use runtime::EagerStm;
+pub use tx::EagerTx;

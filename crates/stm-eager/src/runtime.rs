@@ -1,0 +1,387 @@
+//! The eager-STM driver loop: attempt, commit or roll back, handle
+//! condition-synchronization requests, and run post-commit wake-ups.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use condsync::{OrigRegistry, OrigWaiter};
+use tm_core::backoff::Backoff;
+use tm_core::stats::TxStats;
+use tm_core::{
+    AbortReason, Semaphore, ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
+    TxResult, WaitSpec,
+};
+
+use crate::tx::EagerTx;
+
+/// The eager (undo-log) software TM runtime.
+#[derive(Debug)]
+pub struct EagerStm {
+    system: Arc<TmSystem>,
+    /// Waiting list for the `Retry-Orig` baseline (Algorithm 1).
+    orig: OrigRegistry,
+    /// Seed counter so each transaction's backoff is differently randomized.
+    seed: AtomicU64,
+}
+
+impl EagerStm {
+    /// Creates a runtime over `system`.
+    pub fn new(system: Arc<TmSystem>) -> Arc<Self> {
+        Arc::new(EagerStm {
+            system,
+            orig: OrigRegistry::new(),
+            seed: AtomicU64::new(1),
+        })
+    }
+
+    /// The `Retry-Orig` waiting list (exposed for tests).
+    pub fn orig_registry(&self) -> &OrigRegistry {
+        &self.orig
+    }
+
+    /// Runs `body` as a transaction until it commits.
+    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        let seed = self
+            .seed
+            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
+            .wrapping_add(thread.id as u64);
+        let mut backoff = Backoff::new(self.system.config.backoff, seed);
+        let mut mode = TxMode::Software;
+        let mut attempts: u32 = 0;
+
+        loop {
+            let mut tx = EagerTx::begin(
+                &self.system,
+                TxCommon::new(Arc::clone(thread), mode, attempts),
+            );
+            let ctl = match body(&mut tx) {
+                Ok(value) => match tx.try_commit() {
+                    Ok(info) => {
+                        TxStats::bump(&thread.stats.sw_commits);
+                        if info.was_writer {
+                            // Post-commit wake-ups: the paper's value-based
+                            // mechanism plus the Retry-Orig intersection.
+                            condsync::wake_waiters(self, thread);
+                            if !self.orig.is_empty() {
+                                self.orig.wake_matching(thread, &info.written_orecs);
+                            }
+                        }
+                        return value;
+                    }
+                    Err(ctl) => ctl,
+                },
+                Err(ctl) => ctl,
+            };
+
+            attempts += 1;
+            match ctl {
+                TxCtl::Abort(reason) => {
+                    tx.rollback();
+                    TxStats::bump(&thread.stats.sw_aborts);
+                    if let AbortReason::Explicit(_) = reason {
+                        // The Restart baseline: re-execute immediately.
+                        TxStats::bump(&thread.stats.explicit_aborts);
+                    } else if reason.is_conflict() {
+                        backoff.abort_and_wait();
+                    }
+                }
+                TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
+                    // Retry was called before the value log existed: restart
+                    // in value-logging mode (Algorithm 5, lines 2–5).  This
+                    // also covers the first attempt after waking up.
+                    tx.rollback();
+                    TxStats::bump(&thread.stats.retry_relogs);
+                    mode = TxMode::SoftwareRetry;
+                }
+                TxCtl::Deschedule(WaitSpec::OrigReadLocks) => {
+                    self.deschedule_orig(thread, &mut tx);
+                    mode = TxMode::Software;
+                }
+                TxCtl::Deschedule(spec) => {
+                    match tx.rollback_for_deschedule(spec) {
+                        Ok(cond) => {
+                            condsync::deschedule(self, thread, cond);
+                        }
+                        Err(_) => {
+                            // The wait condition could not be captured
+                            // consistently: treat it as an ordinary abort.
+                            TxStats::bump(&thread.stats.sw_aborts);
+                            backoff.abort_and_wait();
+                        }
+                    }
+                    // After waking, restart plainly; Retry will re-request
+                    // value logging if it trips again (the paper resets
+                    // `is_retry` the same way).
+                    mode = TxMode::Software;
+                }
+                TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
+                    // Already a software runtime: just re-execute.
+                    tx.rollback();
+                }
+            }
+        }
+    }
+
+    /// The `Retry-Orig` deschedule path (Algorithm 1): roll back, then
+    /// atomically validate the read set and join the waiting list; sleep only
+    /// if the registration succeeded.
+    fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut EagerTx) {
+        let read_orecs = tx.read_orec_indices();
+        let start = tx.start();
+        tx.rollback();
+        TxStats::bump(&thread.stats.descheds);
+
+        let sem = Arc::new(Semaphore::new());
+        let waiter = OrigWaiter::new(thread.id, read_orecs.clone(), Arc::clone(&sem));
+        let registered = self.orig.register_if(Arc::clone(&waiter), || {
+            EagerTx::reads_valid_at(&self.system, &read_orecs, start)
+        });
+        if registered {
+            TxStats::bump(&thread.stats.sleeps);
+            sem.wait();
+            self.orig.deregister(&waiter);
+        } else {
+            // Some location we read already changed: re-execute immediately.
+            TxStats::bump(&thread.stats.desched_skips);
+        }
+    }
+}
+
+impl TmRuntime for EagerStm {
+    fn system(&self) -> &Arc<TmSystem> {
+        &self.system
+    }
+
+    fn name(&self) -> &'static str {
+        "eager-stm"
+    }
+
+    fn exec_u64(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+    ) -> u64 {
+        self.run(thread, body)
+    }
+
+    fn exec_bool(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
+    ) -> bool {
+        self.run(thread, body)
+    }
+}
+
+impl TmRt for EagerStm {
+    fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        self.run(thread, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{Addr, TmConfig, TmVar};
+
+    fn runtime() -> (Arc<TmSystem>, Arc<EagerStm>) {
+        let system = TmSystem::new(TmConfig::small());
+        let rt = EagerStm::new(Arc::clone(&system));
+        (system, rt)
+    }
+
+    #[test]
+    fn simple_transaction_commits() {
+        let (system, rt) = runtime();
+        let th = system.register_thread();
+        let v = TmVar::<u64>::alloc(&system, 1);
+        let got = rt.atomically(&th, |tx| {
+            let x = v.get(tx)?;
+            v.set(tx, x + 10)?;
+            Ok(x)
+        });
+        assert_eq!(got, 1);
+        assert_eq!(v.load_direct(&system), 11);
+        assert_eq!(th.stats.snapshot().sw_commits, 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let (system, rt) = runtime();
+        let counter = TmVar::<u64>::alloc(&system, 0);
+        let threads = 4;
+        let per_thread = 500;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rt = Arc::clone(&rt);
+            let system = Arc::clone(&system);
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                let th = system.register_thread();
+                for _ in 0..per_thread {
+                    rt.atomically(&th, |tx| {
+                        let x = counter.get(tx)?;
+                        counter.set(tx, x + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_direct(&system), threads * per_thread);
+    }
+
+    #[test]
+    fn retry_sleeps_until_value_changes() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::retry(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 7));
+        assert_eq!(waiter.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn await_sleeps_until_named_address_changes() {
+        let (system, rt) = runtime();
+        let x = TmVar::<u64>::alloc(&system, 0);
+        let y = TmVar::<u64>::alloc(&system, 0);
+        let (x2, y2) = (x.clone(), y.clone());
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = x2.get(tx)?;
+                if v == 0 {
+                    return condsync::await_one(tx, x2.addr());
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let th = system.register_thread();
+        // Writing an unrelated variable must not wake the waiter for long:
+        // it may re-check, but it cannot complete until x changes.
+        rt.atomically(&th, |tx| y.set(tx, 1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rt.atomically(&th, |tx| x.set(tx, 5));
+        assert_eq!(waiter.join().unwrap(), 5);
+        let _ = y2;
+    }
+
+    #[test]
+    fn wait_pred_only_wakes_when_predicate_holds() {
+        let (system, rt) = runtime();
+        let count = TmVar::<u64>::alloc(&system, 0);
+        fn at_least_three(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+            Ok(tx.read(Addr(args[0] as usize))? >= 3)
+        }
+        let count2 = count.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = count2.get(tx)?;
+                if v < 3 {
+                    return condsync::wait_pred(tx, at_least_three, &[count2.addr().0 as u64]);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let th = system.register_thread();
+        for _ in 0..3 {
+            rt.atomically(&th, |tx| {
+                let v = count.get(tx)?;
+                count.set(tx, v + 1)
+            });
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn retry_orig_sleeps_and_is_woken_by_lock_intersection() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::retry_orig(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 9));
+        assert_eq!(waiter.join().unwrap(), 9);
+        assert_eq!(rt.orig_registry().len(), 0);
+    }
+
+    #[test]
+    fn restart_baseline_spins_until_condition_holds() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let spinner = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::restart(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 4));
+        assert_eq!(spinner.join().unwrap(), 4);
+    }
+
+    #[test]
+    fn explicit_abort_stats_are_counted() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 1);
+        let th = system.register_thread();
+        let mut first = true;
+        rt.atomically(&th, |tx| {
+            let v = flag.get(tx)?;
+            if first {
+                first = false;
+                return condsync::restart(tx);
+            }
+            Ok(v)
+        });
+        assert!(th.stats.snapshot().explicit_aborts >= 1);
+    }
+}

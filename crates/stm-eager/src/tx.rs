@@ -1,0 +1,573 @@
+//! The per-attempt transaction descriptor for the eager STM
+//! (Algorithms 8–11 of the paper's Appendix A).
+
+use std::sync::Arc;
+
+use tm_core::stats::TxStats;
+use tm_core::{
+    Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
+    AbortReason,
+};
+
+/// Information returned by a successful commit, used by the driver loop to
+/// run the post-commit wake-up hooks.
+#[derive(Debug)]
+pub struct CommitInfo {
+    /// True if the transaction acquired any write locks (i.e. was a writer).
+    pub was_writer: bool,
+    /// Ownership-record indices the transaction had locked (used by the
+    /// `Retry-Orig` registry's intersection test).
+    pub written_orecs: Vec<usize>,
+    /// The commit timestamp (global-clock value), 0 for read-only commits.
+    pub commit_time: u64,
+}
+
+/// An in-flight eager-STM transaction attempt.
+#[derive(Debug)]
+pub struct EagerTx {
+    common: TxCommon,
+    system: Arc<TmSystem>,
+    /// Global-clock value sampled at begin (Algorithm 9, `start`).
+    start: u64,
+    /// Addresses read by the transaction (Algorithm 8, `reads`).
+    reads: Vec<Addr>,
+    /// Old values of written locations, in write order (Algorithm 8, `undos`).
+    undos: Vec<(Addr, u64)>,
+    /// Ownership-record indices held by this transaction (Algorithm 8, `locks`).
+    locks: Vec<usize>,
+    /// Transactional allocations, undone on abort.
+    mallocs: Vec<(Addr, usize)>,
+    /// Deferred frees, performed at commit.
+    frees: Vec<(Addr, usize)>,
+}
+
+impl EagerTx {
+    /// Begins a new attempt: samples the clock and publishes the start time
+    /// for quiescence.
+    pub fn begin(system: &Arc<TmSystem>, common: TxCommon) -> Self {
+        let start = system.clock.now();
+        common.thread.enter_tx(start);
+        EagerTx {
+            common,
+            system: Arc::clone(system),
+            start,
+            reads: Vec::new(),
+            undos: Vec::new(),
+            locks: Vec::new(),
+            mallocs: Vec::new(),
+            frees: Vec::new(),
+        }
+    }
+
+    /// The clock value sampled at begin.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Ownership-record indices covering the read set (used by `Retry-Orig`).
+    pub fn read_orec_indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .reads
+            .iter()
+            .map(|&a| self.system.orecs.index_for(a))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True if every read is still consistent with `start` (used when
+    /// registering with the `Retry-Orig` waiting list, Algorithm 1 line 4).
+    pub fn reads_valid_at(system: &TmSystem, orec_indices: &[usize], start: u64) -> bool {
+        orec_indices.iter().all(|&idx| {
+            let o = system.orecs.load(idx);
+            !o.is_locked() && o.version() <= start
+        })
+    }
+
+    fn me(&self) -> usize {
+        self.common.thread.id
+    }
+
+    /// Records an `(addr, value)` pair in the Retry value log, substituting
+    /// the pre-transaction value for locations this transaction has written
+    /// (Algorithm 5, `TxRead` lines 2–5): after the rollback that accompanies
+    /// a deschedule, memory holds the *old* value, so that is what the
+    /// wake-up check must compare against.
+    fn retry_log(&mut self, addr: Addr, observed: u64) {
+        if self.common.mode != TxMode::SoftwareRetry {
+            return;
+        }
+        let logged = self
+            .undos
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, old)| old)
+            .unwrap_or(observed);
+        self.common.log_retry_read(addr, logged);
+    }
+
+    /// Acquires the ownership record covering `addr` for writing, returning
+    /// the orec index, or an abort if it is held by another transaction or
+    /// is too new.
+    fn acquire(&mut self, addr: Addr) -> TxResult<usize> {
+        let idx = self.system.orecs.index_for(addr);
+        let cur = self.system.orecs.load(idx);
+        if cur.is_locked_by(self.me()) {
+            return Ok(idx);
+        }
+        if !cur.is_locked() && cur.version() <= self.start {
+            let locked = OrecValue::locked(cur.version(), self.me());
+            if self.system.orecs.cas(idx, cur, locked) {
+                self.locks.push(idx);
+                return Ok(idx);
+            }
+        }
+        Err(TxCtl::Abort(AbortReason::WriteConflict))
+    }
+
+    /// Rolls the attempt back: undoes writes in reverse order, releases locks
+    /// at `version + 1`, bumps the clock, undoes allocations, and clears all
+    /// logs (Algorithm 11).  Safe to call more than once.
+    pub fn rollback(&mut self) {
+        for &(addr, old) in self.undos.iter().rev() {
+            self.system.heap.store(addr, old);
+        }
+        for &idx in &self.locks {
+            let cur = self.system.orecs.load(idx);
+            self.system
+                .orecs
+                .store(idx, OrecValue::unlocked(cur.version() + 1));
+        }
+        if !self.locks.is_empty() {
+            // Blind increment so the bumped lock versions stay legal with
+            // respect to the global clock (Algorithm 11, line 5).
+            self.system.clock.tick();
+        }
+        for &(addr, words) in &self.mallocs {
+            self.system.heap.dealloc(addr, words);
+        }
+        self.reset_logs();
+        self.common.thread.exit_tx();
+    }
+
+    fn reset_logs(&mut self) {
+        self.reads.clear();
+        self.undos.clear();
+        self.locks.clear();
+        self.mallocs.clear();
+        self.frees.clear();
+    }
+
+    /// Attempts to commit (Algorithm 9, `TxCommit`).  On failure the caller
+    /// must invoke [`EagerTx::rollback`].
+    pub fn try_commit(&mut self) -> Result<CommitInfo, TxCtl> {
+        // Read-only fast path: every read was validated at the time it
+        // happened, so nothing further is required.
+        if self.locks.is_empty() {
+            for &(addr, words) in &self.frees {
+                self.system.heap.dealloc(addr, words);
+            }
+            self.reset_logs();
+            self.common.thread.exit_tx();
+            return Ok(CommitInfo {
+                was_writer: false,
+                written_orecs: Vec::new(),
+                commit_time: 0,
+            });
+        }
+
+        let end = self.system.clock.tick();
+        // Fast path: if no other transaction committed since we started, the
+        // read set cannot have been invalidated.
+        if end != self.start + 1 {
+            for &addr in &self.reads {
+                let o = self.system.orecs.load_for(addr);
+                let ok = if o.is_locked() {
+                    o.is_locked_by(self.me())
+                } else {
+                    o.version() <= self.start
+                };
+                if !ok {
+                    return Err(TxCtl::Abort(AbortReason::CommitValidation));
+                }
+            }
+        }
+
+        // The transaction is committed: release locks at the new version.
+        let written = std::mem::take(&mut self.locks);
+        for &idx in &written {
+            self.system.orecs.store(idx, OrecValue::unlocked(end));
+        }
+        // Finalize deferred frees; allocations simply survive.
+        for &(addr, words) in &self.frees {
+            self.system.heap.dealloc(addr, words);
+        }
+        self.reset_logs();
+        self.common.thread.exit_tx();
+        // Privatization-safety quiescence (Algorithm 9, line 20).
+        self.system.quiesce(self.me(), end);
+        Ok(CommitInfo {
+            was_writer: true,
+            written_orecs: written,
+            commit_time: end,
+        })
+    }
+
+    /// Rolls back and materialises the wait condition for a deschedule
+    /// request.  Returns `Err` (with the transaction already rolled back) if
+    /// the condition could not be captured consistently, in which case the
+    /// driver simply re-executes the transaction.
+    pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        match spec {
+            WaitSpec::ReadSetValues => {
+                let pairs = std::mem::take(&mut self.common.waitset);
+                self.rollback();
+                Ok(WaitCondition::ValuesChanged(pairs))
+            }
+            WaitSpec::Addrs(addrs) => {
+                // Algorithm 6: undo writes first so memory shows the state
+                // from before the transaction, then read the requested
+                // addresses while still holding our locks, validating each
+                // against the start time so the snapshot is consistent.
+                for &(addr, old) in self.undos.iter().rev() {
+                    self.system.heap.store(addr, old);
+                }
+                self.undos.clear();
+                let mut pairs = Vec::with_capacity(addrs.len());
+                let mut consistent = true;
+                for addr in addrs {
+                    let o = self.system.orecs.load_for(addr);
+                    let ok = if o.is_locked() {
+                        o.is_locked_by(self.me())
+                    } else {
+                        o.version() <= self.start
+                    };
+                    if !ok {
+                        consistent = false;
+                        break;
+                    }
+                    pairs.push((addr, self.system.heap.load(addr)));
+                }
+                self.rollback();
+                if consistent {
+                    Ok(WaitCondition::ValuesChanged(pairs))
+                } else {
+                    Err(TxCtl::Abort(AbortReason::ReadConflict))
+                }
+            }
+            WaitSpec::Pred { f, args } => {
+                self.rollback();
+                Ok(WaitCondition::Pred { f, args })
+            }
+            WaitSpec::OrigReadLocks => {
+                // Handled by the driver (it needs the read-orec list *and*
+                // the registry); reaching this point is a logic error.
+                self.rollback();
+                Err(TxCtl::Abort(AbortReason::ReadConflict))
+            }
+        }
+    }
+}
+
+impl Tx for EagerTx {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Algorithm 10, TxRead: atomically read lock–value–lock and accept
+        // only if the snapshot is consistent and not too new.
+        let idx = self.system.orecs.index_for(addr);
+        let before = self.system.orecs.load(idx);
+        let val = self.system.heap.load(addr);
+        let after = self.system.orecs.load(idx);
+
+        if before.is_locked_by(self.me()) {
+            self.retry_log(addr, val);
+            return Ok(val);
+        }
+        if before == after && !before.is_locked() && before.version() <= self.start {
+            self.reads.push(addr);
+            self.retry_log(addr, val);
+            return Ok(val);
+        }
+        Err(TxCtl::Abort(AbortReason::ReadConflict))
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        // Algorithm 10, TxWrite: acquire the orec, log the old value, update
+        // in place.
+        self.acquire(addr)?;
+        let old = self.system.heap.load(addr);
+        self.undos.push((addr, old));
+        self.system.heap.store(addr, val);
+        Ok(())
+    }
+
+    fn read_for_write(&mut self, addr: Addr) -> TxResult<u64> {
+        // "Read for write" (§2.2.4): acquire the lock immediately and do not
+        // add the address to the read set — it is protected by the lock.
+        self.acquire(addr)?;
+        let val = self.system.heap.load(addr);
+        self.retry_log(addr, val);
+        Ok(val)
+    }
+
+    fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        match self.system.heap.alloc(words) {
+            Some(addr) => {
+                self.mallocs.push((addr, words));
+                Ok(addr)
+            }
+            None => Err(TxCtl::Abort(AbortReason::OutOfMemory)),
+        }
+    }
+
+    fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+        self.frees.push((addr, words));
+        Ok(())
+    }
+
+    fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+        // Used only by transaction-safe condition variables: commit the work
+        // so far (breaking atomicity), run the blocking section outside any
+        // transaction, then begin a fresh transaction for the remainder.
+        match self.try_commit() {
+            Ok(info) => {
+                if info.was_writer {
+                    TxStats::bump(&self.common.thread.stats.sw_commits);
+                }
+                block();
+                self.start = self.system.clock.now();
+                self.common.thread.enter_tx(self.start);
+                Ok(())
+            }
+            Err(ctl) => Err(ctl),
+        }
+    }
+
+    fn explicit_abort(&mut self, code: u8) -> TxCtl {
+        TxCtl::Abort(AbortReason::Explicit(code))
+    }
+
+    fn common(&self) -> &TxCommon {
+        &self.common
+    }
+
+    fn common_mut(&mut self) -> &mut TxCommon {
+        &mut self.common
+    }
+
+    fn system(&self) -> &Arc<TmSystem> {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{TmConfig, TxMode};
+
+    fn setup() -> (Arc<TmSystem>, EagerTx) {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let tx = EagerTx::begin(&system, TxCommon::new(th, TxMode::Software, 0));
+        (system, tx)
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let (_system, mut tx) = setup();
+        tx.write(Addr(5), 42).unwrap();
+        assert_eq!(tx.read(Addr(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn writes_are_in_place_and_undone_on_rollback() {
+        let (system, tx) = setup();
+        system.heap.store(Addr(5), 7);
+        // Re-begin so the store above predates the transaction.
+        let th = system.register_thread();
+        let mut tx2 = EagerTx::begin(&system, TxCommon::new(th, TxMode::Software, 0));
+        tx2.write(Addr(5), 100).unwrap();
+        assert_eq!(system.heap.load(Addr(5)), 100, "eager STM updates in place");
+        tx2.rollback();
+        assert_eq!(system.heap.load(Addr(5)), 7, "rollback restores the old value");
+        drop(tx);
+    }
+
+    #[test]
+    fn commit_releases_locks_at_new_version() {
+        let (system, mut tx) = setup();
+        tx.write(Addr(9), 3).unwrap();
+        let idx = system.orecs.index_for(Addr(9));
+        assert!(system.orecs.load(idx).is_locked());
+        let info = tx.try_commit().unwrap();
+        assert!(info.was_writer);
+        assert!(info.commit_time > 0);
+        let o = system.orecs.load(idx);
+        assert!(!o.is_locked());
+        assert_eq!(o.version(), info.commit_time);
+        assert_eq!(system.heap.load(Addr(9)), 3);
+    }
+
+    #[test]
+    fn read_only_commit_is_trivial() {
+        let (system, _tx) = setup();
+        system.heap.store(Addr(3), 11);
+        let th = system.register_thread();
+        let mut tx = EagerTx::begin(&system, TxCommon::new(th, TxMode::Software, 0));
+        assert_eq!(tx.read(Addr(3)).unwrap(), 11);
+        let info = tx.try_commit().unwrap();
+        assert!(!info.was_writer);
+        assert_eq!(info.commit_time, 0);
+    }
+
+    #[test]
+    fn conflicting_write_lock_aborts_second_writer() {
+        let system = TmSystem::new(TmConfig::small());
+        let t1 = system.register_thread();
+        let t2 = system.register_thread();
+        let mut tx1 = EagerTx::begin(&system, TxCommon::new(t1, TxMode::Software, 0));
+        let mut tx2 = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        tx1.write(Addr(4), 1).unwrap();
+        assert!(matches!(
+            tx2.write(Addr(4), 2),
+            Err(TxCtl::Abort(AbortReason::WriteConflict))
+        ));
+        tx1.rollback();
+        tx2.rollback();
+    }
+
+    #[test]
+    fn read_of_locked_location_aborts() {
+        let system = TmSystem::new(TmConfig::small());
+        let t1 = system.register_thread();
+        let t2 = system.register_thread();
+        let mut tx1 = EagerTx::begin(&system, TxCommon::new(t1, TxMode::Software, 0));
+        tx1.write(Addr(8), 5).unwrap();
+        let mut tx2 = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        assert!(tx2.read(Addr(8)).is_err());
+        tx1.rollback();
+        tx2.rollback();
+    }
+
+    #[test]
+    fn stale_read_detected_at_commit() {
+        // Two handles are driven from one OS thread, so the committer must
+        // not quiesce waiting for the other handle (it could never finish).
+        let system = TmSystem::new(TmConfig::small().without_quiescence());
+        let t1 = system.register_thread();
+        let t2 = system.register_thread();
+        // tx1 reads addr 6, then tx2 commits a write to it, then tx1 writes
+        // something else and tries to commit: validation must fail.
+        let mut tx1 = EagerTx::begin(&system, TxCommon::new(t1, TxMode::Software, 0));
+        assert_eq!(tx1.read(Addr(6)).unwrap(), 0);
+        let mut tx2 = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        tx2.write(Addr(6), 9).unwrap();
+        tx2.try_commit().unwrap();
+        tx1.write(Addr(7), 1).unwrap();
+        assert!(matches!(
+            tx1.try_commit(),
+            Err(TxCtl::Abort(AbortReason::CommitValidation))
+        ));
+        tx1.rollback();
+        assert_eq!(system.heap.load(Addr(7)), 0);
+        assert_eq!(system.heap.load(Addr(6)), 9);
+    }
+
+    #[test]
+    fn read_after_foreign_commit_aborts_immediately() {
+        // See stale_read_detected_at_commit: single-threaded test, two
+        // handles, so quiescence must be off.
+        let system = TmSystem::new(TmConfig::small().without_quiescence());
+        let t1 = system.register_thread();
+        let t2 = system.register_thread();
+        let mut tx1 = EagerTx::begin(&system, TxCommon::new(t1, TxMode::Software, 0));
+        let _ = tx1.read(Addr(2)).unwrap();
+        // Another transaction commits a write to a different orec: tx1 can
+        // still read locations whose version predates its start.
+        let mut tx2 = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        tx2.write(Addr(100), 1).unwrap();
+        tx2.try_commit().unwrap();
+        // Reading the *updated* location must abort tx1 (version too new).
+        assert!(tx1.read(Addr(100)).is_err());
+        tx1.rollback();
+    }
+
+    #[test]
+    fn retry_mode_logs_pre_transaction_values() {
+        let system = TmSystem::new(TmConfig::small());
+        system.heap.store(Addr(12), 50);
+        let th = system.register_thread();
+        let mut tx = EagerTx::begin(&system, TxCommon::new(th, TxMode::SoftwareRetry, 1));
+        assert_eq!(tx.read(Addr(12)).unwrap(), 50);
+        tx.write(Addr(12), 99).unwrap();
+        // A read-after-write must log the value from *before* the write,
+        // because the write is undone when the transaction deschedules.
+        assert_eq!(tx.read(Addr(12)).unwrap(), 99);
+        assert_eq!(tx.common().waitset, vec![(Addr(12), 50)]);
+        tx.rollback();
+    }
+
+    #[test]
+    fn deschedule_rollback_captures_await_values() {
+        let system = TmSystem::new(TmConfig::small());
+        system.heap.store(Addr(20), 5);
+        let th = system.register_thread();
+        let mut tx = EagerTx::begin(&system, TxCommon::new(th, TxMode::Software, 0));
+        assert_eq!(tx.read(Addr(20)).unwrap(), 5);
+        tx.write(Addr(20), 6).unwrap();
+        let cond = tx
+            .rollback_for_deschedule(WaitSpec::Addrs(vec![Addr(20)]))
+            .unwrap();
+        match cond {
+            WaitCondition::ValuesChanged(pairs) => {
+                assert_eq!(pairs, vec![(Addr(20), 5)], "must capture the pre-transaction value");
+            }
+            other => panic!("unexpected condition: {other:?}"),
+        }
+        assert_eq!(system.heap.load(Addr(20)), 5, "write must be undone");
+        let idx = system.orecs.index_for(Addr(20));
+        assert!(!system.orecs.load(idx).is_locked(), "locks must be released");
+    }
+
+    #[test]
+    fn transactional_alloc_is_undone_on_rollback() {
+        let (system, mut tx) = setup();
+        let before = system.heap.allocated_words();
+        let a = tx.alloc(8).unwrap();
+        assert!(!a.is_null());
+        assert_eq!(system.heap.allocated_words(), before + 8);
+        tx.rollback();
+        assert_eq!(system.heap.allocated_words(), before);
+    }
+
+    #[test]
+    fn transactional_free_is_deferred_to_commit() {
+        let (system, mut tx) = setup();
+        let a = system.heap.alloc(4).unwrap();
+        let before = system.heap.allocated_words();
+        tx.free(a, 4).unwrap();
+        assert_eq!(system.heap.allocated_words(), before, "free deferred until commit");
+        tx.try_commit().unwrap();
+        assert_eq!(system.heap.allocated_words(), before - 4);
+    }
+
+    #[test]
+    fn read_orec_indices_deduplicate() {
+        let (_system, mut tx) = setup();
+        let _ = tx.read(Addr(30)).unwrap();
+        let _ = tx.read(Addr(30)).unwrap();
+        let _ = tx.read(Addr(31)).unwrap();
+        let idx = tx.read_orec_indices();
+        assert!(idx.len() <= 2);
+        tx.rollback();
+    }
+
+    #[test]
+    fn rollback_is_idempotent() {
+        let (system, mut tx) = setup();
+        tx.write(Addr(40), 1).unwrap();
+        tx.rollback();
+        tx.rollback();
+        assert_eq!(system.heap.load(Addr(40)), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! A lazy (redo-log, commit-time locking) software TM in the style of TL2,
+//! corresponding to the paper's **Lazy STM** configuration (a
+//! privatization-safe, redo-log variant of the GCC STM).
+//!
+//! * Writes are buffered in a redo log; memory is untouched until commit.
+//! * Reads check the redo log first (read-your-writes) and otherwise
+//!   validate against the global version clock, exactly as in TL2.
+//! * Commit acquires the ownership records covering the write set, increments
+//!   the clock, validates the read set, writes the redo log back to memory,
+//!   and releases the locks at the commit timestamp.
+//! * Abort merely discards the logs (nothing was written in place).
+//!
+//! Condition synchronization reuses the same driver structure as the eager
+//! runtime; the only difference the mechanisms see is how `Await` captures
+//! its value snapshot (no undo is needed because memory was never modified).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runtime;
+pub mod tx;
+
+pub use runtime::LazyStm;
+pub use tx::LazyTx;

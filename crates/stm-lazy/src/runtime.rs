@@ -1,0 +1,313 @@
+//! The lazy-STM driver loop (mirrors the eager runtime's driver; the
+//! differences are entirely inside [`crate::tx::LazyTx`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use condsync::{OrigRegistry, OrigWaiter};
+use tm_core::backoff::Backoff;
+use tm_core::stats::TxStats;
+use tm_core::{
+    AbortReason, Semaphore, ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
+    TxResult, WaitSpec,
+};
+
+use crate::tx::LazyTx;
+
+/// The lazy (redo-log) software TM runtime.
+#[derive(Debug)]
+pub struct LazyStm {
+    system: Arc<TmSystem>,
+    orig: OrigRegistry,
+    seed: AtomicU64,
+}
+
+impl LazyStm {
+    /// Creates a runtime over `system`.
+    pub fn new(system: Arc<TmSystem>) -> Arc<Self> {
+        Arc::new(LazyStm {
+            system,
+            orig: OrigRegistry::new(),
+            seed: AtomicU64::new(1),
+        })
+    }
+
+    /// The `Retry-Orig` waiting list (exposed for tests).
+    pub fn orig_registry(&self) -> &OrigRegistry {
+        &self.orig
+    }
+
+    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        let seed = self
+            .seed
+            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
+            .wrapping_add(thread.id as u64);
+        let mut backoff = Backoff::new(self.system.config.backoff, seed);
+        let mut mode = TxMode::Software;
+        let mut attempts: u32 = 0;
+
+        loop {
+            let mut tx = LazyTx::begin(
+                &self.system,
+                TxCommon::new(Arc::clone(thread), mode, attempts),
+            );
+            let ctl = match body(&mut tx) {
+                Ok(value) => match tx.try_commit() {
+                    Ok(info) => {
+                        TxStats::bump(&thread.stats.sw_commits);
+                        if info.was_writer {
+                            condsync::wake_waiters(self, thread);
+                            if !self.orig.is_empty() {
+                                self.orig.wake_matching(thread, &info.written_orecs);
+                            }
+                        }
+                        return value;
+                    }
+                    Err(ctl) => ctl,
+                },
+                Err(ctl) => ctl,
+            };
+
+            attempts += 1;
+            match ctl {
+                TxCtl::Abort(reason) => {
+                    tx.rollback();
+                    TxStats::bump(&thread.stats.sw_aborts);
+                    if let AbortReason::Explicit(_) = reason {
+                        TxStats::bump(&thread.stats.explicit_aborts);
+                    } else if reason.is_conflict() {
+                        backoff.abort_and_wait();
+                    }
+                }
+                TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
+                    tx.rollback();
+                    TxStats::bump(&thread.stats.retry_relogs);
+                    mode = TxMode::SoftwareRetry;
+                }
+                TxCtl::Deschedule(WaitSpec::OrigReadLocks) => {
+                    self.deschedule_orig(thread, &mut tx);
+                    mode = TxMode::Software;
+                }
+                TxCtl::Deschedule(spec) => {
+                    match tx.rollback_for_deschedule(spec) {
+                        Ok(cond) => {
+                            condsync::deschedule(self, thread, cond);
+                        }
+                        Err(_) => {
+                            TxStats::bump(&thread.stats.sw_aborts);
+                            backoff.abort_and_wait();
+                        }
+                    }
+                    mode = TxMode::Software;
+                }
+                TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
+                    tx.rollback();
+                }
+            }
+        }
+    }
+
+    fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut LazyTx) {
+        let read_orecs = tx.read_orec_indices();
+        let start = tx.start();
+        tx.rollback();
+        TxStats::bump(&thread.stats.descheds);
+
+        let sem = Arc::new(Semaphore::new());
+        let waiter = OrigWaiter::new(thread.id, read_orecs.clone(), Arc::clone(&sem));
+        let registered = self.orig.register_if(Arc::clone(&waiter), || {
+            LazyTx::reads_valid_at(&self.system, &read_orecs, start)
+        });
+        if registered {
+            TxStats::bump(&thread.stats.sleeps);
+            sem.wait();
+            self.orig.deregister(&waiter);
+        } else {
+            TxStats::bump(&thread.stats.desched_skips);
+        }
+    }
+}
+
+impl TmRuntime for LazyStm {
+    fn system(&self) -> &Arc<TmSystem> {
+        &self.system
+    }
+
+    fn name(&self) -> &'static str {
+        "lazy-stm"
+    }
+
+    fn exec_u64(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+    ) -> u64 {
+        self.run(thread, body)
+    }
+
+    fn exec_bool(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
+    ) -> bool {
+        self.run(thread, body)
+    }
+}
+
+impl TmRt for LazyStm {
+    fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        self.run(thread, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{TmConfig, TmVar};
+
+    fn runtime() -> (Arc<TmSystem>, Arc<LazyStm>) {
+        let system = TmSystem::new(TmConfig::small());
+        let rt = LazyStm::new(Arc::clone(&system));
+        (system, rt)
+    }
+
+    #[test]
+    fn simple_transaction_commits() {
+        let (system, rt) = runtime();
+        let th = system.register_thread();
+        let v = TmVar::<u64>::alloc(&system, 3);
+        let doubled = rt.atomically(&th, |tx| {
+            let x = v.get(tx)?;
+            v.set(tx, x * 2)?;
+            Ok(x * 2)
+        });
+        assert_eq!(doubled, 6);
+        assert_eq!(v.load_direct(&system), 6);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let (system, rt) = runtime();
+        let counter = TmVar::<u64>::alloc(&system, 0);
+        let threads = 4;
+        let per_thread = 500;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let rt = Arc::clone(&rt);
+            let system = Arc::clone(&system);
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                let th = system.register_thread();
+                for _ in 0..per_thread {
+                    rt.atomically(&th, |tx| {
+                        let x = counter.get(tx)?;
+                        counter.set(tx, x + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_direct(&system), threads * per_thread);
+    }
+
+    #[test]
+    fn retry_sleeps_until_value_changes() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::retry(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 7));
+        assert_eq!(waiter.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn await_and_waitpred_wake_correctly() {
+        let (system, rt) = runtime();
+        let count = TmVar::<u64>::alloc(&system, 0);
+
+        // Await waiter.
+        let c1 = count.clone();
+        let rt1 = Arc::clone(&rt);
+        let s1 = Arc::clone(&system);
+        let awaiter = std::thread::spawn(move || {
+            let th = s1.register_thread();
+            rt1.atomically(&th, |tx| {
+                let v = c1.get(tx)?;
+                if v == 0 {
+                    return condsync::await_one(tx, c1.addr());
+                }
+                Ok(v)
+            })
+        });
+
+        // WaitPred waiter (wants count >= 2).
+        fn ge2(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+            Ok(tx.read(tm_core::Addr(args[0] as usize))? >= 2)
+        }
+        let c2 = count.clone();
+        let rt2 = Arc::clone(&rt);
+        let s2 = Arc::clone(&system);
+        let predwaiter = std::thread::spawn(move || {
+            let th = s2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = c2.get(tx)?;
+                if v < 2 {
+                    return condsync::wait_pred(tx, ge2, &[c2.addr().0 as u64]);
+                }
+                Ok(v)
+            })
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| count.set(tx, 1));
+        let first = awaiter.join().unwrap();
+        assert!(first >= 1);
+        rt.atomically(&th, |tx| count.set(tx, 2));
+        assert_eq!(predwaiter.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn retry_orig_on_lazy_stm() {
+        let (system, rt) = runtime();
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let flag2 = flag.clone();
+        let rt2 = Arc::clone(&rt);
+        let system2 = Arc::clone(&system);
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag2.get(tx)?;
+                if v == 0 {
+                    return condsync::retry_orig(tx);
+                }
+                Ok(v)
+            })
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let th = system.register_thread();
+        rt.atomically(&th, |tx| flag.set(tx, 2));
+        assert_eq!(waiter.join().unwrap(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Word addresses within the transactional heap.
+//!
+//! The paper's mechanisms operate on raw machine addresses; our heap is a
+//! contiguous array of 64-bit words, so an address is simply an index into
+//! that array.  Hardware-transaction conflict detection happens at the
+//! granularity of a cache line, which for a 64-byte line holds
+//! [`LINE_WORDS`] = 8 words.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of 64-bit words per simulated cache line (64-byte lines).
+pub const LINE_WORDS: usize = 8;
+
+/// The null address.  Word 0 of the heap is reserved and never handed out by
+/// the allocator, so `Addr::NULL` can be used as a sentinel.
+pub const NULL_ADDR: Addr = Addr(0);
+
+/// A word address inside a [`crate::heap::TmHeap`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Addr(pub usize);
+
+impl Addr {
+    /// The reserved null address.
+    pub const NULL: Addr = NULL_ADDR;
+
+    /// Returns the raw word index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the simulated cache line this word belongs to.
+    #[inline]
+    pub fn line(self) -> LineId {
+        LineId(self.0 / LINE_WORDS)
+    }
+
+    /// Returns the address `offset` words after this one.
+    #[inline]
+    pub fn offset(self, offset: usize) -> Addr {
+        Addr(self.0 + offset)
+    }
+
+    /// True if this is the reserved null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifier of a simulated cache line (used by the HTM simulator's conflict
+/// detection and capacity accounting).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct LineId(pub usize);
+
+impl LineId {
+    /// Returns the first word address of this line.
+    #[inline]
+    pub fn first_word(self) -> Addr {
+        Addr(self.0 * LINE_WORDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_word_zero() {
+        assert!(Addr::NULL.is_null());
+        assert_eq!(Addr::NULL.index(), 0);
+        assert!(!Addr(1).is_null());
+    }
+
+    #[test]
+    fn line_mapping_groups_adjacent_words() {
+        assert_eq!(Addr(0).line(), Addr(LINE_WORDS - 1).line());
+        assert_ne!(Addr(0).line(), Addr(LINE_WORDS).line());
+        assert_eq!(Addr(LINE_WORDS * 3 + 2).line(), LineId(3));
+    }
+
+    #[test]
+    fn line_first_word_round_trips() {
+        for i in 0..64 {
+            let a = Addr(i);
+            let line = a.line();
+            assert!(line.first_word().index() <= a.index());
+            assert!(a.index() < line.first_word().index() + LINE_WORDS);
+        }
+    }
+
+    #[test]
+    fn offset_advances_index() {
+        assert_eq!(Addr(10).offset(5), Addr(15));
+        assert_eq!(Addr(10).offset(0), Addr(10));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", Addr(42)), "@42");
+    }
+}

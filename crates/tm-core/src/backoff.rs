@@ -1,0 +1,136 @@
+//! Randomized exponential backoff between aborted transaction attempts.
+
+use crate::config::BackoffConfig;
+
+/// Per-transaction backoff state.
+///
+/// Spins (with `spin_loop` hints) for a randomized, exponentially growing
+/// number of iterations after each abort, and starts yielding the CPU once
+/// the abort count passes `yield_after` — which matters in the paper's
+/// oversubscribed configurations where threads outnumber cores.
+#[derive(Debug)]
+pub struct Backoff {
+    config: BackoffConfig,
+    attempts: u32,
+    rng: XorShift64,
+}
+
+impl Backoff {
+    /// Creates backoff state; `seed` only needs to differ across threads.
+    pub fn new(config: BackoffConfig, seed: u64) -> Self {
+        Backoff {
+            config,
+            attempts: 0,
+            rng: XorShift64::new(seed),
+        }
+    }
+
+    /// Number of aborts observed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Resets the state after a successful commit.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+
+    /// Records an abort and waits an appropriate amount of time.
+    pub fn abort_and_wait(&mut self) {
+        self.attempts += 1;
+        if self.attempts >= self.config.yield_after {
+            std::thread::yield_now();
+            return;
+        }
+        let exp = self.attempts.min(16);
+        let ceiling = (self.config.min_spins.saturating_mul(1 << exp)).min(self.config.max_spins);
+        let spins = if ceiling <= 1 { 1 } else { (self.rng.next() % ceiling as u64) as u32 + 1 };
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A tiny xorshift PRNG so `tm-core` does not need the `rand` crate on the
+/// transaction hot path.
+#[derive(Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Returns the next pseudo-random value.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut g = XorShift64::new(0);
+        assert_ne!(g.next(), 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..32).filter(|_| a.next() == b.next()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn backoff_counts_attempts_and_resets() {
+        let mut b = Backoff::new(BackoffConfig::default(), 3);
+        assert_eq!(b.attempts(), 0);
+        b.abort_and_wait();
+        b.abort_and_wait();
+        assert_eq!(b.attempts(), 2);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+    }
+
+    #[test]
+    fn backoff_survives_many_aborts() {
+        let mut b = Backoff::new(
+            BackoffConfig {
+                min_spins: 1,
+                max_spins: 8,
+                yield_after: 3,
+            },
+            99,
+        );
+        for _ in 0..50 {
+            b.abort_and_wait();
+        }
+        assert_eq!(b.attempts(), 50);
+    }
+}

@@ -1,0 +1,151 @@
+//! Configuration for a transactional-memory system instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated best-effort HTM (see the `htm-sim` crate).
+///
+/// The defaults approximate Intel TSX on a Haswell-class part as used in the
+/// paper's evaluation: L1-bounded write capacity, larger read capacity, and a
+/// GCC-libitm-style policy of two speculative attempts before taking the
+/// serial fallback lock.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HtmConfig {
+    /// Maximum distinct cache lines a hardware transaction may read.
+    pub max_read_lines: usize,
+    /// Maximum distinct cache lines a hardware transaction may write.
+    pub max_write_lines: usize,
+    /// Speculative attempts before falling back to the serial lock
+    /// (GCC suspends concurrency "after a transaction aborts twice").
+    pub max_attempts: u32,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        HtmConfig {
+            max_read_lines: 512,
+            max_write_lines: 64,
+            max_attempts: 2,
+        }
+    }
+}
+
+/// Configuration of the randomized exponential backoff used between aborted
+/// attempts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffConfig {
+    /// Minimum spin iterations after the first abort.
+    pub min_spins: u32,
+    /// Cap on spin iterations.
+    pub max_spins: u32,
+    /// Number of consecutive aborts after which the thread yields the CPU
+    /// instead of spinning (important when threads outnumber cores, as in
+    /// the paper's oversubscribed configurations).
+    pub yield_after: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            min_spins: 16,
+            max_spins: 4096,
+            yield_after: 6,
+        }
+    }
+}
+
+/// Configuration for a [`crate::system::TmSystem`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TmConfig {
+    /// Number of 64-bit words in the transactional heap.
+    pub heap_words: usize,
+    /// Number of ownership records (rounded up to a power of two).
+    pub orec_count: usize,
+    /// Whether committing writers quiesce to provide privatization safety
+    /// (the paper's STMs are privatization-safe variants).
+    pub quiescence: bool,
+    /// Hardware-TM simulation parameters.
+    pub htm: HtmConfig,
+    /// Backoff parameters.
+    pub backoff: BackoffConfig,
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        TmConfig {
+            heap_words: 1 << 20,
+            orec_count: 1 << 16,
+            quiescence: true,
+            htm: HtmConfig::default(),
+            backoff: BackoffConfig::default(),
+        }
+    }
+}
+
+impl TmConfig {
+    /// A small configuration for unit tests (fast to allocate).
+    pub fn small() -> Self {
+        TmConfig {
+            heap_words: 1 << 12,
+            orec_count: 1 << 8,
+            quiescence: true,
+            htm: HtmConfig::default(),
+            backoff: BackoffConfig::default(),
+        }
+    }
+
+    /// Disables privatization-safety quiescence (used by some benchmarks to
+    /// isolate its cost).
+    pub fn without_quiescence(mut self) -> Self {
+        self.quiescence = false;
+        self
+    }
+
+    /// Overrides the HTM parameters.
+    pub fn with_htm(mut self, htm: HtmConfig) -> Self {
+        self.htm = htm;
+        self
+    }
+
+    /// Overrides the heap size.
+    pub fn with_heap_words(mut self, words: usize) -> Self {
+        self.heap_words = words;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_reasonable() {
+        let c = TmConfig::default();
+        assert!(c.heap_words >= 1 << 16);
+        assert!(c.orec_count.is_power_of_two() || c.orec_count > 0);
+        assert!(c.quiescence);
+        assert_eq!(c.htm.max_attempts, 2);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = TmConfig::small()
+            .without_quiescence()
+            .with_heap_words(100)
+            .with_htm(HtmConfig {
+                max_read_lines: 8,
+                max_write_lines: 4,
+                max_attempts: 1,
+            });
+        assert!(!c.quiescence);
+        assert_eq!(c.heap_words, 100);
+        assert_eq!(c.htm.max_write_lines, 4);
+    }
+
+    #[test]
+    fn config_debug_is_descriptive() {
+        let c = TmConfig::small();
+        let d = format!("{c:?}");
+        assert!(d.contains("heap_words"));
+        assert!(d.contains("max_attempts"));
+    }
+}

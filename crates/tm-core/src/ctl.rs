@@ -1,0 +1,214 @@
+//! Transaction control flow: abort reasons, deschedule requests, and wait
+//! conditions.
+//!
+//! Transaction bodies are closures returning [`TxResult`].  Returning
+//! `Err(TxCtl::…)` unwinds to the runtime's driver loop, which rolls the
+//! transaction back and then acts on the control request: re-execute
+//! (abort), switch execution mode (HTM → software), or deschedule the
+//! thread via the condition-synchronization layer.
+//!
+//! This mirrors the paper's structure: `Retry`, `Await` and `WaitPred` all
+//! reduce to a rollback followed by `Deschedule(f, p)` (Algorithm 4), where
+//! `f(p)` is a predicate over shared state that decides whether the thread
+//! should wake.
+
+use crate::addr::Addr;
+use crate::tx::Tx;
+
+/// Why a transaction attempt failed and must be re-executed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AbortReason {
+    /// A read observed a locked or too-new ownership record.
+    ReadConflict,
+    /// A write could not acquire an ownership record.
+    WriteConflict,
+    /// Commit-time validation of the read set failed.
+    CommitValidation,
+    /// The (simulated) hardware transaction was doomed by a conflicting
+    /// access from another processor.
+    HwConflict,
+    /// The (simulated) hardware transaction overflowed its read or write
+    /// capacity.
+    HwCapacity,
+    /// The fallback lock was acquired by another thread while a hardware
+    /// transaction was in flight.
+    HwFallbackLock,
+    /// The program requested an explicit abort with an 8-bit code
+    /// (Intel `xabort`-style); used by the `Restart` baseline and by the
+    /// WaitPred fast path discussed in §2.2.6.
+    Explicit(u8),
+    /// The heap allocator was exhausted inside a transaction.
+    OutOfMemory,
+}
+
+impl AbortReason {
+    /// True for aborts caused by data conflicts (as opposed to explicit or
+    /// capacity aborts).
+    pub fn is_conflict(self) -> bool {
+        matches!(
+            self,
+            AbortReason::ReadConflict
+                | AbortReason::WriteConflict
+                | AbortReason::CommitValidation
+                | AbortReason::HwConflict
+        )
+    }
+}
+
+/// A control-flow request propagated out of a transaction body.
+#[derive(Clone, Debug)]
+pub enum TxCtl {
+    /// Roll back and re-execute the transaction.
+    Abort(AbortReason),
+    /// Roll back, publish a wait condition, and put the thread to sleep until
+    /// a later writer establishes that re-execution may be worthwhile
+    /// (the paper's `Deschedule`).
+    Deschedule(WaitSpec),
+    /// The transaction is running in hardware and needs a facility hardware
+    /// cannot provide (escape actions for descheduling, value logging for
+    /// `Retry`); roll back and re-execute in a software mode.
+    SwitchToSoftware,
+    /// The transaction must re-execute serially (irrevocably), e.g. a
+    /// hardware transaction that exhausted its retry budget.
+    BecomeSerial,
+}
+
+/// Result type used by transaction bodies and instrumentation.
+pub type TxResult<T> = Result<T, TxCtl>;
+
+/// A user-supplied wake-up predicate: evaluated transactionally over shared
+/// state, with the arguments the waiter marshalled into its wait record.
+///
+/// Returning `Ok(true)` means "the waiter should (re)run".
+pub type PredFn = fn(&mut dyn Tx, &[u64]) -> TxResult<bool>;
+
+/// What a descheduling transaction asks to wait for.
+///
+/// The runtime's rollback path converts a `WaitSpec` into a concrete
+/// [`WaitCondition`] (reading memory where necessary) before handing it to
+/// the condition-synchronization layer.
+#[derive(Clone, Debug)]
+pub enum WaitSpec {
+    /// Wait until some location in the transaction's logged read set changes
+    /// value (`Retry`, Algorithm 5).  The value log lives in
+    /// [`crate::tx::TxCommon::waitset`].
+    ReadSetValues,
+    /// Wait until one of the given addresses changes value (`Await`,
+    /// Algorithm 6).  The runtime captures the pre-transaction values of
+    /// these addresses *after* rolling back writes, while still holding its
+    /// locks, so the captured snapshot is consistent with the aborted
+    /// transaction's view.
+    Addrs(Vec<Addr>),
+    /// Wait until the predicate returns true (`WaitPred`, Algorithm 7).
+    Pred {
+        /// The predicate function.
+        f: PredFn,
+        /// Arguments marshalled by value into the wait record (the paper
+        /// cannot reference transactionally-written objects because those
+        /// writes are undone).
+        args: Vec<u64>,
+    },
+    /// Wait according to the *original* Retry mechanism (Algorithm 1): the
+    /// waiter publishes the ownership records covering its read set and is
+    /// woken by any committing writer whose lock set intersects it.
+    ///
+    /// Only the software runtimes support this; it exists as the
+    /// `Retry-Orig` baseline the paper compares against.
+    OrigReadLocks,
+}
+
+impl WaitSpec {
+    /// A short human-readable label for statistics and tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WaitSpec::ReadSetValues => "retry",
+            WaitSpec::Addrs(_) => "await",
+            WaitSpec::Pred { .. } => "waitpred",
+            WaitSpec::OrigReadLocks => "retry-orig",
+        }
+    }
+}
+
+/// The materialised condition a sleeping thread waits on.
+///
+/// Writers evaluate this after they commit (`wakeWaiters`, Algorithm 4), as
+/// an ordinary read-only transaction over shared memory — which is what makes
+/// the mechanism HTM-friendly.
+#[derive(Clone, Debug)]
+pub enum WaitCondition {
+    /// Wake when any `(addr, value)` pair no longer matches memory
+    /// (`findChanges`, Algorithm 5).  Immune to silent stores: rewriting the
+    /// same value does not wake the waiter.
+    ValuesChanged(Vec<(Addr, u64)>),
+    /// Wake when the predicate evaluates to true.
+    Pred {
+        /// The predicate function.
+        f: PredFn,
+        /// Arguments captured at deschedule time.
+        args: Vec<u64>,
+    },
+}
+
+impl WaitCondition {
+    /// Evaluates the condition inside the given transaction; `Ok(true)` means
+    /// the waiter should be woken.
+    pub fn should_wake(&self, tx: &mut dyn Tx) -> TxResult<bool> {
+        match self {
+            WaitCondition::ValuesChanged(pairs) => {
+                for &(addr, val) in pairs {
+                    if tx.read(addr)? != val {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            WaitCondition::Pred { f, args } => f(tx, args),
+        }
+    }
+
+    /// A short human-readable label for statistics and tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WaitCondition::ValuesChanged(_) => "values",
+            WaitCondition::Pred { .. } => "pred",
+        }
+    }
+
+    /// Number of locations / arguments tracked (used by the ablation bench).
+    pub fn tracked(&self) -> usize {
+        match self {
+            WaitCondition::ValuesChanged(pairs) => pairs.len(),
+            WaitCondition::Pred { args, .. } => args.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_classification() {
+        assert!(AbortReason::ReadConflict.is_conflict());
+        assert!(AbortReason::CommitValidation.is_conflict());
+        assert!(!AbortReason::Explicit(3).is_conflict());
+        assert!(!AbortReason::HwCapacity.is_conflict());
+    }
+
+    #[test]
+    fn waitspec_kinds() {
+        assert_eq!(WaitSpec::ReadSetValues.kind(), "retry");
+        assert_eq!(WaitSpec::Addrs(vec![]).kind(), "await");
+        fn p(_: &mut dyn Tx, _: &[u64]) -> TxResult<bool> {
+            Ok(true)
+        }
+        assert_eq!(WaitSpec::Pred { f: p, args: vec![] }.kind(), "waitpred");
+    }
+
+    #[test]
+    fn waitcondition_tracked_counts() {
+        let c = WaitCondition::ValuesChanged(vec![(Addr(1), 0), (Addr(2), 5)]);
+        assert_eq!(c.tracked(), 2);
+        assert_eq!(c.kind(), "values");
+    }
+}

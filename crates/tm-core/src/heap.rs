@@ -1,0 +1,264 @@
+//! The word-addressable transactional heap.
+//!
+//! The paper's mechanisms instrument loads and stores of ordinary C memory.
+//! Our stand-in is a contiguous array of `AtomicU64` words: transactional
+//! reads and writes go through the runtime instrumentation, while the atomics
+//! keep the eager runtime's racy in-place updates well defined in Rust.
+//!
+//! The heap also provides a small first-fit allocator so that transactions
+//! can `malloc`/`free` words (Appendix A defers reclamation until commit and
+//! undoes allocation on abort; the runtimes implement that policy on top of
+//! these primitives).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::addr::Addr;
+
+/// A contiguous, word-addressable shared heap.
+#[derive(Debug)]
+pub struct TmHeap {
+    words: Box<[AtomicU64]>,
+    alloc: Mutex<Allocator>,
+}
+
+impl TmHeap {
+    /// Creates a heap with `words` 64-bit words, all initialised to zero.
+    ///
+    /// Word 0 is reserved as the null address and never handed out.
+    pub fn new(words: usize) -> Self {
+        assert!(words >= 2, "heap must have at least two words");
+        let cells = (0..words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        TmHeap {
+            words: cells.into_boxed_slice(),
+            alloc: Mutex::new(Allocator::new(words)),
+        }
+    }
+
+    /// Number of words in the heap.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the heap has no words (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `addr` directly (no transactional instrumentation).
+    #[inline]
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words[addr.0].load(Ordering::Acquire)
+    }
+
+    /// Writes the word at `addr` directly (no transactional instrumentation).
+    #[inline]
+    pub fn store(&self, addr: Addr, val: u64) {
+        self.words[addr.0].store(val, Ordering::Release);
+    }
+
+    /// Atomically compare-and-swaps the word at `addr`.
+    ///
+    /// Used by non-transactional setup code and by the HTM simulator's
+    /// commit path.
+    #[inline]
+    pub fn cas(&self, addr: Addr, old: u64, new: u64) -> bool {
+        self.words[addr.0]
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Allocates `words` contiguous words, returning the base address, or
+    /// `None` if the heap is exhausted.
+    pub fn alloc(&self, words: usize) -> Option<Addr> {
+        if words == 0 {
+            return Some(Addr::NULL);
+        }
+        let addr = self.alloc.lock().alloc(words)?;
+        // Freshly allocated memory is zeroed, mirroring calloc semantics and
+        // preventing stale values from leaking between allocations.
+        for i in 0..words {
+            self.store(Addr(addr.0 + i), 0);
+        }
+        Some(addr)
+    }
+
+    /// Returns `words` words starting at `addr` to the allocator.
+    pub fn dealloc(&self, addr: Addr, words: usize) {
+        if words == 0 || addr.is_null() {
+            return;
+        }
+        self.alloc.lock().dealloc(addr, words);
+    }
+
+    /// Number of words currently handed out by the allocator (for tests and
+    /// leak detection).
+    pub fn allocated_words(&self) -> usize {
+        self.alloc.lock().allocated
+    }
+}
+
+/// A minimal first-fit allocator over the heap's word space.
+#[derive(Debug)]
+struct Allocator {
+    /// Free regions as (start, length), kept sorted by start address.
+    free: Vec<(usize, usize)>,
+    allocated: usize,
+}
+
+impl Allocator {
+    fn new(total_words: usize) -> Self {
+        // Word 0 is reserved for the null address.
+        Allocator {
+            free: vec![(1, total_words - 1)],
+            allocated: 0,
+        }
+    }
+
+    fn alloc(&mut self, words: usize) -> Option<Addr> {
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            if len >= words {
+                if len == words {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (start + words, len - words);
+                }
+                self.allocated += words;
+                return Some(Addr(start));
+            }
+        }
+        None
+    }
+
+    fn dealloc(&mut self, addr: Addr, words: usize) {
+        self.allocated = self.allocated.saturating_sub(words);
+        let pos = self
+            .free
+            .binary_search_by_key(&addr.0, |&(s, _)| s)
+            .unwrap_or_else(|p| p);
+        self.free.insert(pos, (addr.0, words));
+        self.coalesce();
+    }
+
+    fn coalesce(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.free.len() {
+            let (s0, l0) = self.free[i];
+            let (s1, l1) = self.free[i + 1];
+            if s0 + l0 >= s1 {
+                let end = (s0 + l0).max(s1 + l1);
+                self.free[i] = (s0, end - s0);
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_round_trip() {
+        let h = TmHeap::new(64);
+        h.store(Addr(3), 0xdead_beef);
+        assert_eq!(h.load(Addr(3)), 0xdead_beef);
+        assert_eq!(h.load(Addr(4)), 0);
+    }
+
+    #[test]
+    fn cas_succeeds_only_with_expected_value() {
+        let h = TmHeap::new(16);
+        h.store(Addr(1), 10);
+        assert!(h.cas(Addr(1), 10, 20));
+        assert!(!h.cas(Addr(1), 10, 30));
+        assert_eq!(h.load(Addr(1)), 20);
+    }
+
+    #[test]
+    fn alloc_never_returns_null_word() {
+        let h = TmHeap::new(128);
+        for _ in 0..10 {
+            let a = h.alloc(4).unwrap();
+            assert!(!a.is_null());
+        }
+    }
+
+    #[test]
+    fn alloc_zero_words_is_null() {
+        let h = TmHeap::new(16);
+        assert_eq!(h.alloc(0), Some(Addr::NULL));
+    }
+
+    #[test]
+    fn alloc_returns_zeroed_memory() {
+        let h = TmHeap::new(64);
+        let a = h.alloc(8).unwrap();
+        for i in 0..8 {
+            h.store(a.offset(i), 7);
+        }
+        h.dealloc(a, 8);
+        let b = h.alloc(8).unwrap();
+        for i in 0..8 {
+            assert_eq!(h.load(b.offset(i)), 0, "reallocated memory must be zeroed");
+        }
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none() {
+        let h = TmHeap::new(16);
+        assert!(h.alloc(32).is_none());
+        assert!(h.alloc(15).is_some());
+        assert!(h.alloc(1).is_none());
+    }
+
+    #[test]
+    fn dealloc_coalesces_and_allows_reuse() {
+        let h = TmHeap::new(64);
+        let a = h.alloc(16).unwrap();
+        let b = h.alloc(16).unwrap();
+        let c = h.alloc(16).unwrap();
+        h.dealloc(a, 16);
+        h.dealloc(c, 16);
+        h.dealloc(b, 16);
+        // After freeing everything the full region is available again.
+        let big = h.alloc(60).unwrap();
+        assert!(!big.is_null());
+    }
+
+    #[test]
+    fn allocated_words_tracks_outstanding_allocations() {
+        let h = TmHeap::new(128);
+        assert_eq!(h.allocated_words(), 0);
+        let a = h.alloc(10).unwrap();
+        assert_eq!(h.allocated_words(), 10);
+        h.dealloc(a, 10);
+        assert_eq!(h.allocated_words(), 0);
+    }
+
+    #[test]
+    fn concurrent_allocations_do_not_overlap() {
+        use std::sync::Arc;
+        let h = Arc::new(TmHeap::new(4096));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|_| h.alloc(8).unwrap()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|x| x.join().unwrap())
+            .map(|a| a.0)
+            .collect();
+        all.sort_unstable();
+        for w in all.windows(2) {
+            assert!(w[1] - w[0] >= 8, "allocations overlap: {} {}", w[0], w[1]);
+        }
+    }
+}

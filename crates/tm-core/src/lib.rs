@@ -1,0 +1,64 @@
+//! Shared substrate for the transactional-memory condition-synchronization
+//! reproduction.
+//!
+//! This crate contains everything the three transaction runtimes
+//! ([`stm-eager`], [`stm-lazy`], [`htm-sim`]) and the condition-synchronization
+//! layer ([`condsync`]) have in common:
+//!
+//! * a word-addressable transactional heap ([`heap::TmHeap`]) with a simple
+//!   allocator, standing in for the raw C memory the paper instruments,
+//! * a table of ownership records ([`orec::OrecTable`]) hashed from addresses,
+//!   exactly as in the paper's Appendix A,
+//! * the global version clock ([`clock::GlobalClock`]),
+//! * the object-safe transaction handle trait ([`tx::Tx`]) plus the common
+//!   per-transaction metadata ([`tx::TxCommon`]) used by `Retry`'s value
+//!   logging,
+//! * control-flow types for aborts and descheduling ([`ctl`]),
+//! * the thread registry, statistics and quiescence support ([`thread`],
+//!   [`stats`]),
+//! * the waiter registry and semaphore used by the `Deschedule` mechanism
+//!   ([`waiter`], [`sem`]),
+//! * typed views over heap words ([`vars::TmVar`], [`vars::TmArray`]).
+//!
+//! The paper's algorithms are implemented on top of these pieces; see the
+//! `condsync` crate for the contribution (Deschedule / Retry / Await /
+//! WaitPred) and the runtime crates for Appendix A and the TL2/TSX analogues.
+//!
+//! [`stm-eager`]: ../stm_eager/index.html
+//! [`stm-lazy`]: ../stm_lazy/index.html
+//! [`htm-sim`]: ../htm_sim/index.html
+//! [`condsync`]: ../condsync/index.html
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod backoff;
+pub mod clock;
+pub mod config;
+pub mod ctl;
+pub mod heap;
+pub mod orec;
+pub mod runtime;
+pub mod sem;
+pub mod stats;
+pub mod system;
+pub mod thread;
+pub mod tx;
+pub mod vars;
+pub mod waiter;
+
+pub use addr::{Addr, LineId, LINE_WORDS};
+pub use clock::GlobalClock;
+pub use config::{BackoffConfig, HtmConfig, TmConfig};
+pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
+pub use heap::TmHeap;
+pub use orec::{OrecTable, OrecValue};
+pub use runtime::{TmRt, TmRuntime};
+pub use sem::Semaphore;
+pub use stats::{StatsSnapshot, TxStats};
+pub use system::TmSystem;
+pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};
+pub use tx::{Tx, TxCommon, TxMode};
+pub use vars::{TmArray, TmValue, TmVar};
+pub use waiter::{Waiter, WaiterRegistry};

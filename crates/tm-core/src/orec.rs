@@ -1,0 +1,249 @@
+//! Ownership records ("orecs"): the per-stripe lock/version words used by the
+//! software runtimes.
+//!
+//! Every heap address hashes to one entry in a fixed-size table of ownership
+//! records, as in TinySTM and the paper's Appendix A.  An orec is a single
+//! 64-bit word packing:
+//!
+//! ```text
+//!   bit 0        : locked flag
+//!   bits 1..16   : owner thread id + 1 (meaningful only while locked)
+//!   bits 16..64  : version (the global-clock value of the last unlock)
+//! ```
+//!
+//! The paper's `Lock` object has fields `locked`, `owner` and `version`
+//! (Algorithm 8); packing them into one word lets us read all fields
+//! atomically and update them with a single compare-and-swap, which the
+//! pseudocode assumes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::addr::Addr;
+use crate::thread::ThreadId;
+
+const LOCK_BIT: u64 = 1;
+const OWNER_SHIFT: u32 = 1;
+const OWNER_BITS: u32 = 15;
+const OWNER_MASK: u64 = ((1u64 << OWNER_BITS) - 1) << OWNER_SHIFT;
+const VERSION_SHIFT: u32 = 16;
+
+/// Maximum number of threads an orec can name as owner.
+pub const MAX_THREADS: usize = (1 << OWNER_BITS) - 2;
+
+/// A decoded ownership-record value (the paper's `Lock` object).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OrecValue(u64);
+
+impl OrecValue {
+    /// An unlocked orec with the given version (time of last unlock).
+    #[inline]
+    pub fn unlocked(version: u64) -> Self {
+        OrecValue(version << VERSION_SHIFT)
+    }
+
+    /// A locked orec owned by `owner`, preserving `version` from before the
+    /// acquisition so it can be restored (incremented) on abort.
+    #[inline]
+    pub fn locked(version: u64, owner: ThreadId) -> Self {
+        debug_assert!(owner < MAX_THREADS);
+        OrecValue((version << VERSION_SHIFT) | (((owner as u64 + 1) << OWNER_SHIFT) & OWNER_MASK) | LOCK_BIT)
+    }
+
+    /// Reconstructs an orec value from its raw packed form.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        OrecValue(raw)
+    }
+
+    /// Returns the raw packed form.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// True if some transaction currently holds this orec.
+    #[inline]
+    pub fn is_locked(self) -> bool {
+        self.0 & LOCK_BIT != 0
+    }
+
+    /// The version (global-clock value at last unlock).
+    #[inline]
+    pub fn version(self) -> u64 {
+        self.0 >> VERSION_SHIFT
+    }
+
+    /// The owning thread, if locked.
+    #[inline]
+    pub fn owner(self) -> Option<ThreadId> {
+        if self.is_locked() {
+            Some((((self.0 & OWNER_MASK) >> OWNER_SHIFT) - 1) as ThreadId)
+        } else {
+            None
+        }
+    }
+
+    /// True if this orec is locked by `tid`.
+    #[inline]
+    pub fn is_locked_by(self, tid: ThreadId) -> bool {
+        self.owner() == Some(tid)
+    }
+}
+
+/// The global table of ownership records, indexed by a hash of the address.
+#[derive(Debug)]
+pub struct OrecTable {
+    orecs: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+impl OrecTable {
+    /// Creates a table with `size` entries; `size` is rounded up to a power of
+    /// two so indexing can use a mask.
+    pub fn new(size: usize) -> Self {
+        let size = size.next_power_of_two().max(2);
+        let orecs = (0..size).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        OrecTable {
+            orecs: orecs.into_boxed_slice(),
+            mask: size - 1,
+        }
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.orecs.len()
+    }
+
+    /// True if the table has no entries (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.orecs.is_empty()
+    }
+
+    /// Maps an address to its orec index (`hash(addr)` in the paper).
+    ///
+    /// Uses a Fibonacci multiplicative hash so that adjacent words spread
+    /// across the table, reducing false conflicts between unrelated objects.
+    #[inline]
+    pub fn index_for(&self, addr: Addr) -> usize {
+        // 2^64 / golden ratio, the usual Fibonacci hashing constant.
+        const K: u64 = 0x9E37_79B9_7F4A_7C15;
+        ((addr.0 as u64).wrapping_mul(K) >> 32) as usize & self.mask
+    }
+
+    /// Atomically reads the orec for `addr`.
+    #[inline]
+    pub fn load_for(&self, addr: Addr) -> OrecValue {
+        self.load(self.index_for(addr))
+    }
+
+    /// Atomically reads the orec at table index `idx`.
+    #[inline]
+    pub fn load(&self, idx: usize) -> OrecValue {
+        OrecValue(self.orecs[idx].load(Ordering::Acquire))
+    }
+
+    /// Attempts to atomically transition the orec at `idx` from `old` to
+    /// `new`; returns `true` on success.
+    #[inline]
+    pub fn cas(&self, idx: usize, old: OrecValue, new: OrecValue) -> bool {
+        self.orecs[idx]
+            .compare_exchange(old.0, new.0, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Unconditionally stores a new orec value at `idx`.
+    ///
+    /// Only the lock owner may do this (release on commit/abort).
+    #[inline]
+    pub fn store(&self, idx: usize, val: OrecValue) {
+        self.orecs[idx].store(val.0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_unlocked() {
+        let v = OrecValue::unlocked(12345);
+        assert!(!v.is_locked());
+        assert_eq!(v.version(), 12345);
+        assert_eq!(v.owner(), None);
+    }
+
+    #[test]
+    fn pack_unpack_locked() {
+        let v = OrecValue::locked(777, 9);
+        assert!(v.is_locked());
+        assert_eq!(v.version(), 777);
+        assert_eq!(v.owner(), Some(9));
+        assert!(v.is_locked_by(9));
+        assert!(!v.is_locked_by(8));
+    }
+
+    #[test]
+    fn owner_zero_is_distinguishable_from_unlocked() {
+        let v = OrecValue::locked(0, 0);
+        assert!(v.is_locked());
+        assert_eq!(v.owner(), Some(0));
+        let u = OrecValue::unlocked(0);
+        assert_ne!(v, u);
+    }
+
+    #[test]
+    fn table_size_rounds_to_power_of_two() {
+        assert_eq!(OrecTable::new(1000).len(), 1024);
+        assert_eq!(OrecTable::new(1024).len(), 1024);
+        assert_eq!(OrecTable::new(1).len(), 2);
+    }
+
+    #[test]
+    fn index_is_stable_and_in_range() {
+        let t = OrecTable::new(4096);
+        for i in 0..10_000 {
+            let a = Addr(i);
+            let idx = t.index_for(a);
+            assert!(idx < t.len());
+            assert_eq!(idx, t.index_for(a), "hash must be deterministic");
+        }
+    }
+
+    #[test]
+    fn adjacent_words_usually_map_to_distinct_orecs() {
+        let t = OrecTable::new(4096);
+        let mut distinct = 0;
+        for i in 0..1000 {
+            if t.index_for(Addr(i)) != t.index_for(Addr(i + 1)) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 900, "hashing should spread adjacent words");
+    }
+
+    #[test]
+    fn cas_acquire_release_cycle() {
+        let t = OrecTable::new(16);
+        let idx = t.index_for(Addr(5));
+        let before = t.load(idx);
+        assert!(!before.is_locked());
+        let locked = OrecValue::locked(before.version(), 3);
+        assert!(t.cas(idx, before, locked));
+        assert!(t.load(idx).is_locked_by(3));
+        // A second acquisition attempt with the stale snapshot fails.
+        assert!(!t.cas(idx, before, OrecValue::locked(before.version(), 4)));
+        // Release at a new version.
+        t.store(idx, OrecValue::unlocked(42));
+        assert_eq!(t.load(idx).version(), 42);
+        assert!(!t.load(idx).is_locked());
+    }
+
+    #[test]
+    fn version_survives_large_clock_values() {
+        let v = OrecValue::unlocked(1 << 40);
+        assert_eq!(v.version(), 1 << 40);
+        let l = OrecValue::locked(1 << 40, 100);
+        assert_eq!(l.version(), 1 << 40);
+        assert_eq!(l.owner(), Some(100));
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime traits: how workloads execute transactions.
+//!
+//! [`TmRuntime`] is object-safe and is what the condition-synchronization
+//! layer uses (it must start read-only transactions for the `Deschedule`
+//! double-check and for `wakeWaiters` without knowing which runtime it is
+//! running on).  [`TmRt`] adds the ergonomic generic `atomically` entry
+//! point used by data structures and workloads.
+
+use std::sync::Arc;
+
+use crate::ctl::TxResult;
+use crate::system::TmSystem;
+use crate::thread::ThreadCtx;
+use crate::tx::Tx;
+
+/// Object-safe view of a transaction runtime.
+pub trait TmRuntime: Send + Sync {
+    /// The system this runtime executes against.
+    fn system(&self) -> &Arc<TmSystem>;
+
+    /// Short name used in benchmark output (`"eager-stm"`, `"lazy-stm"`,
+    /// `"htm"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs a transaction body to completion, re-executing it as needed, and
+    /// returns the body's value encoded as a `u64`.
+    fn exec_u64(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+    ) -> u64;
+
+    /// Runs a read-only transaction returning a boolean.
+    ///
+    /// Used by `Deschedule`'s post-rollback double-check and by
+    /// `wakeWaiters`; on the HTM runtime this should be attempted in
+    /// hardware, falling back as necessary.
+    fn exec_bool(
+        &self,
+        thread: &Arc<ThreadCtx>,
+        body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
+    ) -> bool {
+        self.exec_u64(thread, &mut |tx| body(tx).map(u64::from)) != 0
+    }
+}
+
+/// Ergonomic, generic transaction execution.
+///
+/// Not object-safe; workloads that need to be generic over the runtime take
+/// `R: TmRt` as a type parameter, while the condition-synchronization layer
+/// sticks to `&dyn TmRuntime`.
+pub trait TmRt: TmRuntime {
+    /// Runs `body` as a transaction, re-executing it until it commits, and
+    /// returns its result.
+    fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TmConfig;
+
+    /// A trivially sequential runtime used to exercise the default method.
+    struct DirectRuntime {
+        system: Arc<TmSystem>,
+    }
+
+    struct DirectTx {
+        common: crate::tx::TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for DirectTx {
+        fn read(&mut self, addr: crate::addr::Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: crate::addr::Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<crate::addr::Addr> {
+            self.system
+                .heap
+                .alloc(words)
+                .ok_or(crate::ctl::TxCtl::Abort(crate::ctl::AbortReason::OutOfMemory))
+        }
+        fn free(&mut self, addr: crate::addr::Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> crate::ctl::TxCtl {
+            crate::ctl::TxCtl::Abort(crate::ctl::AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &crate::tx::TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut crate::tx::TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    impl TmRuntime for DirectRuntime {
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+        fn name(&self) -> &'static str {
+            "direct"
+        }
+        fn exec_u64(
+            &self,
+            thread: &Arc<ThreadCtx>,
+            body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+        ) -> u64 {
+            let mut tx = DirectTx {
+                common: crate::tx::TxCommon::new(Arc::clone(thread), crate::tx::TxMode::Serial, 0),
+                system: Arc::clone(&self.system),
+            };
+            body(&mut tx).expect("direct runtime cannot abort")
+        }
+    }
+
+    #[test]
+    fn exec_bool_default_goes_through_exec_u64() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let rt = DirectRuntime { system };
+        assert!(rt.exec_bool(&th, &mut |_tx| Ok(true)));
+        assert!(!rt.exec_bool(&th, &mut |_tx| Ok(false)));
+    }
+
+    #[test]
+    fn direct_runtime_reads_and_writes_heap() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let rt = DirectRuntime {
+            system: Arc::clone(&system),
+        };
+        let v = rt.exec_u64(&th, &mut |tx| {
+            tx.write(crate::addr::Addr(7), 99)?;
+            tx.read(crate::addr::Addr(7))
+        });
+        assert_eq!(v, 99);
+        assert_eq!(system.heap.load(crate::addr::Addr(7)), 99);
+    }
+}

@@ -1,0 +1,158 @@
+//! A counting semaphore used to park and wake descheduled threads.
+//!
+//! The paper uses per-thread semaphores (`sem.wait()` / `sem.signal()`,
+//! Algorithms 1 and 4).  Posting before the waiter blocks must not lose the
+//! wake-up, which a plain condition variable would; a counting semaphore has
+//! exactly the required memory.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A counting semaphore built from a mutex and a condition variable.
+#[derive(Debug, Default)]
+pub struct Semaphore {
+    count: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with an initial count of zero.
+    pub fn new() -> Self {
+        Semaphore::default()
+    }
+
+    /// Blocks until the count is positive, then decrements it.
+    pub fn wait(&self) {
+        let mut count = self.count.lock().unwrap();
+        while *count == 0 {
+            count = self.cv.wait(count).unwrap();
+        }
+        *count -= 1;
+    }
+
+    /// Like [`Semaphore::wait`], but gives up after `timeout`.
+    ///
+    /// Returns `true` if a permit was consumed.  Used defensively by stress
+    /// tests so a lost-wake-up bug fails the test instead of hanging it.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut count = self.count.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        while *count == 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, res) = self.cv.wait_timeout(count, deadline - now).unwrap();
+            count = guard;
+            if res.timed_out() && *count == 0 {
+                return false;
+            }
+        }
+        *count -= 1;
+        true
+    }
+
+    /// Increments the count and wakes one blocked waiter (the paper's
+    /// `sem.signal()`).
+    pub fn post(&self) {
+        let mut count = self.count.lock().unwrap();
+        *count += 1;
+        drop(count);
+        self.cv.notify_one();
+    }
+
+    /// Consumes a permit without blocking, if one is available.
+    pub fn try_wait(&self) -> bool {
+        let mut count = self.count.lock().unwrap();
+        if *count > 0 {
+            *count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of stored permits (for tests).
+    pub fn permits(&self) -> u64 {
+        *self.count.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn post_then_wait_does_not_block() {
+        let s = Semaphore::new();
+        s.post();
+        s.wait();
+        assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn try_wait_only_succeeds_with_permit() {
+        let s = Semaphore::new();
+        assert!(!s.try_wait());
+        s.post();
+        assert!(s.try_wait());
+        assert!(!s.try_wait());
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_post() {
+        let s = Semaphore::new();
+        assert!(!s.wait_timeout(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn wait_timeout_consumes_posted_permit() {
+        let s = Semaphore::new();
+        s.post();
+        assert!(s.wait_timeout(Duration::from_millis(20)));
+        assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn permits_accumulate() {
+        let s = Semaphore::new();
+        s.post();
+        s.post();
+        s.post();
+        assert_eq!(s.permits(), 3);
+        s.wait();
+        s.wait();
+        assert_eq!(s.permits(), 1);
+    }
+
+    #[test]
+    fn wakes_a_blocked_thread() {
+        let s = Arc::new(Semaphore::new());
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.wait();
+            42
+        });
+        // Give the waiter time to block, then wake it.
+        std::thread::sleep(Duration::from_millis(10));
+        s.post();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn many_posts_wake_many_waiters() {
+        let s = Arc::new(Semaphore::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || s.wait_timeout(Duration::from_secs(5))));
+        }
+        for _ in 0..4 {
+            s.post();
+        }
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-thread execution statistics.
+//!
+//! Every interesting event in the runtimes and the condition-synchronization
+//! layer bumps a counter here.  The workload harness aggregates snapshots
+//! across threads so the benchmark output can report abort rates, wake-up
+//! counts and fallback frequencies alongside raw execution time (useful when
+//! explaining *why* a mechanism wins, as §2.4.1 does).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! stats_fields {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live (atomic) per-thread counters.
+        #[derive(Debug, Default)]
+        pub struct TxStats {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`TxStats`], suitable for aggregation and
+        /// serialization.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct StatsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl TxStats {
+            /// Takes a consistent-enough snapshot of all counters.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Resets all counters to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Element-wise sum of two snapshots.
+            pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name + other.$name,)+
+                }
+            }
+        }
+    };
+}
+
+stats_fields! {
+    /// Software-mode transactions committed.
+    sw_commits,
+    /// Software-mode transaction attempts aborted.
+    sw_aborts,
+    /// Hardware-mode transactions committed.
+    hw_commits,
+    /// Hardware-mode transaction attempts aborted.
+    hw_aborts,
+    /// Times the serial fallback / irrevocable lock was acquired.
+    serial_acquires,
+    /// Times a transaction descheduled itself (Retry/Await/WaitPred slept).
+    descheds,
+    /// Times the Deschedule double-check found the condition already
+    /// established, avoiding a sleep.
+    desched_skips,
+    /// Times a thread actually blocked on its semaphore.
+    sleeps,
+    /// Times a committed writer woke a sleeping thread.
+    wakeups,
+    /// Wait conditions evaluated by committing writers (`wakeWaiters` work).
+    wake_checks,
+    /// Times a `Retry` transaction restarted to populate its value log.
+    retry_relogs,
+    /// Explicit aborts requested by the program (Restart baseline, xabort).
+    explicit_aborts,
+    /// Condition-variable waits (TMCondVar and Pthreads baselines).
+    condvar_waits,
+    /// Condition-variable signals/broadcasts issued.
+    condvar_signals,
+    /// Commit-time quiescence rounds executed for privatization safety.
+    quiesce_rounds,
+}
+
+impl TxStats {
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Total committed transactions (software + hardware).
+    pub fn total_commits(&self) -> u64 {
+        self.sw_commits + self.hw_commits
+    }
+
+    /// Total aborted attempts (software + hardware).
+    pub fn total_aborts(&self) -> u64 {
+        self.sw_aborts + self.hw_aborts
+    }
+
+    /// Aborts per commit; 0 when nothing committed.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.total_commits() == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / self.total_commits() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = TxStats::default();
+        TxStats::bump(&s.sw_commits);
+        TxStats::bump(&s.sw_commits);
+        TxStats::add(&s.sleeps, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.sw_commits, 2);
+        assert_eq!(snap.sleeps, 5);
+        assert_eq!(snap.hw_commits, 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = StatsSnapshot {
+            sw_commits: 3,
+            wakeups: 1,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            sw_commits: 4,
+            sleeps: 2,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.sw_commits, 7);
+        assert_eq!(m.wakeups, 1);
+        assert_eq!(m.sleeps, 2);
+    }
+
+    #[test]
+    fn ratios() {
+        let s = StatsSnapshot {
+            sw_commits: 10,
+            sw_aborts: 5,
+            hw_commits: 10,
+            hw_aborts: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.total_commits(), 20);
+        assert_eq!(s.total_aborts(), 10);
+        assert!((s.abort_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = TxStats::default();
+        TxStats::bump(&s.descheds);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

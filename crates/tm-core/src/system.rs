@@ -1,0 +1,167 @@
+//! The shared transactional-memory system instance.
+//!
+//! A [`TmSystem`] bundles everything the runtimes share: the heap, the
+//! ownership-record table, the global clock, the thread registry, and the
+//! waiter registry used by `Deschedule`.  All three runtimes (eager STM,
+//! lazy STM, HTM simulator) can be layered over the *same* system instance,
+//! which is how Hybrid-TM-style mixing would work; the evaluation uses one
+//! runtime per experiment, as the paper does.
+
+use std::sync::Arc;
+
+use crate::clock::GlobalClock;
+use crate::config::TmConfig;
+use crate::heap::TmHeap;
+use crate::orec::OrecTable;
+use crate::stats::TxStats;
+use crate::thread::{ThreadCtx, ThreadId, ThreadRegistry, NOT_IN_TX};
+use crate::waiter::WaiterRegistry;
+
+/// A complete transactional-memory system: memory, metadata, threads and
+/// waiters.
+#[derive(Debug)]
+pub struct TmSystem {
+    /// Configuration the system was built with.
+    pub config: TmConfig,
+    /// The word-addressable transactional heap.
+    pub heap: TmHeap,
+    /// Ownership records (software runtimes only; hardware transactions do
+    /// not touch them, which is the crux of the paper's compatibility
+    /// argument).
+    pub orecs: OrecTable,
+    /// The global version clock.
+    pub clock: GlobalClock,
+    /// Registry of worker threads.
+    pub threads: ThreadRegistry,
+    /// Registry of descheduled (sleeping) transactions.
+    pub waiters: WaiterRegistry,
+}
+
+impl TmSystem {
+    /// Builds a system from `config`.
+    pub fn new(config: TmConfig) -> Arc<Self> {
+        Arc::new(TmSystem {
+            heap: TmHeap::new(config.heap_words),
+            orecs: OrecTable::new(config.orec_count),
+            clock: GlobalClock::new(),
+            threads: ThreadRegistry::new(),
+            waiters: WaiterRegistry::new(),
+            config,
+        })
+    }
+
+    /// Convenience constructor with default configuration.
+    pub fn new_default() -> Arc<Self> {
+        Self::new(TmConfig::default())
+    }
+
+    /// Registers the calling thread and returns its context.
+    pub fn register_thread(&self) -> Arc<ThreadCtx> {
+        self.threads.register()
+    }
+
+    /// Privatization-safety quiescence (Appendix A, `quiesce()`):
+    /// after committing at `commit_time`, wait until no other thread is still
+    /// executing a transaction that started before that time.
+    ///
+    /// No-op when disabled in the configuration.
+    pub fn quiesce(&self, me: ThreadId, commit_time: u64) {
+        if !self.config.quiescence {
+            return;
+        }
+        let threads = self.threads.snapshot();
+        let mut any = false;
+        for t in &threads {
+            if t.id == me {
+                continue;
+            }
+            let mut spins = 0u32;
+            loop {
+                let s = t.published_start();
+                if s == NOT_IN_TX || s >= commit_time {
+                    break;
+                }
+                any = true;
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        if any {
+            if let Some(t) = threads.iter().find(|t| t.id == me) {
+                TxStats::bump(&t.stats.quiesce_rounds);
+            }
+        }
+    }
+
+    /// Aggregated statistics across all registered threads.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.threads.aggregate_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::config::TmConfig;
+
+    #[test]
+    fn construction_wires_up_components() {
+        let s = TmSystem::new(TmConfig::small());
+        assert_eq!(s.heap.len(), TmConfig::small().heap_words);
+        assert!(s.orecs.len() >= TmConfig::small().orec_count);
+        assert_eq!(s.clock.now(), 0);
+        assert!(s.waiters.is_empty());
+    }
+
+    #[test]
+    fn register_thread_assigns_ids() {
+        let s = TmSystem::new(TmConfig::small());
+        let a = s.register_thread();
+        let b = s.register_thread();
+        assert_ne!(a.id, b.id);
+        assert_eq!(s.threads.len(), 2);
+    }
+
+    #[test]
+    fn quiesce_with_no_other_threads_returns_immediately() {
+        let s = TmSystem::new(TmConfig::small());
+        let me = s.register_thread();
+        s.quiesce(me.id, 100);
+    }
+
+    #[test]
+    fn quiesce_waits_for_older_transactions() {
+        let s = TmSystem::new(TmConfig::small());
+        let me = s.register_thread();
+        let other = s.register_thread();
+        other.enter_tx(5);
+        let s2 = Arc::clone(&s);
+        let other2 = Arc::clone(&other);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            other2.exit_tx();
+            s2.heap.store(Addr(1), 1);
+        });
+        // Commit time 10 > other's start 5, so quiesce must block until the
+        // helper thread publishes its exit.
+        s.quiesce(me.id, 10);
+        assert_eq!(s.heap.load(Addr(1)), 1, "quiesce returned before the older tx finished");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn quiesce_disabled_does_not_block() {
+        let s = TmSystem::new(TmConfig::small().without_quiescence());
+        let me = s.register_thread();
+        let other = s.register_thread();
+        other.enter_tx(1);
+        // Would deadlock if quiescence were enabled, since nobody ever calls
+        // exit_tx for `other`.
+        s.quiesce(me.id, 10);
+    }
+}

@@ -1,0 +1,223 @@
+//! Thread contexts and the global thread registry.
+//!
+//! Each worker thread registers once with the [`crate::system::TmSystem`] and
+//! receives an [`ThreadCtx`] carrying its identity, statistics, the published
+//! start time used for privatization-safe quiescence, and the "doomed" flag
+//! through which the HTM simulator delivers asynchronous conflict aborts.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::sem::Semaphore;
+use crate::stats::TxStats;
+
+/// Identifier of a registered thread (dense, starting from 0).
+pub type ThreadId = usize;
+
+/// Sentinel published in [`ThreadCtx::start_time`] when the thread is not
+/// inside a transaction.
+pub const NOT_IN_TX: u64 = u64::MAX;
+
+/// Per-thread context shared between the thread itself and other threads
+/// (committers performing quiescence, hardware transactions dooming each
+/// other, writers waking sleepers).
+#[derive(Debug)]
+pub struct ThreadCtx {
+    /// Dense thread identifier.
+    pub id: ThreadId,
+    /// Event counters.
+    pub stats: TxStats,
+    /// Global-clock value at which the thread's in-flight transaction
+    /// started, or [`NOT_IN_TX`].  Committing writers wait until every other
+    /// thread's published start time advances past their commit time
+    /// (quiescence, Appendix A).
+    pub start_time: AtomicU64,
+    /// Set by another thread to doom this thread's in-flight *hardware*
+    /// transaction (simulating a coherence-triggered abort).
+    pub doomed: AtomicBool,
+    /// Parking semaphore used when the thread is descheduled.
+    pub sem: Semaphore,
+}
+
+impl ThreadCtx {
+    fn new(id: ThreadId) -> Self {
+        ThreadCtx {
+            id,
+            stats: TxStats::default(),
+            start_time: AtomicU64::new(NOT_IN_TX),
+            doomed: AtomicBool::new(false),
+            sem: Semaphore::new(),
+        }
+    }
+
+    /// Publishes the start time of an in-flight transaction.
+    #[inline]
+    pub fn enter_tx(&self, start: u64) {
+        self.start_time.store(start, Ordering::Release);
+    }
+
+    /// Publishes that the thread is no longer inside a transaction.
+    #[inline]
+    pub fn exit_tx(&self) {
+        self.start_time.store(NOT_IN_TX, Ordering::Release);
+    }
+
+    /// The published start time, or [`NOT_IN_TX`].
+    #[inline]
+    pub fn published_start(&self) -> u64 {
+        self.start_time.load(Ordering::Acquire)
+    }
+
+    /// Marks this thread's hardware transaction as doomed.
+    #[inline]
+    pub fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    /// Clears and returns the doomed flag (called when a hardware attempt
+    /// begins or notices the abort).
+    #[inline]
+    pub fn take_doomed(&self) -> bool {
+        self.doomed.swap(false, Ordering::AcqRel)
+    }
+
+    /// Reads the doomed flag without clearing it.
+    #[inline]
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+}
+
+/// Registry of all threads that ever joined the system.
+#[derive(Debug, Default)]
+pub struct ThreadRegistry {
+    threads: RwLock<Vec<Arc<ThreadCtx>>>,
+}
+
+impl ThreadRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ThreadRegistry::default()
+    }
+
+    /// Registers a new thread and returns its context.
+    pub fn register(&self) -> Arc<ThreadCtx> {
+        let mut threads = self.threads.write();
+        let ctx = Arc::new(ThreadCtx::new(threads.len()));
+        threads.push(Arc::clone(&ctx));
+        ctx
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.threads.read().len()
+    }
+
+    /// True if no thread has registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.threads.read().is_empty()
+    }
+
+    /// A snapshot of all registered threads.
+    pub fn snapshot(&self) -> Vec<Arc<ThreadCtx>> {
+        self.threads.read().clone()
+    }
+
+    /// Looks up a thread by id (used by the HTM simulator to deliver
+    /// conflict aborts).
+    pub fn get(&self, id: ThreadId) -> Option<Arc<ThreadCtx>> {
+        self.threads.read().get(id).cloned()
+    }
+
+    /// Runs `f` for every registered thread other than `me`.
+    pub fn for_each_other<F: FnMut(&ThreadCtx)>(&self, me: ThreadId, mut f: F) {
+        for t in self.threads.read().iter() {
+            if t.id != me {
+                f(t);
+            }
+        }
+    }
+
+    /// Aggregated statistics across all threads.
+    pub fn aggregate_stats(&self) -> crate::stats::StatsSnapshot {
+        self.threads
+            .read()
+            .iter()
+            .map(|t| t.stats.snapshot())
+            .fold(crate::stats::StatsSnapshot::default(), |a, b| a.merge(&b))
+    }
+
+    /// Resets every thread's statistics (between benchmark phases).
+    pub fn reset_stats(&self) {
+        for t in self.threads.read().iter() {
+            t.stats.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TxStats;
+
+    #[test]
+    fn registration_assigns_dense_ids() {
+        let r = ThreadRegistry::new();
+        let a = r.register();
+        let b = r.register();
+        let c = r.register();
+        assert_eq!((a.id, b.id, c.id), (0, 1, 2));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn start_time_defaults_to_not_in_tx() {
+        let r = ThreadRegistry::new();
+        let t = r.register();
+        assert_eq!(t.published_start(), NOT_IN_TX);
+        t.enter_tx(42);
+        assert_eq!(t.published_start(), 42);
+        t.exit_tx();
+        assert_eq!(t.published_start(), NOT_IN_TX);
+    }
+
+    #[test]
+    fn doom_flag_is_sticky_until_taken() {
+        let r = ThreadRegistry::new();
+        let t = r.register();
+        assert!(!t.is_doomed());
+        t.doom();
+        assert!(t.is_doomed());
+        assert!(t.take_doomed());
+        assert!(!t.is_doomed());
+        assert!(!t.take_doomed());
+    }
+
+    #[test]
+    fn for_each_other_skips_self() {
+        let r = ThreadRegistry::new();
+        let me = r.register();
+        let _a = r.register();
+        let _b = r.register();
+        let mut seen = Vec::new();
+        r.for_each_other(me.id, |t| seen.push(t.id));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn aggregate_and_reset_stats() {
+        let r = ThreadRegistry::new();
+        let a = r.register();
+        let b = r.register();
+        TxStats::bump(&a.stats.sw_commits);
+        TxStats::bump(&b.stats.sw_commits);
+        TxStats::bump(&b.stats.sleeps);
+        let agg = r.aggregate_stats();
+        assert_eq!(agg.sw_commits, 2);
+        assert_eq!(agg.sleeps, 1);
+        r.reset_stats();
+        assert_eq!(r.aggregate_stats().sw_commits, 0);
+    }
+}

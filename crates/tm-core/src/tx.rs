@@ -1,0 +1,167 @@
+//! The object-safe transaction handle used by transaction bodies.
+//!
+//! Data structures and workloads are written once against `&mut dyn Tx` and
+//! run unchanged on the eager STM, the lazy STM and the HTM simulator.  The
+//! handle exposes word reads and writes (the paper's `TxRead`/`TxWrite`
+//! instrumentation), transactional allocation, the `read-for-write`
+//! optimisation used by production STMs (§2.2.4), and the commit-and-reopen
+//! hook needed by transaction-safe condition variables.
+
+use std::sync::Arc;
+
+use crate::addr::Addr;
+use crate::ctl::{TxCtl, TxResult};
+use crate::system::TmSystem;
+use crate::thread::ThreadCtx;
+
+/// The execution mode of the current transaction attempt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TxMode {
+    /// Running as a (simulated) hardware transaction.
+    Hardware,
+    /// Running under software instrumentation.
+    Software,
+    /// Running under software instrumentation *and* logging `(addr, value)`
+    /// pairs on every read, because the previous attempt called `Retry`
+    /// (Algorithm 5's `is_retry` flag).
+    SoftwareRetry,
+    /// Running serially/irrevocably (all other transactions excluded).
+    Serial,
+}
+
+impl TxMode {
+    /// True for the software modes (instrumented reads and writes).
+    pub fn is_software(self) -> bool {
+        !matches!(self, TxMode::Hardware)
+    }
+}
+
+/// Per-attempt metadata shared by all runtimes.
+#[derive(Debug)]
+pub struct TxCommon {
+    /// The executing thread.
+    pub thread: Arc<ThreadCtx>,
+    /// Execution mode of this attempt.
+    pub mode: TxMode,
+    /// Value log for `Retry`: populated on every read when
+    /// `mode == SoftwareRetry` (Algorithm 5, `TxRead`).
+    pub waitset: Vec<(Addr, u64)>,
+    /// How many times this transaction has been attempted (for backoff and
+    /// the HTM fallback policy).
+    pub attempts: u32,
+}
+
+impl TxCommon {
+    /// Creates attempt metadata for `thread` in `mode`.
+    pub fn new(thread: Arc<ThreadCtx>, mode: TxMode, attempts: u32) -> Self {
+        TxCommon {
+            thread,
+            mode,
+            waitset: Vec::new(),
+            attempts,
+        }
+    }
+
+    /// Records a read in the `Retry` value log when in retry-logging mode.
+    ///
+    /// Deduplicates by address so re-reads do not bloat the waitset; keeping
+    /// the *first* observed value makes the log reflect the state the
+    /// transaction actually observed.
+    #[inline]
+    pub fn log_retry_read(&mut self, addr: Addr, val: u64) {
+        if self.mode == TxMode::SoftwareRetry && !self.waitset.iter().any(|&(a, _)| a == addr) {
+            self.waitset.push((addr, val));
+        }
+    }
+}
+
+/// The transaction handle passed to transaction bodies.
+///
+/// All methods may return `Err(TxCtl::…)`, which the body must propagate
+/// (with `?`) so the runtime can roll back and act on the control request.
+pub trait Tx {
+    /// Transactionally reads the word at `addr`.
+    fn read(&mut self, addr: Addr) -> TxResult<u64>;
+
+    /// Transactionally writes `val` to `addr`.
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()>;
+
+    /// Reads a word that the caller intends to subsequently write.
+    ///
+    /// Production STMs implement this as "read for write" (§2.2.4): the
+    /// location is locked immediately and is *not* added to the read set.
+    /// The default implementation is a plain read.
+    fn read_for_write(&mut self, addr: Addr) -> TxResult<u64> {
+        self.read(addr)
+    }
+
+    /// Transactionally allocates `words` contiguous heap words.
+    ///
+    /// The allocation is undone if the transaction aborts ("captured
+    /// memory", §2.2.4).
+    fn alloc(&mut self, words: usize) -> TxResult<Addr>;
+
+    /// Transactionally frees `words` words at `addr`; reclamation is deferred
+    /// until the transaction commits.
+    fn free(&mut self, addr: Addr, words: usize) -> TxResult<()>;
+
+    /// Commits the transaction's work so far, runs `block` outside any
+    /// transaction, then begins a fresh transaction for the remainder of the
+    /// body.
+    ///
+    /// This deliberately *breaks atomicity* and exists only to implement
+    /// transaction-safe condition variables (the `TMCondVar` baseline); the
+    /// paper's own mechanisms never need it.
+    fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()>;
+
+    /// Requests an explicit abort with an 8-bit code (Intel `xabort` style).
+    fn explicit_abort(&mut self, code: u8) -> TxCtl;
+
+    /// Access to the attempt metadata.
+    fn common(&self) -> &TxCommon;
+
+    /// Mutable access to the attempt metadata.
+    fn common_mut(&mut self) -> &mut TxCommon;
+
+    /// The system (heap, clocks, registries) this transaction runs against.
+    fn system(&self) -> &Arc<TmSystem>;
+
+    /// The current execution mode.
+    fn mode(&self) -> TxMode {
+        self.common().mode
+    }
+
+    /// The executing thread.
+    fn thread(&self) -> Arc<ThreadCtx> {
+        Arc::clone(&self.common().thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TmConfig;
+
+    #[test]
+    fn mode_software_classification() {
+        assert!(TxMode::Software.is_software());
+        assert!(TxMode::SoftwareRetry.is_software());
+        assert!(TxMode::Serial.is_software());
+        assert!(!TxMode::Hardware.is_software());
+    }
+
+    #[test]
+    fn retry_log_only_in_retry_mode_and_deduplicates() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let mut c = TxCommon::new(Arc::clone(&th), TxMode::Software, 0);
+        c.log_retry_read(Addr(1), 10);
+        assert!(c.waitset.is_empty(), "not logging outside retry mode");
+
+        let mut c = TxCommon::new(th, TxMode::SoftwareRetry, 0);
+        c.log_retry_read(Addr(1), 10);
+        c.log_retry_read(Addr(2), 20);
+        c.log_retry_read(Addr(1), 99);
+        assert_eq!(c.waitset, vec![(Addr(1), 10), (Addr(2), 20)]);
+    }
+}

@@ -1,0 +1,191 @@
+//! A reusable (sense-reversing) barrier built from transactions plus one of
+//! the paper's condition-synchronization mechanisms.
+//!
+//! §2.3 points out that the classic two-phase reusable barrier cannot be
+//! obtained from condition-variable code by simple substitution; it has to be
+//! *re-designed* around predicates over shared state.  This module is that
+//! re-design: arrival is one transaction (increment the arrival counter and,
+//! if last, advance the generation), and waiting for the phase to end is a
+//! second transaction that waits — with Retry, Await, WaitPred or Restart —
+//! for the generation to advance.
+
+use std::sync::Arc;
+
+use condsync::Mechanism;
+use tm_core::{Addr, ThreadCtx, TmRt, TmSystem, TmVar, Tx, TxResult};
+
+/// A reusable transactional barrier for a fixed number of participants.
+#[derive(Debug, Clone)]
+pub struct TmBarrier {
+    parties: u64,
+    arrived: TmVar<u64>,
+    generation: TmVar<u64>,
+}
+
+/// `WaitPred` predicate: the generation counter at `args[0]` has moved past
+/// `args[1]`.
+pub fn pred_generation_advanced(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+    Ok(tx.read(Addr(args[0] as usize))? != args[1])
+}
+
+impl TmBarrier {
+    /// Creates a barrier for `parties` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(system: &Arc<TmSystem>, parties: u64) -> Self {
+        assert!(parties > 0, "a barrier needs at least one participant");
+        TmBarrier {
+            parties,
+            arrived: TmVar::alloc(system, 0),
+            generation: TmVar::alloc(system, 0),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> u64 {
+        self.parties
+    }
+
+    /// Current generation (non-transactional, verification only).
+    pub fn generation_direct(&self, system: &TmSystem) -> u64 {
+        self.generation.load_direct(system)
+    }
+
+    /// Waits until all participants have arrived.
+    ///
+    /// Returns `true` for the last arriver (the "serial" thread, in
+    /// `pthread_barrier` terms).
+    pub fn wait<R: TmRt + ?Sized>(
+        &self,
+        rt: &R,
+        thread: &Arc<ThreadCtx>,
+        mechanism: Mechanism,
+    ) -> bool {
+        // Phase 1: arrive.  The last arriver resets the count and advances
+        // the generation, releasing everyone else.
+        let (last, my_generation) = rt.atomically(thread, |tx| {
+            let generation = self.generation.get(tx)?;
+            let arrived = self.arrived.get_for_update(tx)? + 1;
+            if arrived == self.parties {
+                self.arrived.set(tx, 0)?;
+                self.generation.set(tx, generation + 1)?;
+                Ok((true, generation))
+            } else {
+                self.arrived.set(tx, arrived)?;
+                Ok((false, generation))
+            }
+        });
+        if last {
+            return true;
+        }
+        // Phase 2: wait for the generation to advance.
+        rt.atomically(thread, |tx| {
+            let generation = self.generation.get(tx)?;
+            if generation != my_generation {
+                return Ok(());
+            }
+            match mechanism {
+                Mechanism::Retry | Mechanism::TmCondVar | Mechanism::Pthreads => {
+                    // TmCondVar/Pthreads callers of this transactional
+                    // barrier fall back to Retry semantics; the lock-based
+                    // kernels use their own barrier.
+                    condsync::retry(tx)
+                }
+                Mechanism::RetryOrig => condsync::retry_orig(tx),
+                Mechanism::Await => condsync::await_one(tx, self.generation.addr()),
+                Mechanism::WaitPred => condsync::wait_pred(
+                    tx,
+                    pred_generation_advanced,
+                    &[self.generation.addr().0 as u64, my_generation],
+                ),
+                Mechanism::Restart => condsync::restart(tx),
+            }
+        });
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{AbortReason, TmConfig, TxCommon, TxCtl, TxMode};
+
+    struct DirectTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for DirectTx {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+            Ok(self.system.heap.alloc(words).unwrap())
+        }
+        fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> TxCtl {
+            TxCtl::Abort(AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let system = TmSystem::new(TmConfig::small());
+        let b = TmBarrier::new(&system, 1);
+        // With one party every arrival is "last"; exercise the arrival logic
+        // directly with a pass-through transaction.
+        let mut tx = DirectTx {
+            common: TxCommon::new(system.register_thread(), TxMode::Serial, 0),
+            system: Arc::clone(&system),
+        };
+        let gen = b.generation.get(&mut tx).unwrap();
+        let arrived = b.arrived.get(&mut tx).unwrap() + 1;
+        assert_eq!(arrived, 1);
+        b.arrived.set(&mut tx, 0).unwrap();
+        b.generation.set(&mut tx, gen + 1).unwrap();
+        assert_eq!(b.generation_direct(&system), 1);
+    }
+
+    #[test]
+    fn predicate_detects_generation_change() {
+        let system = TmSystem::new(TmConfig::small());
+        let b = TmBarrier::new(&system, 2);
+        let mut tx = DirectTx {
+            common: TxCommon::new(system.register_thread(), TxMode::Serial, 0),
+            system: Arc::clone(&system),
+        };
+        let args = [b.generation.addr().0 as u64, 0];
+        assert!(!pred_generation_advanced(&mut tx, &args).unwrap());
+        b.generation.set(&mut tx, 1).unwrap();
+        assert!(pred_generation_advanced(&mut tx, &args).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_party_barrier_is_rejected() {
+        let system = TmSystem::new(TmConfig::small());
+        let _ = TmBarrier::new(&system, 0);
+    }
+}

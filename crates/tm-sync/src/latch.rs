@@ -1,0 +1,233 @@
+//! A transactional count-down latch.
+//!
+//! `TmLatch` is the transactional analogue of `pthread`-style "wait for N
+//! events" coordination (Java's `CountDownLatch`): worker transactions call
+//! [`TmLatch::count_down`] as part of their commits, and any transaction can
+//! wait until the count reaches zero using whichever condition-
+//! synchronization mechanism the application has chosen.  It is a thin,
+//! reusable packaging of the pattern the PARSEC-like kernels use for frame
+//! completion.
+
+use std::sync::Arc;
+
+use condsync::Mechanism;
+use tm_core::{Addr, TmSystem, TmVar, Tx, TxResult};
+
+/// A transactional count-down latch.
+///
+/// The latch is created with an initial count; `count_down` decrements it
+/// (saturating at zero) and `wait_open` blocks the calling transaction until
+/// the count is zero.  Unlike a barrier it is single-use: once open it stays
+/// open until [`TmLatch::reset_direct`] is called outside any transaction.
+#[derive(Debug, Clone)]
+pub struct TmLatch {
+    remaining: TmVar<u64>,
+}
+
+/// `WaitPred` predicate: the latch identified by `args = [remaining_addr]`
+/// is open (its count reached zero).
+pub fn pred_latch_open(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+    Ok(tx.read(Addr(args[0] as usize))? == 0)
+}
+
+impl TmLatch {
+    /// Allocates a latch with `count` pending events in `system`'s heap.
+    pub fn new(system: &Arc<TmSystem>, count: u64) -> Self {
+        TmLatch {
+            remaining: TmVar::alloc(system, count),
+        }
+    }
+
+    /// Heap address of the remaining-count word (what `Await` waits on).
+    pub fn addr(&self) -> Addr {
+        self.remaining.addr()
+    }
+
+    /// Transactionally reads the remaining count.
+    pub fn remaining(&self, tx: &mut dyn Tx) -> TxResult<u64> {
+        self.remaining.get(tx)
+    }
+
+    /// Non-transactional read (setup / verification only).
+    pub fn remaining_direct(&self, system: &TmSystem) -> u64 {
+        self.remaining.load_direct(system)
+    }
+
+    /// Resets the count outside of any transaction (only safe at quiescent
+    /// points, e.g. between frames).
+    pub fn reset_direct(&self, system: &TmSystem, count: u64) {
+        self.remaining.store_direct(system, count);
+    }
+
+    /// True if the latch is open (count is zero).
+    pub fn is_open(&self, tx: &mut dyn Tx) -> TxResult<bool> {
+        Ok(self.remaining.get(tx)? == 0)
+    }
+
+    /// Records one completed event.  Returns the remaining count after the
+    /// decrement; the count saturates at zero so extra count-downs are
+    /// harmless.
+    pub fn count_down(&self, tx: &mut dyn Tx) -> TxResult<u64> {
+        let current = self.remaining.get_for_update(tx)?;
+        let next = current.saturating_sub(1);
+        self.remaining.set(tx, next)?;
+        Ok(next)
+    }
+
+    /// From inside a transaction: proceed if the latch is open, otherwise
+    /// wait with `mechanism`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the lock-based mechanisms ([`Mechanism::Pthreads`] and
+    /// [`Mechanism::TmCondVar`] wait outside/around transactions).
+    pub fn wait_open(&self, mechanism: Mechanism, tx: &mut dyn Tx) -> TxResult<()> {
+        if self.is_open(tx)? {
+            return Ok(());
+        }
+        match mechanism {
+            Mechanism::Retry => condsync::retry(tx),
+            Mechanism::RetryOrig => condsync::retry_orig(tx),
+            Mechanism::Await => condsync::await_one(tx, self.addr()),
+            Mechanism::WaitPred => {
+                condsync::wait_pred(tx, pred_latch_open, &[self.addr().0 as u64])
+            }
+            Mechanism::Restart => condsync::restart(tx),
+            Mechanism::Pthreads | Mechanism::TmCondVar => {
+                panic!("lock-based mechanisms wait outside transactions")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{AbortReason, TmConfig, TxCommon, TxCtl, TxMode, WaitSpec};
+
+    struct DirectTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for DirectTx {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+            Ok(self.system.heap.alloc(words).unwrap())
+        }
+        fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> TxCtl {
+            TxCtl::Abort(AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    fn direct_tx(system: &Arc<TmSystem>) -> DirectTx {
+        DirectTx {
+            common: TxCommon::new(system.register_thread(), TxMode::Serial, 0),
+            system: Arc::clone(system),
+        }
+    }
+
+    #[test]
+    fn count_down_reaches_zero_and_saturates() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 3);
+        let mut tx = direct_tx(&system);
+        assert!(!latch.is_open(&mut tx).unwrap());
+        assert_eq!(latch.count_down(&mut tx).unwrap(), 2);
+        assert_eq!(latch.count_down(&mut tx).unwrap(), 1);
+        assert_eq!(latch.count_down(&mut tx).unwrap(), 0);
+        assert!(latch.is_open(&mut tx).unwrap());
+        // Saturation: extra count-downs stay at zero.
+        assert_eq!(latch.count_down(&mut tx).unwrap(), 0);
+        assert_eq!(latch.remaining_direct(&system), 0);
+    }
+
+    #[test]
+    fn wait_open_passes_through_when_open() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 0);
+        let mut tx = direct_tx(&system);
+        latch.wait_open(Mechanism::Retry, &mut tx).unwrap();
+        latch.wait_open(Mechanism::WaitPred, &mut tx).unwrap();
+    }
+
+    #[test]
+    fn wait_open_requests_the_right_deschedule() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 2);
+        let mut tx = direct_tx(&system);
+        assert!(matches!(
+            latch.wait_open(Mechanism::Retry, &mut tx),
+            Err(TxCtl::Deschedule(WaitSpec::ReadSetValues))
+        ));
+        match latch.wait_open(Mechanism::Await, &mut tx) {
+            Err(TxCtl::Deschedule(WaitSpec::Addrs(a))) => assert_eq!(a, vec![latch.addr()]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match latch.wait_open(Mechanism::WaitPred, &mut tx) {
+            Err(TxCtl::Deschedule(WaitSpec::Pred { args, .. })) => {
+                assert_eq!(args, vec![latch.addr().0 as u64]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            latch.wait_open(Mechanism::Restart, &mut tx),
+            Err(TxCtl::Abort(AbortReason::Explicit(_)))
+        ));
+    }
+
+    #[test]
+    fn predicate_reports_open_state() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 1);
+        let mut tx = direct_tx(&system);
+        let args = [latch.addr().0 as u64];
+        assert!(!pred_latch_open(&mut tx, &args).unwrap());
+        latch.count_down(&mut tx).unwrap();
+        assert!(pred_latch_open(&mut tx, &args).unwrap());
+    }
+
+    #[test]
+    fn reset_reloads_the_count() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 1);
+        let mut tx = direct_tx(&system);
+        latch.count_down(&mut tx).unwrap();
+        assert!(latch.is_open(&mut tx).unwrap());
+        latch.reset_direct(&system, 5);
+        assert_eq!(latch.remaining_direct(&system), 5);
+        assert!(!latch.is_open(&mut tx).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside transactions")]
+    fn lock_based_mechanisms_are_rejected() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 1);
+        let mut tx = direct_tx(&system);
+        let _ = latch.wait_open(Mechanism::Pthreads, &mut tx);
+    }
+}

@@ -1,0 +1,34 @@
+//! Transactional data structures used by the paper's evaluation, plus the
+//! lock-based baselines.
+//!
+//! The central structure is the bounded buffer of Algorithm 2 / Figure 2.2,
+//! implemented once over the word heap with an entry point per condition-
+//! synchronization mechanism ([`buffer::TmBoundedBuffer`]).  The
+//! [`pthread::PthreadBuffer`] is the `Pthreads` baseline (mutex + condition
+//! variables, no transactions).
+//!
+//! The remaining structures (counter, queue, stack, barrier) are the building
+//! blocks of the PARSEC-like synthetic kernels in the `tm-workloads` crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod buffer;
+pub mod cell;
+pub mod counter;
+pub mod latch;
+pub mod map;
+pub mod pthread;
+pub mod queue;
+pub mod stack;
+
+pub use barrier::TmBarrier;
+pub use buffer::TmBoundedBuffer;
+pub use cell::TmOnceCell;
+pub use counter::TmCounter;
+pub use latch::TmLatch;
+pub use map::TmHashMap;
+pub use pthread::PthreadBuffer;
+pub use queue::TmQueue;
+pub use stack::TmStack;

@@ -1,0 +1,368 @@
+//! A fixed-capacity transactional hash map.
+//!
+//! `TmHashMap` is an open-addressing (linear probing) hash table whose slots
+//! live in the transactional heap, so lookups and updates compose with any
+//! other transactional state, and a reader can *wait* for a key to appear
+//! using the paper's mechanisms ([`TmHashMap::get_waiting`]).  The table is
+//! the kind of shared index the PARSEC applications keep under a lock
+//! (dedup's chunk index, ferret's result table); it is deliberately simple —
+//! no resizing, no tombstone compaction beyond what linear probing needs —
+//! because its job is to exercise multi-word transactions, not to be a
+//! general-purpose collection.
+
+use std::sync::Arc;
+
+use condsync::Mechanism;
+use tm_core::{Addr, TmArray, TmSystem, TmVar, Tx, TxResult};
+
+/// Slot states, stored alongside each key.
+const EMPTY: u64 = 0;
+const OCCUPIED: u64 = 1;
+const TOMBSTONE: u64 = 2;
+
+/// A fixed-capacity transactional hash map from `u64` keys to `u64` values.
+#[derive(Debug, Clone)]
+pub struct TmHashMap {
+    state: TmArray<u64>,
+    keys: TmArray<u64>,
+    values: TmArray<u64>,
+    len: TmVar<u64>,
+    capacity: usize,
+}
+
+/// `WaitPred` predicate: the map identified by `args = [len_addr, n]` holds
+/// at least `n` entries.
+pub fn pred_map_len_at_least(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+    Ok(tx.read(Addr(args[0] as usize))? >= args[1])
+}
+
+impl TmHashMap {
+    /// Allocates a map with room for `capacity` entries in `system`'s heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(system: &Arc<TmSystem>, capacity: usize) -> Self {
+        assert!(capacity > 0, "map capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        TmHashMap {
+            state: TmArray::alloc(system, capacity, EMPTY),
+            keys: TmArray::alloc(system, capacity, 0),
+            values: TmArray::alloc(system, capacity, 0),
+            len: TmVar::alloc(system, 0),
+            capacity,
+        }
+    }
+
+    /// The slot capacity (rounded up to a power of two at construction).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Heap address of the entry count (what `Await`-style waiters watch).
+    pub fn len_addr(&self) -> Addr {
+        self.len.addr()
+    }
+
+    /// Transactional entry count.
+    pub fn len(&self, tx: &mut dyn Tx) -> TxResult<u64> {
+        self.len.get(tx)
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self, tx: &mut dyn Tx) -> TxResult<bool> {
+        Ok(self.len.get(tx)? == 0)
+    }
+
+    /// Non-transactional entry count (setup / verification only).
+    pub fn len_direct(&self, system: &TmSystem) -> u64 {
+        self.len.load_direct(system)
+    }
+
+    fn slot_for(&self, key: u64, probe: usize) -> usize {
+        // Fibonacci hashing spreads sequential keys well enough for a test
+        // substrate; linear probing resolves collisions.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h as usize + probe) & (self.capacity - 1)
+    }
+
+    /// Inserts or updates `key`, returning the previous value if any.
+    ///
+    /// Returns `Err` with a capacity abort only via panics in debug builds;
+    /// a full table is a programming error for this fixed-size structure, so
+    /// it panics rather than growing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full and `key` is not already present.
+    pub fn insert(&self, tx: &mut dyn Tx, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let mut first_tombstone: Option<usize> = None;
+        for probe in 0..self.capacity {
+            let slot = self.slot_for(key, probe);
+            match self.state.get(tx, slot)? {
+                EMPTY => {
+                    let target = first_tombstone.unwrap_or(slot);
+                    self.state.set(tx, target, OCCUPIED)?;
+                    self.keys.set(tx, target, key)?;
+                    self.values.set(tx, target, value)?;
+                    let n = self.len.get_for_update(tx)?;
+                    self.len.set(tx, n + 1)?;
+                    return Ok(None);
+                }
+                TOMBSTONE => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(slot);
+                    }
+                }
+                _ => {
+                    if self.keys.get(tx, slot)? == key {
+                        let old = self.values.get(tx, slot)?;
+                        self.values.set(tx, slot, value)?;
+                        return Ok(Some(old));
+                    }
+                }
+            }
+        }
+        if let Some(slot) = first_tombstone {
+            self.state.set(tx, slot, OCCUPIED)?;
+            self.keys.set(tx, slot, key)?;
+            self.values.set(tx, slot, value)?;
+            let n = self.len.get_for_update(tx)?;
+            self.len.set(tx, n + 1)?;
+            return Ok(None);
+        }
+        panic!("TmHashMap is full (capacity {})", self.capacity);
+    }
+
+    /// Looks `key` up.
+    pub fn get(&self, tx: &mut dyn Tx, key: u64) -> TxResult<Option<u64>> {
+        for probe in 0..self.capacity {
+            let slot = self.slot_for(key, probe);
+            match self.state.get(tx, slot)? {
+                EMPTY => return Ok(None),
+                OCCUPIED if self.keys.get(tx, slot)? == key => {
+                    return Ok(Some(self.values.get(tx, slot)?));
+                }
+                _ => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&self, tx: &mut dyn Tx, key: u64) -> TxResult<Option<u64>> {
+        for probe in 0..self.capacity {
+            let slot = self.slot_for(key, probe);
+            match self.state.get(tx, slot)? {
+                EMPTY => return Ok(None),
+                OCCUPIED if self.keys.get(tx, slot)? == key => {
+                    let old = self.values.get(tx, slot)?;
+                    self.state.set(tx, slot, TOMBSTONE)?;
+                    let n = self.len.get_for_update(tx)?;
+                    self.len.set(tx, n - 1)?;
+                    return Ok(Some(old));
+                }
+                _ => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks `key` up, waiting with `mechanism` until some writer inserts it.
+    ///
+    /// For `Await` the waiter watches the map's entry count: any insertion
+    /// wakes it to re-check (a coarse but correct address set — the paper's
+    /// §2.3 discussion of choosing what to track applies directly here).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the lock-based mechanisms, which wait outside transactions.
+    pub fn get_waiting(&self, mechanism: Mechanism, tx: &mut dyn Tx, key: u64) -> TxResult<u64> {
+        if let Some(v) = self.get(tx, key)? {
+            return Ok(v);
+        }
+        match mechanism {
+            Mechanism::Retry => condsync::retry(tx),
+            Mechanism::RetryOrig => condsync::retry_orig(tx),
+            Mechanism::Await => condsync::await_one(tx, self.len_addr()),
+            Mechanism::WaitPred => {
+                // Wake when the map has grown past its current size; the
+                // re-executed lookup then decides whether *our* key arrived.
+                let current = self.len.get(tx)?;
+                condsync::wait_pred(tx, pred_map_len_at_least, &[
+                    self.len_addr().0 as u64,
+                    current + 1,
+                ])
+            }
+            Mechanism::Restart => condsync::restart(tx),
+            Mechanism::Pthreads | Mechanism::TmCondVar => {
+                panic!("lock-based mechanisms wait outside transactions")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tm_core::{AbortReason, TmConfig, TxCommon, TxCtl, TxMode, WaitSpec};
+
+    struct DirectTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for DirectTx {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+            Ok(self.system.heap.alloc(words).unwrap())
+        }
+        fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> TxCtl {
+            TxCtl::Abort(AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    fn direct_tx(system: &Arc<TmSystem>) -> DirectTx {
+        DirectTx {
+            common: TxCommon::new(system.register_thread(), TxMode::Serial, 0),
+            system: Arc::clone(system),
+        }
+    }
+
+    fn small_map(cap: usize) -> (Arc<TmSystem>, TmHashMap) {
+        let system = TmSystem::new(TmConfig::small());
+        let map = TmHashMap::new(&system, cap);
+        (system, map)
+    }
+
+    #[test]
+    fn insert_get_update_remove_round_trip() {
+        let (system, map) = small_map(8);
+        let mut tx = direct_tx(&system);
+        assert_eq!(map.insert(&mut tx, 10, 100).unwrap(), None);
+        assert_eq!(map.insert(&mut tx, 20, 200).unwrap(), None);
+        assert_eq!(map.get(&mut tx, 10).unwrap(), Some(100));
+        assert_eq!(map.get(&mut tx, 30).unwrap(), None);
+        assert_eq!(map.insert(&mut tx, 10, 111).unwrap(), Some(100));
+        assert_eq!(map.get(&mut tx, 10).unwrap(), Some(111));
+        assert_eq!(map.remove(&mut tx, 10).unwrap(), Some(111));
+        assert_eq!(map.get(&mut tx, 10).unwrap(), None);
+        assert_eq!(map.remove(&mut tx, 10).unwrap(), None);
+        assert_eq!(map.len_direct(&system), 1);
+    }
+
+    #[test]
+    fn colliding_keys_probe_to_distinct_slots() {
+        // Many keys in a tiny table force probing and tombstone reuse.
+        let (system, map) = small_map(16);
+        let mut tx = direct_tx(&system);
+        for k in 0..12u64 {
+            assert_eq!(map.insert(&mut tx, k * 16, k).unwrap(), None);
+        }
+        for k in 0..12u64 {
+            assert_eq!(map.get(&mut tx, k * 16).unwrap(), Some(k), "key {k}");
+        }
+        assert_eq!(map.len_direct(&system), 12);
+    }
+
+    #[test]
+    fn tombstones_are_reused_and_lookups_skip_them() {
+        let (system, map) = small_map(8);
+        let mut tx = direct_tx(&system);
+        map.insert(&mut tx, 1, 10).unwrap();
+        map.insert(&mut tx, 9, 90).unwrap(); // likely probes past key 1's chain
+        map.remove(&mut tx, 1).unwrap();
+        // Key 9 must remain reachable even if key 1's slot is now a tombstone
+        // on its probe path.
+        assert_eq!(map.get(&mut tx, 9).unwrap(), Some(90));
+        // Re-inserting key 1 reuses the tombstone rather than growing.
+        map.insert(&mut tx, 1, 11).unwrap();
+        assert_eq!(map.get(&mut tx, 1).unwrap(), Some(11));
+        assert_eq!(map.len_direct(&system), 2);
+    }
+
+    #[test]
+    fn matches_std_hashmap_model() {
+        let (system, map) = small_map(64);
+        let mut tx = direct_tx(&system);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        // A deterministic mixed workload.
+        let mut seed = 42u64;
+        for i in 0..300u64 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let key = seed % 48;
+            match i % 3 {
+                0 | 1 => {
+                    let expected = model.insert(key, i);
+                    assert_eq!(map.insert(&mut tx, key, i).unwrap(), expected);
+                }
+                _ => {
+                    let expected = model.remove(&key);
+                    assert_eq!(map.remove(&mut tx, key).unwrap(), expected);
+                }
+            }
+            assert_eq!(map.len_direct(&system), model.len() as u64);
+        }
+        for (&k, &v) in &model {
+            assert_eq!(map.get(&mut tx, k).unwrap(), Some(v));
+        }
+    }
+
+    #[test]
+    fn get_waiting_requests_the_right_deschedule() {
+        let (system, map) = small_map(8);
+        let mut tx = direct_tx(&system);
+        assert!(matches!(
+            map.get_waiting(Mechanism::Retry, &mut tx, 5),
+            Err(TxCtl::Deschedule(WaitSpec::ReadSetValues))
+        ));
+        match map.get_waiting(Mechanism::Await, &mut tx, 5) {
+            Err(TxCtl::Deschedule(WaitSpec::Addrs(a))) => assert_eq!(a, vec![map.len_addr()]),
+            other => panic!("unexpected {other:?}"),
+        }
+        match map.get_waiting(Mechanism::WaitPred, &mut tx, 5) {
+            Err(TxCtl::Deschedule(WaitSpec::Pred { args, .. })) => {
+                assert_eq!(args, vec![map.len_addr().0 as u64, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        map.insert(&mut tx, 5, 55).unwrap();
+        assert_eq!(map.get_waiting(Mechanism::Retry, &mut tx, 5).unwrap(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overfilling_panics() {
+        let (system, map) = small_map(4);
+        let mut tx = direct_tx(&system);
+        for k in 0..5u64 {
+            map.insert(&mut tx, k, k).unwrap();
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! An unbounded transactional FIFO queue built from heap-allocated nodes.
+//!
+//! Exercises transactional allocation and deferred reclamation (the paper's
+//! "captured memory" concern), and serves as the hand-off structure in the
+//! pipeline-style PARSEC kernels (dedup, ferret, x264).
+
+use std::sync::Arc;
+
+use condsync::Mechanism;
+use tm_core::{Addr, TmSystem, TmVar, Tx, TxResult};
+
+/// Node layout in the heap: `[value, next]`.
+const NODE_WORDS: usize = 2;
+
+/// An unbounded multi-producer multi-consumer FIFO queue.
+#[derive(Debug, Clone)]
+pub struct TmQueue {
+    head: TmVar<Addr>,
+    tail: TmVar<Addr>,
+    len: TmVar<u64>,
+}
+
+/// `WaitPred` predicate: the queue whose length field is at `args[0]` is
+/// non-empty.
+pub fn pred_queue_nonempty(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+    Ok(tx.read(Addr(args[0] as usize))? > 0)
+}
+
+impl TmQueue {
+    /// Allocates an empty queue.
+    pub fn new(system: &Arc<TmSystem>) -> Self {
+        TmQueue {
+            head: TmVar::alloc(system, Addr::NULL),
+            tail: TmVar::alloc(system, Addr::NULL),
+            len: TmVar::alloc(system, 0),
+        }
+    }
+
+    /// Heap address of the length field (for `Await`).
+    pub fn len_addr(&self) -> Addr {
+        self.len.addr()
+    }
+
+    /// Transactional length.
+    pub fn len(&self, tx: &mut dyn Tx) -> TxResult<u64> {
+        self.len.get(tx)
+    }
+
+    /// Transactional emptiness check.
+    pub fn is_empty(&self, tx: &mut dyn Tx) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Non-transactional length (verification only).
+    pub fn len_direct(&self, system: &TmSystem) -> u64 {
+        self.len.load_direct(system)
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, tx: &mut dyn Tx, value: u64) -> TxResult<()> {
+        let node = tx.alloc(NODE_WORDS)?;
+        tx.write(node, value)?;
+        tx.write(node.offset(1), Addr::NULL.0 as u64)?;
+        let tail = self.tail.get(tx)?;
+        if tail.is_null() {
+            self.head.set(tx, node)?;
+        } else {
+            tx.write(tail.offset(1), node.0 as u64)?;
+        }
+        self.tail.set(tx, node)?;
+        let n = self.len.get_for_update(tx)?;
+        self.len.set(tx, n + 1)
+    }
+
+    /// Removes and returns the oldest element, or `None` if the queue is
+    /// empty.  The removed node is freed transactionally (reclamation is
+    /// deferred until commit by the runtimes).
+    pub fn try_dequeue(&self, tx: &mut dyn Tx) -> TxResult<Option<u64>> {
+        let head = self.head.get(tx)?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let value = tx.read(head)?;
+        let next = Addr(tx.read(head.offset(1))? as usize);
+        self.head.set(tx, next)?;
+        if next.is_null() {
+            self.tail.set(tx, Addr::NULL)?;
+        }
+        let n = self.len.get_for_update(tx)?;
+        self.len.set(tx, n - 1)?;
+        tx.free(head, NODE_WORDS)?;
+        Ok(Some(value))
+    }
+
+    /// Dequeues, waiting with `mechanism` if the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the lock-based mechanisms, which do not wait inside
+    /// transactions.
+    pub fn dequeue_waiting(&self, mechanism: Mechanism, tx: &mut dyn Tx) -> TxResult<u64> {
+        if let Some(v) = self.try_dequeue(tx)? {
+            return Ok(v);
+        }
+        match mechanism {
+            Mechanism::Retry => condsync::retry(tx),
+            Mechanism::RetryOrig => condsync::retry_orig(tx),
+            Mechanism::Await => condsync::await_one(tx, self.len_addr()),
+            Mechanism::WaitPred => {
+                condsync::wait_pred(tx, pred_queue_nonempty, &[self.len_addr().0 as u64])
+            }
+            Mechanism::Restart => condsync::restart(tx),
+            Mechanism::Pthreads | Mechanism::TmCondVar => {
+                panic!("lock-based mechanisms wait outside transactions")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_core::{AbortReason, TmConfig, TxCommon, TxCtl, TxMode};
+
+    struct DirectTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for DirectTx {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+            Ok(self.system.heap.alloc(words).unwrap())
+        }
+        fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> TxCtl {
+            TxCtl::Abort(AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    fn direct_tx(system: &Arc<TmSystem>) -> DirectTx {
+        DirectTx {
+            common: TxCommon::new(system.register_thread(), TxMode::Serial, 0),
+            system: Arc::clone(system),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let mut tx = direct_tx(&system);
+        for i in 1..=5 {
+            q.enqueue(&mut tx, i).unwrap();
+        }
+        assert_eq!(q.len(&mut tx).unwrap(), 5);
+        for i in 1..=5 {
+            assert_eq!(q.try_dequeue(&mut tx).unwrap(), Some(i));
+        }
+        assert_eq!(q.try_dequeue(&mut tx).unwrap(), None);
+        assert!(q.is_empty(&mut tx).unwrap());
+    }
+
+    #[test]
+    fn dequeue_empty_then_refill() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let mut tx = direct_tx(&system);
+        assert_eq!(q.try_dequeue(&mut tx).unwrap(), None);
+        q.enqueue(&mut tx, 42).unwrap();
+        assert_eq!(q.try_dequeue(&mut tx).unwrap(), Some(42));
+        q.enqueue(&mut tx, 43).unwrap();
+        q.enqueue(&mut tx, 44).unwrap();
+        assert_eq!(q.try_dequeue(&mut tx).unwrap(), Some(43));
+        assert_eq!(q.try_dequeue(&mut tx).unwrap(), Some(44));
+    }
+
+    #[test]
+    fn nodes_are_reclaimed() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let baseline = system.heap.allocated_words();
+        let mut tx = direct_tx(&system);
+        for round in 0..50 {
+            q.enqueue(&mut tx, round).unwrap();
+            q.try_dequeue(&mut tx).unwrap();
+        }
+        // The direct tx frees immediately; the heap must not grow unboundedly.
+        assert_eq!(system.heap.allocated_words(), baseline);
+    }
+
+    #[test]
+    fn dequeue_waiting_requests_mechanism_specific_wait() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let mut tx = direct_tx(&system);
+        assert!(matches!(
+            q.dequeue_waiting(Mechanism::Retry, &mut tx),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::ReadSetValues))
+        ));
+        assert!(matches!(
+            q.dequeue_waiting(Mechanism::Await, &mut tx),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::Addrs(_)))
+        ));
+        assert!(matches!(
+            q.dequeue_waiting(Mechanism::WaitPred, &mut tx),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::Pred { .. }))
+        ));
+    }
+
+    #[test]
+    fn pred_queue_nonempty_tracks_len() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let mut tx = direct_tx(&system);
+        assert!(!pred_queue_nonempty(&mut tx, &[q.len_addr().0 as u64]).unwrap());
+        q.enqueue(&mut tx, 1).unwrap();
+        assert!(pred_queue_nonempty(&mut tx, &[q.len_addr().0 as u64]).unwrap());
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload drivers for the paper's evaluation (§2.4).
+//!
+//! Two workload families are provided, mirroring the two halves of the
+//! evaluation:
+//!
+//! * [`pc`] — the bounded-buffer producer/consumer micro-benchmark of
+//!   §2.4.1, parameterized by producer count, consumer count and buffer
+//!   size (Figures 2.3–2.5).
+//! * [`parsec`] — synthetic kernels reproducing the condition-
+//!   synchronization structure of the eight PARSEC applications of §2.4.2
+//!   (Figures 2.6–2.8), plus [`loc`], the Table 2.1 lines-of-code
+//!   accounting.
+//!
+//! Both families run every combination of the seven mechanisms
+//! ([`condsync::Mechanism`]) and the three runtime configurations
+//! ([`RuntimeKind`]); results are collected into the serializable records of
+//! [`report`], which the `tm-bench` figure binaries render as the same rows
+//! and series the paper plots.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod loc;
+pub mod parsec;
+pub mod pc;
+pub mod report;
+pub mod runtime;
+
+pub use loc::{measured_table, paper_table, LocRow};
+pub use parsec::{KernelParams, KernelResult, ParsecApp, Scale};
+pub use pc::{run_pc, run_pc_trials, PcParams, PcResult};
+pub use report::{DataPoint, Panel, Report, Series};
+pub use runtime::{AnyRuntime, RuntimeKind};

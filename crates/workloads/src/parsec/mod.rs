@@ -1,0 +1,287 @@
+//! Synthetic kernels reproducing the condition-synchronization structure of
+//! the eight PARSEC applications the paper evaluates (§2.4.2, Figures
+//! 2.6–2.8, Table 2.1).
+//!
+//! The real PARSEC sources, inputs and the transactional PARSEC port of Wang
+//! et al. are not available offline, so — per the reproduction's substitution
+//! rule — each application is replaced by a kernel that preserves what the
+//! evaluation actually measures: the *coordination skeleton* (pipelines over
+//! bounded queues, worker pools fed by a master, barrier-synchronized phases,
+//! sliding-window dependencies), the number of distinct condition-
+//! synchronization points (the parenthesised counts of Table 2.1), and a
+//! compute-to-synchronization ratio large enough that, as in the paper,
+//! synchronization cost does not dominate.
+//!
+//! Every kernel runs under all seven mechanisms: `Pthreads` uses locks and
+//! condition variables (no transactions), the rest run their critical
+//! sections as transactions on the selected runtime.
+
+pub mod bodytrack;
+pub mod common;
+pub mod dedup;
+pub mod facesim;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod raytrace;
+pub mod streamcluster;
+pub mod x264;
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+use condsync::Mechanism;
+use serde::{Deserialize, Serialize};
+use tm_core::StatsSnapshot;
+
+use crate::runtime::RuntimeKind;
+
+/// The eight PARSEC applications that use condition variables (Table 2.1).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ParsecApp {
+    /// Body tracking: per-frame worker pool (5 sync points).
+    Bodytrack,
+    /// Deduplication: three-stage pipeline ending in serialized I/O
+    /// (3 sync points).
+    Dedup,
+    /// Face simulation: fork/join physics phases (7 sync points).
+    Facesim,
+    /// Content-based similarity search: four-stage pipeline (2 sync points).
+    Ferret,
+    /// Fluid dynamics: barrier-separated grid phases (4 sync points).
+    Fluidanimate,
+    /// Real-time raytracing: tile task queue per frame (3 sync points).
+    Raytrace,
+    /// Online clustering: barrier-heavy evaluation rounds (5 sync points).
+    Streamcluster,
+    /// H.264 encoding: sliding-window frame dependencies (1 sync point).
+    X264,
+}
+
+impl ParsecApp {
+    /// All eight applications, in the order the paper's figures list them.
+    pub const ALL: [ParsecApp; 8] = [
+        ParsecApp::Bodytrack,
+        ParsecApp::Dedup,
+        ParsecApp::Facesim,
+        ParsecApp::Ferret,
+        ParsecApp::Fluidanimate,
+        ParsecApp::Raytrace,
+        ParsecApp::Streamcluster,
+        ParsecApp::X264,
+    ];
+
+    /// The lower-case name used in figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParsecApp::Bodytrack => "bodytrack",
+            ParsecApp::Dedup => "dedup",
+            ParsecApp::Facesim => "facesim",
+            ParsecApp::Ferret => "ferret",
+            ParsecApp::Fluidanimate => "fluidanimate",
+            ParsecApp::Raytrace => "raytrace",
+            ParsecApp::Streamcluster => "streamcluster",
+            ParsecApp::X264 => "x264",
+        }
+    }
+
+    /// Number of distinct condition-synchronization points in the original
+    /// application (the parenthesised counts in Table 2.1).
+    pub fn sync_points(self) -> usize {
+        match self {
+            ParsecApp::Bodytrack => 5,
+            ParsecApp::Dedup => 3,
+            ParsecApp::Facesim => 7,
+            ParsecApp::Ferret => 2,
+            ParsecApp::Fluidanimate => 4,
+            ParsecApp::Raytrace => 3,
+            ParsecApp::Streamcluster => 5,
+            ParsecApp::X264 => 1,
+        }
+    }
+
+    /// Thread counts this application supports.  A few PARSEC apps only run
+    /// for even or power-of-two thread counts; the paper notes the same.
+    pub fn supported_threads(self) -> &'static [usize] {
+        match self {
+            // Pipeline apps need at least one thread per stage but otherwise
+            // take any count.
+            ParsecApp::Dedup | ParsecApp::Ferret => &[1, 2, 3, 4, 5, 6, 7, 8],
+            // Grid/partitioned apps: powers of two only.
+            ParsecApp::Fluidanimate | ParsecApp::Facesim => &[1, 2, 4, 8],
+            // Streamcluster: even thread counts (plus 1).
+            ParsecApp::Streamcluster => &[1, 2, 4, 6, 8],
+            _ => &[1, 2, 3, 4, 5, 6, 7, 8],
+        }
+    }
+
+    /// Runs this application's kernel.
+    pub fn run(self, params: &KernelParams) -> KernelResult {
+        match self {
+            ParsecApp::Bodytrack => bodytrack::run(params),
+            ParsecApp::Dedup => dedup::run(params),
+            ParsecApp::Facesim => facesim::run(params),
+            ParsecApp::Ferret => ferret::run(params),
+            ParsecApp::Fluidanimate => fluidanimate::run(params),
+            ParsecApp::Raytrace => raytrace::run(params),
+            ParsecApp::Streamcluster => streamcluster::run(params),
+            ParsecApp::X264 => x264::run(params),
+        }
+    }
+}
+
+impl fmt::Display for ParsecApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ParsecApp {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase();
+        ParsecApp::ALL
+            .into_iter()
+            .find(|a| a.label() == norm)
+            .ok_or_else(|| format!("unknown PARSEC app: {s}"))
+    }
+}
+
+/// How much work a kernel performs; scales both item counts and per-item
+/// compute so quick test runs and full benchmark runs use the same code.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// A few hundred work items — used by unit and integration tests.
+    Test,
+    /// A few thousand work items — used by the default figure binaries.
+    Small,
+    /// Tens of thousands of work items — closest to the paper's inputs.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to each kernel's base item count.
+    pub fn items_factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 8,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Multiplier applied to per-item compute units.
+    pub fn work_factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 4,
+            Scale::Full => 16,
+        }
+    }
+}
+
+/// Parameters shared by every kernel run.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Number of worker threads (the figures' x-axis, 1–8).
+    pub threads: usize,
+    /// Condition-synchronization mechanism under test.
+    pub mechanism: Mechanism,
+    /// Which TM runtime provides transactions (ignored for `Pthreads`).
+    pub runtime: RuntimeKind,
+    /// Work scale.
+    pub scale: Scale,
+}
+
+impl KernelParams {
+    /// Creates kernel parameters.
+    pub fn new(threads: usize, mechanism: Mechanism, runtime: RuntimeKind, scale: Scale) -> Self {
+        assert!(threads >= 1, "kernels need at least one thread");
+        KernelParams {
+            threads,
+            mechanism,
+            runtime,
+            scale,
+        }
+    }
+
+    /// True if this combination is valid (Retry-Orig cannot run on HTM).
+    pub fn is_valid(&self) -> bool {
+        self.mechanism != Mechanism::RetryOrig || self.runtime.supports_retry_orig()
+    }
+}
+
+/// Result of one kernel run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelResult {
+    /// Which application ran.
+    pub app: ParsecApp,
+    /// The parameters used.
+    pub params: KernelParams,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Number of work items processed (for sanity checks).
+    pub work_items: u64,
+    /// Deterministic checksum over the processed work; identical across
+    /// mechanisms and runtimes for the same (app, threads, scale).
+    pub checksum: u64,
+    /// Aggregated transaction statistics (zero for Pthreads).
+    pub stats: StatsSnapshot,
+}
+
+impl KernelResult {
+    /// Wall-clock seconds (the figures' y-axis).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_labels_and_sync_points_match_table_2_1() {
+        assert_eq!(ParsecApp::ALL.len(), 8);
+        let total: usize = ParsecApp::ALL.iter().map(|a| a.sync_points()).sum();
+        assert_eq!(total, 5 + 3 + 7 + 2 + 4 + 3 + 5 + 1);
+        assert_eq!(ParsecApp::Bodytrack.label(), "bodytrack");
+        assert_eq!(ParsecApp::X264.sync_points(), 1);
+        assert_eq!(ParsecApp::Facesim.sync_points(), 7);
+    }
+
+    #[test]
+    fn labels_round_trip_through_fromstr() {
+        for app in ParsecApp::ALL {
+            assert_eq!(app.label().parse::<ParsecApp>().unwrap(), app);
+        }
+        assert!("quake".parse::<ParsecApp>().is_err());
+    }
+
+    #[test]
+    fn supported_threads_are_sane() {
+        for app in ParsecApp::ALL {
+            let ts = app.supported_threads();
+            assert!(ts.contains(&1), "{app} must run single-threaded");
+            assert!(ts.contains(&8), "{app} must run at 8 threads");
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "{app} thread list sorted");
+        }
+    }
+
+    #[test]
+    fn scale_factors_are_monotonic() {
+        assert!(Scale::Test.items_factor() < Scale::Small.items_factor());
+        assert!(Scale::Small.items_factor() < Scale::Full.items_factor());
+        assert!(Scale::Test.work_factor() <= Scale::Small.work_factor());
+    }
+
+    #[test]
+    fn params_validity_excludes_retry_orig_on_htm() {
+        let bad = KernelParams::new(2, Mechanism::RetryOrig, RuntimeKind::Htm, Scale::Test);
+        assert!(!bad.is_valid());
+        let ok = KernelParams::new(2, Mechanism::RetryOrig, RuntimeKind::EagerStm, Scale::Test);
+        assert!(ok.is_valid());
+        let ok2 = KernelParams::new(2, Mechanism::Retry, RuntimeKind::Htm, Scale::Test);
+        assert!(ok2.is_valid());
+    }
+}

@@ -1,0 +1,330 @@
+//! Result records and table rendering for the evaluation harness.
+//!
+//! Every figure binary produces a [`Report`]: a set of [`Series`] (one per
+//! condition-synchronization mechanism), each containing measured
+//! [`DataPoint`]s.  Reports can be rendered as the plain-text tables the
+//! paper's figures plot, or serialized to JSON for post-processing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use condsync::Mechanism;
+use serde::{Deserialize, Serialize};
+use tm_core::StatsSnapshot;
+
+/// One measured point: a configuration label (e.g. buffer size or thread
+/// count) mapped to a wall-clock time and the runtime statistics gathered
+/// during the trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// X-axis value (buffer size for Figures 2.3–2.5, thread count for
+    /// Figures 2.6–2.8).
+    pub x: u64,
+    /// Mean wall-clock seconds over the trials.
+    pub seconds: f64,
+    /// Sample standard deviation of the per-trial seconds.
+    pub stddev: f64,
+    /// Number of trials averaged.
+    pub trials: u32,
+    /// Aggregated transaction statistics from the last trial.
+    pub stats: StatsSnapshot,
+}
+
+impl DataPoint {
+    /// Builds a point from raw per-trial durations.
+    pub fn from_trials(x: u64, durations: &[Duration], stats: StatsSnapshot) -> Self {
+        assert!(!durations.is_empty(), "a data point needs at least one trial");
+        let secs: Vec<f64> = durations.iter().map(Duration::as_secs_f64).collect();
+        let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+        let var = if secs.len() > 1 {
+            secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (secs.len() - 1) as f64
+        } else {
+            0.0
+        };
+        DataPoint {
+            x,
+            seconds: mean,
+            stddev: var.sqrt(),
+            trials: secs.len() as u32,
+            stats,
+        }
+    }
+}
+
+/// One line in a figure: a mechanism and its measured points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// The mechanism this series measures.
+    pub mechanism: Mechanism,
+    /// Measured points, ordered by `x`.
+    pub points: Vec<DataPoint>,
+}
+
+impl Series {
+    /// Creates an empty series for `mechanism`.
+    pub fn new(mechanism: Mechanism) -> Self {
+        Series {
+            mechanism,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point, keeping the series ordered by `x`.
+    pub fn push(&mut self, point: DataPoint) {
+        self.points.push(point);
+        self.points.sort_by_key(|p| p.x);
+    }
+
+    /// Looks up the point at `x`, if measured.
+    pub fn at(&self, x: u64) -> Option<&DataPoint> {
+        self.points.iter().find(|p| p.x == x)
+    }
+}
+
+/// One panel of a figure (e.g. `p2-c4` in Figure 2.3, or one PARSEC app in
+/// Figure 2.6): a set of series sharing the same x-axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel label (`"p2-c4"`, `"dedup"`, …).
+    pub label: String,
+    /// What the x-axis means (`"buffer size"`, `"# of threads"`).
+    pub x_label: String,
+    /// One series per mechanism.
+    pub series: Vec<Series>,
+}
+
+impl Panel {
+    /// Creates an empty panel.
+    pub fn new(label: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Panel {
+            label: label.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The series for `mechanism`, creating it if absent.
+    pub fn series_mut(&mut self, mechanism: Mechanism) -> &mut Series {
+        if let Some(i) = self.series.iter().position(|s| s.mechanism == mechanism) {
+            return &mut self.series[i];
+        }
+        self.series.push(Series::new(mechanism));
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// All distinct x values across the panel's series, sorted.
+    pub fn xs(&self) -> Vec<u64> {
+        let mut xs: Vec<u64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    }
+
+    /// The mechanism with the smallest mean time at `x`, if any point exists.
+    pub fn winner_at(&self, x: u64) -> Option<Mechanism> {
+        self.series
+            .iter()
+            .filter_map(|s| s.at(x).map(|p| (s.mechanism, p.seconds)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .map(|(m, _)| m)
+    }
+
+    /// Renders the panel as a fixed-width text table (x value per row, one
+    /// column per mechanism), matching the rows the paper's plots encode.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.label);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>12}", s.mechanism.label());
+        }
+        let _ = writeln!(out);
+        for x in self.xs() {
+            let _ = write!(out, "{x:>14}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(p) => {
+                        let _ = write!(out, " {:>12.4}", p.seconds);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A complete experiment: one figure or table of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier (`"fig2.3"`, `"table2.1"`, …).
+    pub experiment: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Runtime configuration label (`"eager-stm"`, `"lazy-stm"`, `"htm"`).
+    pub runtime: String,
+    /// The figure's panels.
+    pub panels: Vec<Panel>,
+    /// Free-form notes (trial counts, scaling factors, host description).
+    pub notes: BTreeMap<String, String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        experiment: impl Into<String>,
+        title: impl Into<String>,
+        runtime: impl Into<String>,
+    ) -> Self {
+        Report {
+            experiment: experiment.into(),
+            title: title.into(),
+            runtime: runtime.into(),
+            panels: Vec::new(),
+            notes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a note recorded alongside the data (e.g. `items = 2^16`).
+    pub fn note(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.notes.insert(key.into(), value.into());
+    }
+
+    /// Adds a panel and returns a mutable reference to it.
+    pub fn panel_mut(&mut self, label: &str, x_label: &str) -> &mut Panel {
+        if let Some(i) = self.panels.iter().position(|p| p.label == label) {
+            return &mut self.panels[i];
+        }
+        self.panels.push(Panel::new(label, x_label));
+        self.panels.last_mut().expect("just pushed")
+    }
+
+    /// Renders the whole report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {} [{}]", self.experiment, self.title, self.runtime);
+        for (k, v) in &self.notes {
+            let _ = writeln!(out, "#   {k}: {v}");
+        }
+        let _ = writeln!(out);
+        for panel in &self.panels {
+            out.push_str(&panel.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports are serializable")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: u64, secs: f64) -> DataPoint {
+        DataPoint {
+            x,
+            seconds: secs,
+            stddev: 0.0,
+            trials: 1,
+            stats: StatsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn from_trials_computes_mean_and_stddev() {
+        let p = DataPoint::from_trials(
+            16,
+            &[Duration::from_millis(100), Duration::from_millis(300)],
+            StatsSnapshot::default(),
+        );
+        assert_eq!(p.x, 16);
+        assert!((p.seconds - 0.2).abs() < 1e-9);
+        assert!(p.stddev > 0.0);
+        assert_eq!(p.trials, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn from_trials_rejects_empty_input() {
+        let _ = DataPoint::from_trials(1, &[], StatsSnapshot::default());
+    }
+
+    #[test]
+    fn series_stays_sorted_and_lookup_works() {
+        let mut s = Series::new(Mechanism::Retry);
+        s.push(point(128, 1.0));
+        s.push(point(4, 2.0));
+        s.push(point(16, 1.5));
+        assert_eq!(s.points.iter().map(|p| p.x).collect::<Vec<_>>(), vec![4, 16, 128]);
+        assert!((s.at(16).unwrap().seconds - 1.5).abs() < 1e-12);
+        assert!(s.at(99).is_none());
+    }
+
+    #[test]
+    fn panel_tracks_winner_and_xs() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Retry).push(point(4, 0.8));
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.2));
+        panel.series_mut(Mechanism::Restart).push(point(4, 0.5));
+        panel.series_mut(Mechanism::Restart).push(point(16, 0.4));
+        assert_eq!(panel.xs(), vec![4, 16]);
+        assert_eq!(panel.winner_at(4), Some(Mechanism::Restart));
+        assert_eq!(panel.winner_at(16), Some(Mechanism::Restart));
+        assert_eq!(panel.winner_at(9999), None);
+    }
+
+    #[test]
+    fn panel_series_mut_reuses_existing_series() {
+        let mut panel = Panel::new("p", "x");
+        panel.series_mut(Mechanism::Await).push(point(1, 1.0));
+        panel.series_mut(Mechanism::Await).push(point(2, 2.0));
+        assert_eq!(panel.series.len(), 1);
+        assert_eq!(panel.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn report_renders_tables_and_round_trips_json() {
+        let mut r = Report::new("fig2.3", "Bounded buffer, eager STM", "eager-stm");
+        r.note("items", "65536");
+        let panel = r.panel_mut("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Retry).push(point(4, 0.9));
+        panel.series_mut(Mechanism::Await).push(point(4, 0.8));
+        let text = r.render();
+        assert!(text.contains("fig2.3"));
+        assert!(text.contains("p1-c1"));
+        assert!(text.contains("Retry"));
+        assert!(text.contains("0.9"));
+
+        let json = r.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back.experiment, "fig2.3");
+        assert_eq!(back.panels.len(), 1);
+        assert_eq!(back.notes["items"], "65536");
+    }
+
+    #[test]
+    fn missing_points_render_as_dashes() {
+        let mut panel = Panel::new("p8-c8", "buffer size");
+        panel.series_mut(Mechanism::Retry).push(point(4, 1.0));
+        panel.series_mut(Mechanism::Await).push(point(16, 2.0));
+        let text = panel.render();
+        assert!(text.contains('-'));
+    }
+}

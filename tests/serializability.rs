@@ -1,0 +1,194 @@
+//! Integration tests that the three runtimes provide the isolation the
+//! condition-synchronization layer assumes: concurrent transactions behave as
+//! if executed in some serial order (no lost updates, invariants preserved
+//! across transfers), and transactional data structures stay consistent under
+//! contention.
+
+use std::sync::Arc;
+
+use tm_repro::prelude::*;
+use tm_repro::workloads::runtime::RuntimeKind;
+
+const THREADS: usize = 4;
+
+#[test]
+fn concurrent_counter_increments_are_serializable() {
+    const PER_THREAD: u64 = 300;
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::small());
+        let system = Arc::clone(rt.system());
+        let counter = TmCounter::new(&system, 0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let rt = rt.clone();
+                let system = Arc::clone(&system);
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    let th = system.register_thread();
+                    for _ in 0..PER_THREAD {
+                        rt.atomically(&th, |tx| counter.increment(tx).map(|_| ()));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counter.load_direct(&system),
+            THREADS as u64 * PER_THREAD,
+            "lost updates on {kind}"
+        );
+    }
+}
+
+#[test]
+fn bank_transfers_conserve_total_balance() {
+    const ACCOUNTS: usize = 8;
+    const TRANSFERS: u64 = 250;
+    const INITIAL: u64 = 1_000;
+
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::small());
+        let system = Arc::clone(rt.system());
+        let accounts: Arc<Vec<TmVar<u64>>> = Arc::new(
+            (0..ACCOUNTS).map(|_| TmVar::alloc(&system, INITIAL)).collect(),
+        );
+
+        std::thread::scope(|scope| {
+            for tid in 0..THREADS {
+                let rt = rt.clone();
+                let system = Arc::clone(&system);
+                let accounts = Arc::clone(&accounts);
+                scope.spawn(move || {
+                    let th = system.register_thread();
+                    let mut seed = 0x1234_5678_u64.wrapping_add(tid as u64);
+                    for _ in 0..TRANSFERS {
+                        // xorshift for reproducible pseudo-random pairs.
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        let from = (seed % ACCOUNTS as u64) as usize;
+                        let to = ((seed >> 8) % ACCOUNTS as u64) as usize;
+                        let amount = seed % 5;
+                        rt.atomically(&th, |tx| {
+                            let f = accounts[from].get(tx)?;
+                            if f < amount || from == to {
+                                return Ok(());
+                            }
+                            let t = accounts[to].get(tx)?;
+                            accounts[from].set(tx, f - amount)?;
+                            accounts[to].set(tx, t + amount)
+                        });
+                    }
+                });
+            }
+        });
+
+        let total: u64 = accounts.iter().map(|a| a.load_direct(&system)).sum();
+        assert_eq!(
+            total,
+            ACCOUNTS as u64 * INITIAL,
+            "money was created or destroyed on {kind}"
+        );
+    }
+}
+
+#[test]
+fn queue_and_stack_do_not_lose_elements_under_contention() {
+    const PER_THREAD: u64 = 150;
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::default().with_heap_words(1 << 16));
+        let system = Arc::clone(rt.system());
+        let queue = TmQueue::new(&system);
+        let stack = TmStack::new(&system);
+
+        std::thread::scope(|scope| {
+            for tid in 0..THREADS {
+                let rt = rt.clone();
+                let system = Arc::clone(&system);
+                let queue = queue.clone();
+                let stack = stack.clone();
+                scope.spawn(move || {
+                    let th = system.register_thread();
+                    for i in 0..PER_THREAD {
+                        let value = tid as u64 * PER_THREAD + i + 1;
+                        rt.atomically(&th, |tx| queue.enqueue(tx, value));
+                        rt.atomically(&th, |tx| stack.push(tx, value));
+                    }
+                });
+            }
+        });
+
+        assert_eq!(queue.len_direct(&system), THREADS as u64 * PER_THREAD, "{kind}");
+        assert_eq!(stack.len_direct(&system), THREADS as u64 * PER_THREAD, "{kind}");
+
+        // Drain both and check every value appears exactly once.
+        let th = system.register_thread();
+        let mut seen_q = vec![false; (THREADS as u64 * PER_THREAD) as usize + 1];
+        let mut seen_s = seen_q.clone();
+        loop {
+            let v = rt.atomically(&th, |tx| queue.try_dequeue(tx));
+            match v {
+                Some(v) => {
+                    assert!(!seen_q[v as usize], "duplicate queue element {v} on {kind}");
+                    seen_q[v as usize] = true;
+                }
+                None => break,
+            }
+        }
+        loop {
+            let v = rt.atomically(&th, |tx| stack.try_pop(tx));
+            match v {
+                Some(v) => {
+                    assert!(!seen_s[v as usize], "duplicate stack element {v} on {kind}");
+                    seen_s[v as usize] = true;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(seen_q.iter().filter(|&&b| b).count() as u64, THREADS as u64 * PER_THREAD);
+        assert_eq!(seen_s.iter().filter(|&&b| b).count() as u64, THREADS as u64 * PER_THREAD);
+    }
+}
+
+#[test]
+fn transactional_barrier_keeps_phases_in_lockstep() {
+    use condsync::Mechanism;
+    const PHASES: u64 = 12;
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::small());
+        let system = Arc::clone(rt.system());
+        let barrier = TmBarrier::new(&system, THREADS as u64);
+        // One cell per thread records its current phase; at every barrier all
+        // cells must be equal.
+        let phases: Arc<Vec<TmVar<u64>>> =
+            Arc::new((0..THREADS).map(|_| TmVar::alloc(&system, 0)).collect());
+
+        std::thread::scope(|scope| {
+            for tid in 0..THREADS {
+                let rt = rt.clone();
+                let system = Arc::clone(&system);
+                let barrier = barrier.clone();
+                let phases = Arc::clone(&phases);
+                scope.spawn(move || {
+                    let th = system.register_thread();
+                    for phase in 1..=PHASES {
+                        rt.atomically(&th, |tx| phases[tid].set(tx, phase));
+                        barrier.wait(&rt, &th, Mechanism::Retry);
+                        // After the barrier nobody can still be on a phase
+                        // older than ours minus zero: everyone has written
+                        // at least `phase`.
+                        let snapshot: Vec<u64> = (0..THREADS)
+                            .map(|i| rt.atomically(&th, |tx| phases[i].get(tx)))
+                            .collect();
+                        for &p in &snapshot {
+                            assert!(
+                                p >= phase,
+                                "{kind}: thread observed a straggler at phase {p} < {phase}"
+                            );
+                        }
+                        barrier.wait(&rt, &th, Mechanism::Retry);
+                    }
+                });
+            }
+        });
+    }
+}
