@@ -107,7 +107,9 @@ fn waitset_kind(c: &mut Criterion) {
     // an immediately-true condition (measures orec collection cost).
     let rt = RuntimeKind::EagerStm.build(TmConfig::default().with_heap_words(1 << 12));
     let system = Arc::clone(rt.system());
-    let arr: Vec<TmVar<u64>> = (0..READS).map(|i| TmVar::alloc(&system, i as u64)).collect();
+    let arr: Vec<TmVar<u64>> = (0..READS)
+        .map(|i| TmVar::alloc(&system, i as u64))
+        .collect();
     let th = system.register_thread();
 
     group.bench_function("plain_reads", |b| {
@@ -162,7 +164,9 @@ fn htm_fallback(c: &mut Criterion) {
             });
         let rt = RuntimeKind::Htm.build(config);
         let system = Arc::clone(rt.system());
-        let arr: Vec<TmVar<u64>> = (0..WRITES).map(|i| TmVar::alloc(&system, i as u64)).collect();
+        let arr: Vec<TmVar<u64>> = (0..WRITES)
+            .map(|i| TmVar::alloc(&system, i as u64))
+            .collect();
         let th = system.register_thread();
         group.bench_with_input(BenchmarkId::from_parameter(attempts), &attempts, |b, _| {
             b.iter(|| {
@@ -183,7 +187,12 @@ fn quiescence(c: &mut Criterion) {
     let mut group = group_defaults(c, "ablation_quiescence");
     for (label, config) in [
         ("on", TmConfig::default().with_heap_words(1 << 12)),
-        ("off", TmConfig::default().with_heap_words(1 << 12).without_quiescence()),
+        (
+            "off",
+            TmConfig::default()
+                .with_heap_words(1 << 12)
+                .without_quiescence(),
+        ),
     ] {
         let rt: AnyRuntime = RuntimeKind::EagerStm.build(config);
         let system = Arc::clone(rt.system());
@@ -215,7 +224,9 @@ fn await_vs_retry(c: &mut Criterion) {
     for mechanism in [Mechanism::Retry, Mechanism::WaitPred] {
         let rt = RuntimeKind::EagerStm.build(TmConfig::default().with_heap_words(1 << 12));
         let system = Arc::clone(rt.system());
-        let arr: Vec<TmVar<u64>> = (0..READS).map(|i| TmVar::alloc(&system, i as u64)).collect();
+        let arr: Vec<TmVar<u64>> = (0..READS)
+            .map(|i| TmVar::alloc(&system, i as u64))
+            .collect();
         let gate = TmVar::<u64>::alloc(&system, 0);
         let th = system.register_thread();
         group.bench_function(mechanism.label(), |b| {
@@ -236,11 +247,9 @@ fn await_vs_retry(c: &mut Criterion) {
                         gate.store_direct(&system, 1);
                         return match mechanism {
                             Mechanism::Await => condsync::await_one(tx, gate.addr()),
-                            Mechanism::WaitPred => condsync::wait_pred(
-                                tx,
-                                gate_nonzero,
-                                &[gate.addr().0 as u64],
-                            ),
+                            Mechanism::WaitPred => {
+                                condsync::wait_pred(tx, gate_nonzero, &[gate.addr().0 as u64])
+                            }
                             _ => condsync::retry(tx),
                         };
                     }

@@ -53,12 +53,19 @@ fn dedup_across_runtimes(c: &mut Criterion) {
     });
     for kind in RuntimeKind::ALL {
         let params = KernelParams::new(2, Mechanism::Retry, kind, Scale::Test);
-        group.bench_with_input(BenchmarkId::new("retry", kind.label()), &params, |b, params| {
-            b.iter(|| ParsecApp::Dedup.run(params))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("retry", kind.label()),
+            &params,
+            |b, params| b.iter(|| ParsecApp::Dedup.run(params)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, kernels_under_retry, ferret_across_mechanisms, dedup_across_runtimes);
+criterion_group!(
+    benches,
+    kernels_under_retry,
+    ferret_across_mechanisms,
+    dedup_across_runtimes
+);
 criterion_main!(benches);

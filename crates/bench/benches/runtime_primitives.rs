@@ -24,23 +24,21 @@ fn read_only(c: &mut Criterion) {
         for &reads in &[1usize, 16, 128] {
             let rt = kind.build(TmConfig::default().with_heap_words(1 << 12));
             let system = Arc::clone(rt.system());
-            let arr: Vec<TmVar<u64>> = (0..reads).map(|i| TmVar::alloc(&system, i as u64)).collect();
+            let arr: Vec<TmVar<u64>> = (0..reads)
+                .map(|i| TmVar::alloc(&system, i as u64))
+                .collect();
             let th = system.register_thread();
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), reads),
-                &reads,
-                |b, _| {
-                    b.iter(|| {
-                        rt.atomically(&th, |tx| {
-                            let mut sum = 0u64;
-                            for v in &arr {
-                                sum = sum.wrapping_add(v.get(tx)?);
-                            }
-                            Ok(sum)
-                        })
+            group.bench_with_input(BenchmarkId::new(kind.label(), reads), &reads, |b, _| {
+                b.iter(|| {
+                    rt.atomically(&th, |tx| {
+                        let mut sum = 0u64;
+                        for v in &arr {
+                            sum = sum.wrapping_add(v.get(tx)?);
+                        }
+                        Ok(sum)
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();
@@ -54,24 +52,21 @@ fn writer(c: &mut Criterion) {
         for &writes in &[1usize, 16] {
             let rt = kind.build(TmConfig::default().with_heap_words(1 << 12));
             let system = Arc::clone(rt.system());
-            let arr: Vec<TmVar<u64>> =
-                (0..writes).map(|i| TmVar::alloc(&system, i as u64)).collect();
+            let arr: Vec<TmVar<u64>> = (0..writes)
+                .map(|i| TmVar::alloc(&system, i as u64))
+                .collect();
             let th = system.register_thread();
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), writes),
-                &writes,
-                |b, _| {
-                    b.iter(|| {
-                        rt.atomically(&th, |tx| {
-                            for v in &arr {
-                                let x = v.get(tx)?;
-                                v.set(tx, x.wrapping_add(1))?;
-                            }
-                            Ok(())
-                        })
+            group.bench_with_input(BenchmarkId::new(kind.label(), writes), &writes, |b, _| {
+                b.iter(|| {
+                    rt.atomically(&th, |tx| {
+                        for v in &arr {
+                            let x = v.get(tx)?;
+                            v.set(tx, x.wrapping_add(1))?;
+                        }
+                        Ok(())
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

@@ -12,7 +12,10 @@ use tm_workloads::report::Report;
 use tm_workloads::runtime::RuntimeKind;
 
 fn summarize(report: &Report) {
-    println!("== {} [{}] — winners per panel ==", report.experiment, report.runtime);
+    println!(
+        "== {} [{}] — winners per panel ==",
+        report.experiment, report.runtime
+    );
     for panel in &report.panels {
         let xs = panel.xs();
         let winners: Vec<String> = xs

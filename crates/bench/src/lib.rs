@@ -81,10 +81,22 @@ impl FigureOptions {
             items: PcParams::PAPER_ITEMS,
             trials: 5,
             pc_panels: vec![
-                (1, 1), (1, 2), (1, 4), (1, 8),
-                (2, 1), (2, 2), (2, 4), (2, 8),
-                (4, 1), (4, 2), (4, 4), (4, 8),
-                (8, 1), (8, 2), (8, 4), (8, 8),
+                (1, 1),
+                (1, 2),
+                (1, 4),
+                (1, 8),
+                (2, 1),
+                (2, 2),
+                (2, 4),
+                (2, 8),
+                (4, 1),
+                (4, 2),
+                (4, 4),
+                (4, 8),
+                (8, 1),
+                (8, 2),
+                (8, 4),
+                (8, 8),
             ],
             buffer_sizes: vec![4, 16, 128],
             thread_counts: vec![1, 2, 3, 4, 5, 6, 7, 8],
@@ -286,7 +298,9 @@ pub fn emit(report: &Report) {
 }
 
 fn num_cpus_estimate() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -323,7 +337,9 @@ mod tests {
         assert!(opts
             .mechanisms_for(RuntimeKind::EagerStm)
             .contains(&Mechanism::RetryOrig));
-        assert!(!opts.mechanisms_for(RuntimeKind::Htm).contains(&Mechanism::RetryOrig));
+        assert!(!opts
+            .mechanisms_for(RuntimeKind::Htm)
+            .contains(&Mechanism::RetryOrig));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! variables.  Waits are subject to spurious wake-ups, so callers must
 //! re-check their predicate in a loop, as the paper's Algorithm 2 does.
 
-use parking_lot::{Condvar, Mutex};
+use tm_core::lock::{Condvar, Mutex};
 
 use tm_core::stats::TxStats;
 use tm_core::{Tx, TxResult};
@@ -166,7 +166,11 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(20));
         cv.signal();
-        assert_eq!(h.join().unwrap(), 1, "wait must commit-and-reopen exactly once");
+        assert_eq!(
+            h.join().unwrap(),
+            1,
+            "wait must commit-and-reopen exactly once"
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! condition as an ordinary read-only transaction over shared memory.  No
 //! access to the writer's write set is required, which is what makes the
 //! design compatible with (simulated) hardware TM.
+//!
+//! Both functions are invoked exclusively by the unified driver loop in
+//! `tm_core::driver` (where their implementation lives — the dependency
+//! points from this crate to `tm-core`); this crate contributes the
+//! user-facing constructs, the `Retry-Orig` and `TMCondVar` baselines, and
+//! the [`Mechanism`] enumeration the evaluation sweeps over.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,11 +37,9 @@
 pub mod condvar;
 pub mod deschedule;
 pub mod mechanism;
-pub mod mechanisms;
 pub mod orig;
 
 pub use condvar::TmCondVar;
 pub use deschedule::{deschedule, wake_waiters, DescheduleOutcome};
-pub use mechanism::Mechanism;
-pub use mechanisms::{await_addrs, await_one, restart, retry, retry_orig, wait_pred};
-pub use orig::{OrigRegistry, OrigWaiter};
+pub use mechanism::{await_addrs, await_one, restart, retry, retry_orig, wait_pred, Mechanism};
+pub use orig::{sleep_until_intersection, OrigRegistry, OrigWaiter};

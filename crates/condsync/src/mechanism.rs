@@ -1,12 +1,196 @@
-//! Enumeration of the condition-synchronization mechanisms compared in the
-//! evaluation.
+//! The condition-synchronization mechanisms: the user-facing constructs and
+//! the enumeration the evaluation sweeps over.
+//!
+//! # Constructs
+//!
+//! [`retry`], [`await_addrs`] / [`await_one`], [`wait_pred`], [`retry_orig`]
+//! and [`restart`] are called from *inside* a transaction body and return an
+//! `Err(TxCtl::…)` that the body must propagate with `?`.  The unified
+//! driver loop ([`tm_core::driver::run`]) then rolls the transaction back
+//! and performs the requested action (deschedule, mode switch, or plain
+//! restart).  This mirrors the paper's presentation, where `Retry`, `Await`
+//! and `WaitPred` all reduce to `Deschedule(f, p)` after the transaction's
+//! effects have been undone.
+//!
+//! # Enumeration
+//!
+//! [`Mechanism`] names the seven schemes of §2.4 — the five constructs above
+//! plus the `Pthreads` and `TMCondVar` baselines — so workloads and figure
+//! binaries can sweep over them uniformly.
+//!
+//! (Historically these lived in two separate modules, `mechanism` and
+//! `mechanisms`; they are one module now.)
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
+use tm_core::{Addr, PredFn, Tx, TxCtl, TxResult, WaitSpec};
+
+/// Explicit-abort code used by the [`restart`] baseline.
+pub const RESTART_ABORT_CODE: u8 = 0xFE;
+
+/// `Retry` (Algorithm 5): undo the transaction and sleep until some location
+/// it read changes value.
+///
+/// The runtime handles the two-phase protocol: if the current attempt was not
+/// logging `(addr, value)` pairs (first software attempt, or a hardware
+/// attempt, which cannot log values at all), it restarts the transaction in
+/// value-logging software mode; once the value log is populated the
+/// transaction is descheduled with a [`WaitSpec::ReadSetValues`] condition.
+///
+/// Never returns `Ok`; the `T` parameter lets call sites use it in tail
+/// position of any expression type.
+pub fn retry<T>(_tx: &mut dyn Tx) -> TxResult<T> {
+    Err(TxCtl::Deschedule(WaitSpec::ReadSetValues))
+}
+
+/// `Await` (Algorithm 6): undo the transaction and sleep until one of the
+/// given addresses changes value.
+///
+/// The addresses should have been read by the transaction (the paper assumes
+/// this and our runtimes validate it during rollback); the runtime captures
+/// their pre-transaction values after undoing the transaction's writes, while
+/// its locks are still held, so the snapshot is consistent.
+pub fn await_addrs<T>(_tx: &mut dyn Tx, addrs: &[Addr]) -> TxResult<T> {
+    Err(TxCtl::Deschedule(WaitSpec::Addrs(addrs.to_vec())))
+}
+
+/// Convenience wrapper for awaiting a single address (the common case in the
+/// paper's bounded buffer, which waits on `&count`).
+pub fn await_one<T>(tx: &mut dyn Tx, addr: Addr) -> TxResult<T> {
+    await_addrs(tx, &[addr])
+}
+
+/// `WaitPred` (Algorithm 7): undo the transaction and sleep until `pred`
+/// evaluates to true.
+///
+/// `args` are marshalled *by value* into the wait record: the paper notes the
+/// waiter cannot point at objects it wrote, because those writes are undone
+/// before the record is published.
+pub fn wait_pred<T>(_tx: &mut dyn Tx, pred: PredFn, args: &[u64]) -> TxResult<T> {
+    Err(TxCtl::Deschedule(WaitSpec::Pred {
+        f: pred,
+        args: args.to_vec(),
+    }))
+}
+
+/// The original lock-metadata `Retry` (Algorithm 1), kept as the `Retry-Orig`
+/// baseline.  Supported by the software runtimes only.
+pub fn retry_orig<T>(_tx: &mut dyn Tx) -> TxResult<T> {
+    Err(TxCtl::Deschedule(WaitSpec::OrigReadLocks))
+}
+
+/// The `Restart` baseline: abort and immediately re-execute the transaction
+/// without sleeping.  Equivalent to a Conditional-Critical-Region retry loop.
+pub fn restart<T>(tx: &mut dyn Tx) -> TxResult<T> {
+    Err(tx.explicit_abort(RESTART_ABORT_CODE))
+}
+
+#[cfg(test)]
+mod construct_tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_core::{AbortReason, TmConfig, TmSystem, TxCommon, TxMode};
+
+    struct NullTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for NullTx {
+        fn read(&mut self, _addr: Addr) -> TxResult<u64> {
+            Ok(0)
+        }
+        fn write(&mut self, _addr: Addr, _val: u64) -> TxResult<()> {
+            Ok(())
+        }
+        fn alloc(&mut self, _words: usize) -> TxResult<Addr> {
+            Ok(Addr(1))
+        }
+        fn free(&mut self, _addr: Addr, _words: usize) -> TxResult<()> {
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, _block: &mut dyn FnMut()) -> TxResult<()> {
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> TxCtl {
+            TxCtl::Abort(AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    fn null_tx() -> NullTx {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        NullTx {
+            common: TxCommon::new(th, TxMode::Software, 0),
+            system,
+        }
+    }
+
+    #[test]
+    fn retry_requests_readset_deschedule() {
+        let mut tx = null_tx();
+        match retry::<()>(&mut tx) {
+            Err(TxCtl::Deschedule(WaitSpec::ReadSetValues)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn await_carries_address_list() {
+        let mut tx = null_tx();
+        match await_addrs::<()>(&mut tx, &[Addr(3), Addr(9)]) {
+            Err(TxCtl::Deschedule(WaitSpec::Addrs(a))) => assert_eq!(a, vec![Addr(3), Addr(9)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match await_one::<()>(&mut tx, Addr(5)) {
+            Err(TxCtl::Deschedule(WaitSpec::Addrs(a))) => assert_eq!(a, vec![Addr(5)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_pred_carries_function_and_args() {
+        fn p(_tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+            Ok(args[0] > 0)
+        }
+        let mut tx = null_tx();
+        match wait_pred::<()>(&mut tx, p, &[7, 8]) {
+            Err(TxCtl::Deschedule(WaitSpec::Pred { args, .. })) => assert_eq!(args, vec![7, 8]),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_orig_requests_lock_based_deschedule() {
+        let mut tx = null_tx();
+        match retry_orig::<()>(&mut tx) {
+            Err(TxCtl::Deschedule(WaitSpec::OrigReadLocks)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restart_is_an_explicit_abort() {
+        let mut tx = null_tx();
+        match restart::<()>(&mut tx) {
+            Err(TxCtl::Abort(AbortReason::Explicit(code))) => assert_eq!(code, RESTART_ABORT_CODE),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}
+
 /// The seven condition-synchronization mechanisms of §2.4.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Mechanism {
     /// Locks + POSIX-style condition variables (no transactions at all).
     Pthreads,
@@ -64,7 +248,10 @@ impl Mechanism {
     /// True for the three mechanisms the paper introduces (all built on
     /// Deschedule).
     pub fn is_deschedule_based(self) -> bool {
-        matches!(self, Mechanism::WaitPred | Mechanism::Await | Mechanism::Retry)
+        matches!(
+            self,
+            Mechanism::WaitPred | Mechanism::Await | Mechanism::Retry
+        )
     }
 
     /// True if the mechanism uses transactions at all.
@@ -103,7 +290,7 @@ impl FromStr for Mechanism {
 }
 
 #[cfg(test)]
-mod tests {
+mod enum_tests {
     use super::*;
 
     #[test]
@@ -133,10 +320,22 @@ mod tests {
 
     #[test]
     fn parsing_accepts_legend_spellings() {
-        assert_eq!("Retry-Orig".parse::<Mechanism>().unwrap(), Mechanism::RetryOrig);
-        assert_eq!("waitpred".parse::<Mechanism>().unwrap(), Mechanism::WaitPred);
-        assert_eq!("PTHREADS".parse::<Mechanism>().unwrap(), Mechanism::Pthreads);
-        assert_eq!("TMCondVar".parse::<Mechanism>().unwrap(), Mechanism::TmCondVar);
+        assert_eq!(
+            "Retry-Orig".parse::<Mechanism>().unwrap(),
+            Mechanism::RetryOrig
+        );
+        assert_eq!(
+            "waitpred".parse::<Mechanism>().unwrap(),
+            Mechanism::WaitPred
+        );
+        assert_eq!(
+            "PTHREADS".parse::<Mechanism>().unwrap(),
+            Mechanism::Pthreads
+        );
+        assert_eq!(
+            "TMCondVar".parse::<Mechanism>().unwrap(),
+            Mechanism::TmCondVar
+        );
         assert!("bogus".parse::<Mechanism>().is_err());
     }
 

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use tm_core::lock::Mutex;
 
 use tm_core::stats::TxStats;
 use tm_core::{Semaphore, ThreadCtx, ThreadId};
@@ -117,6 +117,32 @@ impl OrigRegistry {
         });
         self.count.store(list.len(), Ordering::Release);
         woken
+    }
+}
+
+/// The full `Retry-Orig` deschedule path (Algorithm 1), shared by the
+/// software runtimes' engine hooks: publish-if-valid, sleep, deregister.
+///
+/// The caller must have rolled its transaction back already;
+/// `reads_still_valid` runs under the registry lock and decides whether the
+/// read set is still consistent (if not, the thread re-executes immediately
+/// instead of sleeping).
+pub fn sleep_until_intersection<F: FnOnce() -> bool>(
+    registry: &OrigRegistry,
+    thread: &Arc<ThreadCtx>,
+    read_orecs: Vec<usize>,
+    reads_still_valid: F,
+) {
+    TxStats::bump(&thread.stats.descheds);
+    let sem = Arc::new(Semaphore::new());
+    let waiter = OrigWaiter::new(thread.id, read_orecs, Arc::clone(&sem));
+    if registry.register_if(Arc::clone(&waiter), reads_still_valid) {
+        TxStats::bump(&thread.stats.sleeps);
+        sem.wait();
+        registry.deregister(&waiter);
+    } else {
+        // Some location the waiter read already changed: re-execute now.
+        TxStats::bump(&thread.stats.desched_skips);
     }
 }
 

@@ -209,7 +209,11 @@ mod tests {
                 doomed_writer,
             } => {
                 doomed_readers.sort_unstable();
-                assert_eq!(doomed_readers, vec![0, 5], "own read registration is not doomed");
+                assert_eq!(
+                    doomed_readers,
+                    vec![0, 5],
+                    "own read registration is not doomed"
+                );
                 assert_eq!(doomed_writer, None);
             }
             other => panic!("unexpected {other:?}"),

@@ -1,15 +1,21 @@
-//! The HTM simulator's driver loop: speculative attempts, the GCC-style
-//! serial fallback, and the software-mode fallback for descheduling
-//! transactions.
+//! The HTM simulator's runtime: a thin [`TxEngine`] over [`HtmTx`], plus the
+//! GCC-style serial fallback lock.
+//!
+//! The speculative/serial mode ladder — bounded hardware attempts, the
+//! serial fallback after repeated failures, and the software re-execution
+//! that descheduling hardware transactions require — is expressed through
+//! the engine's mode-policy hooks; the loop that drives it is the shared
+//! [`tm_core::driver::run`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use tm_core::backoff::Backoff;
+use tm_core::driver::{self, CommitOutcome, TxEngine};
+use tm_core::lock::{Mutex, MutexGuard};
 use tm_core::stats::TxStats;
 use tm_core::{
-    AbortReason, ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
-    TxResult, WaitSpec,
+    ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
+    WaitCondition, WaitSpec,
 };
 
 use crate::lines::LineTable;
@@ -23,7 +29,15 @@ pub struct HtmSim {
     /// hardware transactions observe: they refuse to start (and abort) while
     /// it is held.
     fallback_flag: AtomicBool,
-    seed: AtomicU64,
+    /// Serialises hardware commits (doom-check + redo write-back + directory
+    /// clear) against each other and against serial-lock acquisition.
+    ///
+    /// On real hardware a transactional commit is atomic at the coherence
+    /// layer; without this lock the simulator had a window between a
+    /// transaction's final doom check and its write-back in which a
+    /// conflicting commit (or the serial fallback's direct stores) could
+    /// interleave, producing lost updates.
+    commit_mutex: Mutex<()>,
 }
 
 impl std::fmt::Debug for HtmSim {
@@ -42,7 +56,7 @@ impl HtmSim {
             system,
             lines,
             fallback_flag: AtomicBool::new(false),
-            seed: AtomicU64::new(1),
+            commit_mutex: Mutex::new(()),
         })
     }
 
@@ -96,6 +110,18 @@ impl HtmSim {
         }
         TxStats::bump(&thread.stats.serial_acquires);
         self.system.threads.for_each_other(thread.id, |t| t.doom());
+        // Wait out any hardware commit that passed its doom check before the
+        // dooms above landed: once the commit mutex has been acquired and
+        // released, every in-flight write-back has finished and every later
+        // hardware commit will observe its doom flag and abort.  Without
+        // this barrier the serial section's direct stores could interleave
+        // with a lagging speculative write-back.
+        drop(self.commit_mutex.lock());
+    }
+
+    /// Takes the hardware-commit lock (used by [`HtmTx`]'s commit path).
+    pub(crate) fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit_mutex.lock()
     }
 
     /// Releases the serial lock.
@@ -110,128 +136,45 @@ impl HtmSim {
             t.doom();
         }
     }
+}
 
-    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
-    where
-        F: FnMut(&mut dyn Tx) -> TxResult<T>,
-    {
-        let seed = self
-            .seed
-            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
-            .wrapping_add(thread.id as u64);
-        let mut backoff = Backoff::new(self.system.config.backoff, seed);
-        let mut mode = TxMode::Hardware;
-        let mut hw_failures: u32 = 0;
-        let mut attempts: u32 = 0;
+impl TxEngine for HtmSim {
+    type Tx<'eng> = HtmTx<'eng>;
 
-        loop {
-            let mut tx = HtmTx::begin(self, TxCommon::new(Arc::clone(thread), mode, attempts));
-            let ctl = match body(&mut tx) {
-                Ok(value) => match tx.try_commit() {
-                    Ok(info) => {
-                        if info.hardware {
-                            TxStats::bump(&thread.stats.hw_commits);
-                        } else {
-                            TxStats::bump(&thread.stats.sw_commits);
-                        }
-                        drop(tx);
-                        if info.was_writer {
-                            // Post-commit wake-ups run outside the (already
-                            // committed) transaction; on this runtime the
-                            // condition checks themselves execute as hardware
-                            // transactions where possible.
-                            condsync::wake_waiters(self, thread);
-                        }
-                        return value;
-                    }
-                    Err(ctl) => ctl,
-                },
-                Err(ctl) => ctl,
-            };
+    fn begin(&self, common: TxCommon) -> HtmTx<'_> {
+        HtmTx::begin(self, common)
+    }
 
-            attempts += 1;
-            let hardware_attempt = tx.is_hardware();
-            match ctl {
-                TxCtl::Abort(reason) => {
-                    tx.rollback();
-                    drop(tx);
-                    if hardware_attempt {
-                        TxStats::bump(&thread.stats.hw_aborts);
-                        if let AbortReason::Explicit(_) = reason {
-                            // Program-requested restarts (the Restart
-                            // baseline) stay speculative; only genuine
-                            // conflict/capacity failures count towards the
-                            // fallback budget.
-                            TxStats::bump(&thread.stats.explicit_aborts);
-                        } else {
-                            hw_failures += 1;
-                        }
-                        // GCC libitm policy: after a bounded number of
-                        // speculative failures, suspend concurrency and run
-                        // serially so the transaction is guaranteed to finish.
-                        if hw_failures >= self.system.config.htm.max_attempts {
-                            mode = TxMode::Serial;
-                        }
-                    } else {
-                        TxStats::bump(&thread.stats.sw_aborts);
-                        if let AbortReason::Explicit(_) = reason {
-                            TxStats::bump(&thread.stats.explicit_aborts);
-                        }
-                    }
-                    if reason.is_conflict() {
-                        backoff.abort_and_wait();
-                    }
-                }
-                TxCtl::Deschedule(spec) => {
-                    if hardware_attempt {
-                        // No escape actions in hardware: abort and re-execute
-                        // in the software (serial) mode, value-logging if the
-                        // request was a Retry (§2.2.3).
-                        tx.rollback();
-                        drop(tx);
-                        TxStats::bump(&thread.stats.hw_aborts);
-                        mode = match spec {
-                            WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
-                                TxStats::bump(&thread.stats.retry_relogs);
-                                TxMode::SoftwareRetry
-                            }
-                            _ => TxMode::Serial,
-                        };
-                    } else if matches!(spec, WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks)
-                        && mode != TxMode::SoftwareRetry
-                    {
-                        tx.rollback();
-                        drop(tx);
-                        TxStats::bump(&thread.stats.retry_relogs);
-                        mode = TxMode::SoftwareRetry;
-                    } else {
-                        match tx.rollback_for_deschedule(spec) {
-                            Ok(cond) => {
-                                drop(tx);
-                                condsync::deschedule(self, thread, cond);
-                            }
-                            Err(_) => {
-                                drop(tx);
-                                TxStats::bump(&thread.stats.sw_aborts);
-                            }
-                        }
-                        // After waking, try hardware again from scratch.
-                        mode = TxMode::Hardware;
-                        hw_failures = 0;
-                    }
-                }
-                TxCtl::SwitchToSoftware => {
-                    tx.rollback();
-                    drop(tx);
-                    mode = TxMode::Serial;
-                }
-                TxCtl::BecomeSerial => {
-                    tx.rollback();
-                    drop(tx);
-                    mode = TxMode::Serial;
-                }
-            }
-        }
+    fn try_commit(&self, tx: &mut HtmTx<'_>) -> Result<CommitOutcome, TxCtl> {
+        tx.try_commit()
+    }
+
+    fn rollback(&self, tx: &mut HtmTx<'_>) {
+        tx.rollback();
+    }
+
+    fn materialise_wait(&self, tx: &mut HtmTx<'_>, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        tx.rollback_for_deschedule(spec)
+    }
+
+    fn initial_mode(&self) -> TxMode {
+        TxMode::Hardware
+    }
+
+    fn attempt_is_hardware(&self, tx: &HtmTx<'_>) -> bool {
+        tx.is_hardware()
+    }
+
+    fn mode_after_wake(&self) -> TxMode {
+        // After waking, try hardware again from scratch.
+        TxMode::Hardware
+    }
+
+    fn mode_for_software_switch(&self, _current: TxMode) -> TxMode {
+        // No finer-grained software mode exists here: a transaction that
+        // needs software facilities runs serially (holding the fallback
+        // lock), exactly as descheduling transactions do on real TSX.
+        TxMode::Serial
     }
 }
 
@@ -249,7 +192,7 @@ impl TmRuntime for HtmSim {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
     ) -> u64 {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 
     fn exec_bool(
@@ -257,7 +200,7 @@ impl TmRuntime for HtmSim {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
     ) -> bool {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 
@@ -266,7 +209,7 @@ impl TmRt for HtmSim {
     where
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 
@@ -300,13 +243,11 @@ mod tests {
 
     #[test]
     fn capacity_overflow_falls_back_to_serial() {
-        let system = TmSystem::new(
-            TmConfig::small().with_htm(HtmConfig {
-                max_read_lines: 4,
-                max_write_lines: 2,
-                max_attempts: 2,
-            }),
-        );
+        let system = TmSystem::new(TmConfig::small().with_htm(HtmConfig {
+            max_read_lines: 4,
+            max_write_lines: 2,
+            max_attempts: 2,
+        }));
         let rt = HtmSim::new(Arc::clone(&system));
         let th = system.register_thread();
         let arr = tm_core::TmArray::<u64>::alloc(&system, 256, 0);

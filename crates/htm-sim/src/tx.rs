@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use tm_core::driver::CommitOutcome;
 use tm_core::stats::TxStats;
 use tm_core::{
     AbortReason, Addr, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
@@ -18,15 +19,6 @@ use tm_core::{
 
 use crate::lines::WriteRegistration;
 use crate::runtime::HtmSim;
-
-/// Information returned by a successful commit.
-#[derive(Debug)]
-pub struct CommitInfo {
-    /// True if the transaction wrote anything.
-    pub was_writer: bool,
-    /// True if the attempt committed in hardware.
-    pub hardware: bool,
-}
 
 /// Execution state specific to the attempt flavour.
 #[derive(Debug)]
@@ -150,7 +142,7 @@ impl<'rt> HtmTx<'rt> {
 
     /// Attempts to commit.  On failure the caller must call
     /// [`HtmTx::rollback`].
-    pub fn try_commit(&mut self) -> Result<CommitInfo, TxCtl> {
+    pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
         let system = Arc::clone(self.rt.system());
         match &mut self.state {
             State::Hardware {
@@ -158,7 +150,15 @@ impl<'rt> HtmTx<'rt> {
                 write_slots,
                 redo,
             } => {
+                // The doom check and the write-back must be one atomic step
+                // with respect to other commits and to serial-lock
+                // acquisition (on real hardware the coherence protocol
+                // guarantees this); otherwise two mutually conflicting
+                // transactions can both pass their doom checks and interleave
+                // write-backs, losing updates.
+                let commit_guard = self.rt.commit_guard();
                 if self.common.thread.is_doomed() {
+                    drop(commit_guard);
                     return Err(TxCtl::Abort(AbortReason::HwConflict));
                 }
                 let was_writer = !redo.is_empty();
@@ -185,10 +185,7 @@ impl<'rt> HtmTx<'rt> {
                 }
                 self.mallocs.clear();
                 self.frees.clear();
-                Ok(CommitInfo {
-                    was_writer,
-                    hardware: true,
-                })
+                Ok(CommitOutcome::hardware(was_writer))
             }
             State::Serial { holding, undo } => {
                 let was_writer = !undo.is_empty();
@@ -202,10 +199,7 @@ impl<'rt> HtmTx<'rt> {
                     self.rt.release_serial();
                     *holding = false;
                 }
-                Ok(CommitInfo {
-                    was_writer,
-                    hardware: false,
-                })
+                Ok(CommitOutcome::serial(was_writer))
             }
         }
     }

@@ -13,12 +13,14 @@
 //! * Abort undoes writes in reverse order, releases locks at `version + 1`,
 //!   blindly bumps the clock, and undoes transactional allocations.
 //!
-//! Condition synchronization is layered on via the driver loop in
-//! [`runtime::EagerStm`]: when a body requests descheduling the transaction
-//! is rolled back, the wait condition is materialised (capturing values for
-//! `Await` while locks are still held), and control passes to
-//! [`condsync::deschedule`].  After every writer commit the driver calls
-//! [`condsync::wake_waiters`] and the `Retry-Orig` registry.
+//! Condition synchronization is layered on via the *shared* driver loop in
+//! `tm_core::driver`: [`runtime::EagerStm`] implements the narrow
+//! `TxEngine` interface (begin / commit / rollback / materialise-wait plus
+//! the `Retry-Orig` hooks), and the loop owns re-execution, the deschedule
+//! hand-off to [`condsync::deschedule`], and the post-commit
+//! [`condsync::wake_waiters`] scan.  `Await` still captures its value
+//! snapshot while this runtime's locks are held (see
+//! [`tx::EagerTx::rollback_for_deschedule`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

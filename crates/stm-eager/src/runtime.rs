@@ -1,15 +1,16 @@
-//! The eager-STM driver loop: attempt, commit or roll back, handle
-//! condition-synchronization requests, and run post-commit wake-ups.
+//! The eager-STM runtime: a thin [`TxEngine`] over [`EagerTx`].
+//!
+//! All driver-loop logic (re-execution, abort dispatch, `Retry` value-log
+//! restarts, deschedule hand-off, post-commit wake-ups, backoff) lives in
+//! [`tm_core::driver::run`]; this file only wires the eager attempt type and
+//! the `Retry-Orig` registry into that loop.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use condsync::{OrigRegistry, OrigWaiter};
-use tm_core::backoff::Backoff;
-use tm_core::stats::TxStats;
+use condsync::OrigRegistry;
+use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
-    AbortReason, Semaphore, ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
-    TxResult, WaitSpec,
+    ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxResult, WaitCondition, WaitSpec,
 };
 
 use crate::tx::EagerTx;
@@ -20,8 +21,6 @@ pub struct EagerStm {
     system: Arc<TmSystem>,
     /// Waiting list for the `Retry-Orig` baseline (Algorithm 1).
     orig: OrigRegistry,
-    /// Seed counter so each transaction's backoff is differently randomized.
-    seed: AtomicU64,
 }
 
 impl EagerStm {
@@ -30,7 +29,6 @@ impl EagerStm {
         Arc::new(EagerStm {
             system,
             orig: OrigRegistry::new(),
-            seed: AtomicU64::new(1),
         })
     }
 
@@ -38,114 +36,43 @@ impl EagerStm {
     pub fn orig_registry(&self) -> &OrigRegistry {
         &self.orig
     }
+}
 
-    /// Runs `body` as a transaction until it commits.
-    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
-    where
-        F: FnMut(&mut dyn Tx) -> TxResult<T>,
-    {
-        let seed = self
-            .seed
-            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
-            .wrapping_add(thread.id as u64);
-        let mut backoff = Backoff::new(self.system.config.backoff, seed);
-        let mut mode = TxMode::Software;
-        let mut attempts: u32 = 0;
+impl TxEngine for EagerStm {
+    type Tx<'eng> = EagerTx;
 
-        loop {
-            let mut tx = EagerTx::begin(
-                &self.system,
-                TxCommon::new(Arc::clone(thread), mode, attempts),
-            );
-            let ctl = match body(&mut tx) {
-                Ok(value) => match tx.try_commit() {
-                    Ok(info) => {
-                        TxStats::bump(&thread.stats.sw_commits);
-                        if info.was_writer {
-                            // Post-commit wake-ups: the paper's value-based
-                            // mechanism plus the Retry-Orig intersection.
-                            condsync::wake_waiters(self, thread);
-                            if !self.orig.is_empty() {
-                                self.orig.wake_matching(thread, &info.written_orecs);
-                            }
-                        }
-                        return value;
-                    }
-                    Err(ctl) => ctl,
-                },
-                Err(ctl) => ctl,
-            };
-
-            attempts += 1;
-            match ctl {
-                TxCtl::Abort(reason) => {
-                    tx.rollback();
-                    TxStats::bump(&thread.stats.sw_aborts);
-                    if let AbortReason::Explicit(_) = reason {
-                        // The Restart baseline: re-execute immediately.
-                        TxStats::bump(&thread.stats.explicit_aborts);
-                    } else if reason.is_conflict() {
-                        backoff.abort_and_wait();
-                    }
-                }
-                TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
-                    // Retry was called before the value log existed: restart
-                    // in value-logging mode (Algorithm 5, lines 2–5).  This
-                    // also covers the first attempt after waking up.
-                    tx.rollback();
-                    TxStats::bump(&thread.stats.retry_relogs);
-                    mode = TxMode::SoftwareRetry;
-                }
-                TxCtl::Deschedule(WaitSpec::OrigReadLocks) => {
-                    self.deschedule_orig(thread, &mut tx);
-                    mode = TxMode::Software;
-                }
-                TxCtl::Deschedule(spec) => {
-                    match tx.rollback_for_deschedule(spec) {
-                        Ok(cond) => {
-                            condsync::deschedule(self, thread, cond);
-                        }
-                        Err(_) => {
-                            // The wait condition could not be captured
-                            // consistently: treat it as an ordinary abort.
-                            TxStats::bump(&thread.stats.sw_aborts);
-                            backoff.abort_and_wait();
-                        }
-                    }
-                    // After waking, restart plainly; Retry will re-request
-                    // value logging if it trips again (the paper resets
-                    // `is_retry` the same way).
-                    mode = TxMode::Software;
-                }
-                TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
-                    // Already a software runtime: just re-execute.
-                    tx.rollback();
-                }
-            }
-        }
+    fn begin(&self, common: TxCommon) -> EagerTx {
+        EagerTx::begin(&self.system, common)
     }
 
-    /// The `Retry-Orig` deschedule path (Algorithm 1): roll back, then
-    /// atomically validate the read set and join the waiting list; sleep only
-    /// if the registration succeeded.
+    fn try_commit(&self, tx: &mut EagerTx) -> Result<CommitOutcome, TxCtl> {
+        tx.try_commit()
+    }
+
+    fn rollback(&self, tx: &mut EagerTx) {
+        tx.rollback();
+    }
+
+    fn materialise_wait(&self, tx: &mut EagerTx, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        tx.rollback_for_deschedule(spec)
+    }
+
+    fn supports_orig_retry(&self) -> bool {
+        true
+    }
+
     fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut EagerTx) {
         let read_orecs = tx.read_orec_indices();
         let start = tx.start();
         tx.rollback();
-        TxStats::bump(&thread.stats.descheds);
-
-        let sem = Arc::new(Semaphore::new());
-        let waiter = OrigWaiter::new(thread.id, read_orecs.clone(), Arc::clone(&sem));
-        let registered = self.orig.register_if(Arc::clone(&waiter), || {
+        condsync::sleep_until_intersection(&self.orig, thread, read_orecs.clone(), || {
             EagerTx::reads_valid_at(&self.system, &read_orecs, start)
         });
-        if registered {
-            TxStats::bump(&thread.stats.sleeps);
-            sem.wait();
-            self.orig.deregister(&waiter);
-        } else {
-            // Some location we read already changed: re-execute immediately.
-            TxStats::bump(&thread.stats.desched_skips);
+    }
+
+    fn after_writer_commit(&self, thread: &Arc<ThreadCtx>, outcome: &CommitOutcome) {
+        if !self.orig.is_empty() {
+            self.orig.wake_matching(thread, &outcome.written_orecs);
         }
     }
 }
@@ -164,7 +91,7 @@ impl TmRuntime for EagerStm {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
     ) -> u64 {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 
     fn exec_bool(
@@ -172,7 +99,7 @@ impl TmRuntime for EagerStm {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
     ) -> bool {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 
@@ -181,7 +108,7 @@ impl TmRt for EagerStm {
     where
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 

@@ -3,24 +3,12 @@
 
 use std::sync::Arc;
 
+use tm_core::driver::CommitOutcome;
 use tm_core::stats::TxStats;
 use tm_core::{
-    Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
-    AbortReason,
+    AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
+    WaitSpec,
 };
-
-/// Information returned by a successful commit, used by the driver loop to
-/// run the post-commit wake-up hooks.
-#[derive(Debug)]
-pub struct CommitInfo {
-    /// True if the transaction acquired any write locks (i.e. was a writer).
-    pub was_writer: bool,
-    /// Ownership-record indices the transaction had locked (used by the
-    /// `Retry-Orig` registry's intersection test).
-    pub written_orecs: Vec<usize>,
-    /// The commit timestamp (global-clock value), 0 for read-only commits.
-    pub commit_time: u64,
-}
 
 /// An in-flight eager-STM transaction attempt.
 #[derive(Debug)]
@@ -161,7 +149,7 @@ impl EagerTx {
 
     /// Attempts to commit (Algorithm 9, `TxCommit`).  On failure the caller
     /// must invoke [`EagerTx::rollback`].
-    pub fn try_commit(&mut self) -> Result<CommitInfo, TxCtl> {
+    pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
         // Read-only fast path: every read was validated at the time it
         // happened, so nothing further is required.
         if self.locks.is_empty() {
@@ -170,11 +158,7 @@ impl EagerTx {
             }
             self.reset_logs();
             self.common.thread.exit_tx();
-            return Ok(CommitInfo {
-                was_writer: false,
-                written_orecs: Vec::new(),
-                commit_time: 0,
-            });
+            return Ok(CommitOutcome::read_only());
         }
 
         let end = self.system.clock.tick();
@@ -207,11 +191,7 @@ impl EagerTx {
         self.common.thread.exit_tx();
         // Privatization-safety quiescence (Algorithm 9, line 20).
         self.system.quiesce(self.me(), end);
-        Ok(CommitInfo {
-            was_writer: true,
-            written_orecs: written,
-            commit_time: end,
-        })
+        Ok(CommitOutcome::software_writer(written, end))
     }
 
     /// Rolls back and materialises the wait condition for a deschedule
@@ -389,7 +369,11 @@ mod tests {
         tx2.write(Addr(5), 100).unwrap();
         assert_eq!(system.heap.load(Addr(5)), 100, "eager STM updates in place");
         tx2.rollback();
-        assert_eq!(system.heap.load(Addr(5)), 7, "rollback restores the old value");
+        assert_eq!(
+            system.heap.load(Addr(5)),
+            7,
+            "rollback restores the old value"
+        );
         drop(tx);
     }
 
@@ -520,13 +504,20 @@ mod tests {
             .unwrap();
         match cond {
             WaitCondition::ValuesChanged(pairs) => {
-                assert_eq!(pairs, vec![(Addr(20), 5)], "must capture the pre-transaction value");
+                assert_eq!(
+                    pairs,
+                    vec![(Addr(20), 5)],
+                    "must capture the pre-transaction value"
+                );
             }
             other => panic!("unexpected condition: {other:?}"),
         }
         assert_eq!(system.heap.load(Addr(20)), 5, "write must be undone");
         let idx = system.orecs.index_for(Addr(20));
-        assert!(!system.orecs.load(idx).is_locked(), "locks must be released");
+        assert!(
+            !system.orecs.load(idx).is_locked(),
+            "locks must be released"
+        );
     }
 
     #[test]
@@ -546,7 +537,11 @@ mod tests {
         let a = system.heap.alloc(4).unwrap();
         let before = system.heap.allocated_words();
         tx.free(a, 4).unwrap();
-        assert_eq!(system.heap.allocated_words(), before, "free deferred until commit");
+        assert_eq!(
+            system.heap.allocated_words(),
+            before,
+            "free deferred until commit"
+        );
         tx.try_commit().unwrap();
         assert_eq!(system.heap.allocated_words(), before - 4);
     }

@@ -10,9 +10,10 @@
 //!   and releases the locks at the commit timestamp.
 //! * Abort merely discards the logs (nothing was written in place).
 //!
-//! Condition synchronization reuses the same driver structure as the eager
-//! runtime; the only difference the mechanisms see is how `Await` captures
-//! its value snapshot (no undo is needed because memory was never modified).
+//! Condition synchronization reuses the *same* driver loop as the eager
+//! runtime (`tm_core::driver::run`, via the `TxEngine` trait); the only
+//! difference the mechanisms see is how `Await` captures its value snapshot
+//! (no undo is needed because memory was never modified).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

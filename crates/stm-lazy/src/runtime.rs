@@ -1,15 +1,16 @@
-//! The lazy-STM driver loop (mirrors the eager runtime's driver; the
-//! differences are entirely inside [`crate::tx::LazyTx`]).
+//! The lazy-STM runtime: a thin [`TxEngine`] over [`LazyTx`].
+//!
+//! The engine hooks are identical in shape to the eager runtime's; every
+//! behavioural difference between the two STMs lives inside
+//! [`crate::tx::LazyTx`].  The driver loop itself is shared
+//! ([`tm_core::driver::run`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use condsync::{OrigRegistry, OrigWaiter};
-use tm_core::backoff::Backoff;
-use tm_core::stats::TxStats;
+use condsync::OrigRegistry;
+use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
-    AbortReason, Semaphore, ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode,
-    TxResult, WaitSpec,
+    ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxResult, WaitCondition, WaitSpec,
 };
 
 use crate::tx::LazyTx;
@@ -18,8 +19,8 @@ use crate::tx::LazyTx;
 #[derive(Debug)]
 pub struct LazyStm {
     system: Arc<TmSystem>,
+    /// Waiting list for the `Retry-Orig` baseline (Algorithm 1).
     orig: OrigRegistry,
-    seed: AtomicU64,
 }
 
 impl LazyStm {
@@ -28,7 +29,6 @@ impl LazyStm {
         Arc::new(LazyStm {
             system,
             orig: OrigRegistry::new(),
-            seed: AtomicU64::new(1),
         })
     }
 
@@ -36,97 +36,43 @@ impl LazyStm {
     pub fn orig_registry(&self) -> &OrigRegistry {
         &self.orig
     }
+}
 
-    fn run<T, F>(&self, thread: &Arc<ThreadCtx>, mut body: F) -> T
-    where
-        F: FnMut(&mut dyn Tx) -> TxResult<T>,
-    {
-        let seed = self
-            .seed
-            .fetch_add(0x9E37_79B9, Ordering::Relaxed)
-            .wrapping_add(thread.id as u64);
-        let mut backoff = Backoff::new(self.system.config.backoff, seed);
-        let mut mode = TxMode::Software;
-        let mut attempts: u32 = 0;
+impl TxEngine for LazyStm {
+    type Tx<'eng> = LazyTx;
 
-        loop {
-            let mut tx = LazyTx::begin(
-                &self.system,
-                TxCommon::new(Arc::clone(thread), mode, attempts),
-            );
-            let ctl = match body(&mut tx) {
-                Ok(value) => match tx.try_commit() {
-                    Ok(info) => {
-                        TxStats::bump(&thread.stats.sw_commits);
-                        if info.was_writer {
-                            condsync::wake_waiters(self, thread);
-                            if !self.orig.is_empty() {
-                                self.orig.wake_matching(thread, &info.written_orecs);
-                            }
-                        }
-                        return value;
-                    }
-                    Err(ctl) => ctl,
-                },
-                Err(ctl) => ctl,
-            };
+    fn begin(&self, common: TxCommon) -> LazyTx {
+        LazyTx::begin(&self.system, common)
+    }
 
-            attempts += 1;
-            match ctl {
-                TxCtl::Abort(reason) => {
-                    tx.rollback();
-                    TxStats::bump(&thread.stats.sw_aborts);
-                    if let AbortReason::Explicit(_) = reason {
-                        TxStats::bump(&thread.stats.explicit_aborts);
-                    } else if reason.is_conflict() {
-                        backoff.abort_and_wait();
-                    }
-                }
-                TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
-                    tx.rollback();
-                    TxStats::bump(&thread.stats.retry_relogs);
-                    mode = TxMode::SoftwareRetry;
-                }
-                TxCtl::Deschedule(WaitSpec::OrigReadLocks) => {
-                    self.deschedule_orig(thread, &mut tx);
-                    mode = TxMode::Software;
-                }
-                TxCtl::Deschedule(spec) => {
-                    match tx.rollback_for_deschedule(spec) {
-                        Ok(cond) => {
-                            condsync::deschedule(self, thread, cond);
-                        }
-                        Err(_) => {
-                            TxStats::bump(&thread.stats.sw_aborts);
-                            backoff.abort_and_wait();
-                        }
-                    }
-                    mode = TxMode::Software;
-                }
-                TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
-                    tx.rollback();
-                }
-            }
-        }
+    fn try_commit(&self, tx: &mut LazyTx) -> Result<CommitOutcome, TxCtl> {
+        tx.try_commit()
+    }
+
+    fn rollback(&self, tx: &mut LazyTx) {
+        tx.rollback();
+    }
+
+    fn materialise_wait(&self, tx: &mut LazyTx, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        tx.rollback_for_deschedule(spec)
+    }
+
+    fn supports_orig_retry(&self) -> bool {
+        true
     }
 
     fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut LazyTx) {
         let read_orecs = tx.read_orec_indices();
         let start = tx.start();
         tx.rollback();
-        TxStats::bump(&thread.stats.descheds);
-
-        let sem = Arc::new(Semaphore::new());
-        let waiter = OrigWaiter::new(thread.id, read_orecs.clone(), Arc::clone(&sem));
-        let registered = self.orig.register_if(Arc::clone(&waiter), || {
+        condsync::sleep_until_intersection(&self.orig, thread, read_orecs.clone(), || {
             LazyTx::reads_valid_at(&self.system, &read_orecs, start)
         });
-        if registered {
-            TxStats::bump(&thread.stats.sleeps);
-            sem.wait();
-            self.orig.deregister(&waiter);
-        } else {
-            TxStats::bump(&thread.stats.desched_skips);
+    }
+
+    fn after_writer_commit(&self, thread: &Arc<ThreadCtx>, outcome: &CommitOutcome) {
+        if !self.orig.is_empty() {
+            self.orig.wake_matching(thread, &outcome.written_orecs);
         }
     }
 }
@@ -145,7 +91,7 @@ impl TmRuntime for LazyStm {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
     ) -> u64 {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 
     fn exec_bool(
@@ -153,7 +99,7 @@ impl TmRuntime for LazyStm {
         thread: &Arc<ThreadCtx>,
         body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<bool>,
     ) -> bool {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 
@@ -162,7 +108,7 @@ impl TmRt for LazyStm {
     where
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
-        self.run(thread, body)
+        driver::run(self, thread, body)
     }
 }
 

@@ -2,21 +2,11 @@
 
 use std::sync::Arc;
 
+use tm_core::driver::CommitOutcome;
 use tm_core::{
     AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
     WaitSpec,
 };
-
-/// Information returned by a successful commit.
-#[derive(Debug)]
-pub struct CommitInfo {
-    /// True if the transaction wrote anything.
-    pub was_writer: bool,
-    /// Ownership-record indices covering the write set (for `Retry-Orig`).
-    pub written_orecs: Vec<usize>,
-    /// The commit timestamp, 0 for read-only commits.
-    pub commit_time: u64,
-}
 
 /// An in-flight lazy-STM transaction attempt.
 #[derive(Debug)]
@@ -112,7 +102,7 @@ impl LazyTx {
 
     /// Attempts to commit.  On failure the caller must invoke
     /// [`LazyTx::rollback`].
-    pub fn try_commit(&mut self) -> Result<CommitInfo, TxCtl> {
+    pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
         if self.redo.is_empty() {
             for &(addr, words) in &self.frees {
                 self.system.heap.dealloc(addr, words);
@@ -121,11 +111,7 @@ impl LazyTx {
             self.mallocs.clear();
             self.frees.clear();
             self.common.thread.exit_tx();
-            return Ok(CommitInfo {
-                was_writer: false,
-                written_orecs: Vec::new(),
-                commit_time: 0,
-            });
+            return Ok(CommitOutcome::read_only());
         }
 
         // Acquire the ownership records covering the write set.
@@ -197,11 +183,7 @@ impl LazyTx {
         self.frees.clear();
         self.common.thread.exit_tx();
         self.system.quiesce(self.me(), end);
-        Ok(CommitInfo {
-            was_writer: true,
-            written_orecs: write_orecs,
-            commit_time: end,
-        })
+        Ok(CommitOutcome::software_writer(write_orecs, end))
     }
 
     /// Rolls back and materialises the wait condition for a deschedule
@@ -342,7 +324,11 @@ mod tests {
         let system = TmSystem::new(TmConfig::small());
         let mut tx = fresh_tx(&system);
         tx.write(Addr(5), 42).unwrap();
-        assert_eq!(system.heap.load(Addr(5)), 0, "lazy STM must not write in place");
+        assert_eq!(
+            system.heap.load(Addr(5)),
+            0,
+            "lazy STM must not write in place"
+        );
         assert_eq!(tx.read(Addr(5)).unwrap(), 42, "read-your-writes");
         tx.try_commit().unwrap();
         assert_eq!(system.heap.load(Addr(5)), 42);

@@ -6,8 +6,6 @@
 //! granularity of a cache line, which for a 64-byte line holds
 //! [`LINE_WORDS`] = 8 words.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of 64-bit words per simulated cache line (64-byte lines).
 pub const LINE_WORDS: usize = 8;
 
@@ -16,7 +14,7 @@ pub const LINE_WORDS: usize = 8;
 pub const NULL_ADDR: Addr = Addr(0);
 
 /// A word address inside a [`crate::heap::TmHeap`].
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Addr(pub usize);
 
 impl Addr {
@@ -56,7 +54,7 @@ impl std::fmt::Display for Addr {
 
 /// Identifier of a simulated cache line (used by the HTM simulator's conflict
 /// detection and capacity accounting).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LineId(pub usize);
 
 impl LineId {

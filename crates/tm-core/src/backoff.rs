@@ -44,7 +44,11 @@ impl Backoff {
         }
         let exp = self.attempts.min(16);
         let ceiling = (self.config.min_spins.saturating_mul(1 << exp)).min(self.config.max_spins);
-        let spins = if ceiling <= 1 { 1 } else { (self.rng.next() % ceiling as u64) as u32 + 1 };
+        let spins = if ceiling <= 1 {
+            1
+        } else {
+            (self.rng.next() % ceiling as u64) as u32 + 1
+        };
         for _ in 0..spins {
             std::hint::spin_loop();
         }
@@ -62,12 +66,19 @@ impl XorShift64 {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
     /// Returns the next pseudo-random value.
+    ///
+    /// Not an [`Iterator`]: the stream is infinite and `None` never occurs.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x << 13;

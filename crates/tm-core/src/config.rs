@@ -1,14 +1,12 @@
 //! Configuration for a transactional-memory system instance.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the simulated best-effort HTM (see the `htm-sim` crate).
 ///
 /// The defaults approximate Intel TSX on a Haswell-class part as used in the
 /// paper's evaluation: L1-bounded write capacity, larger read capacity, and a
 /// GCC-libitm-style policy of two speculative attempts before taking the
 /// serial fallback lock.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct HtmConfig {
     /// Maximum distinct cache lines a hardware transaction may read.
     pub max_read_lines: usize,
@@ -31,7 +29,7 @@ impl Default for HtmConfig {
 
 /// Configuration of the randomized exponential backoff used between aborted
 /// attempts.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct BackoffConfig {
     /// Minimum spin iterations after the first abort.
     pub min_spins: u32,
@@ -54,7 +52,7 @@ impl Default for BackoffConfig {
 }
 
 /// Configuration for a [`crate::system::TmSystem`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TmConfig {
     /// Number of 64-bit words in the transactional heap.
     pub heap_words: usize,

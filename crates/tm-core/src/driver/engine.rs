@@ -1,0 +1,158 @@
+//! The [`TxEngine`] trait: the narrow interface a transaction runtime must
+//! implement to plug into the shared driver loop ([`super::run`]).
+//!
+//! A runtime supplies begin/commit/rollback plus the one
+//! condition-synchronization hook that genuinely differs between designs —
+//! how a wait condition is materialised during rollback — and inherits the
+//! whole retry/abort/deschedule state machine.  The hooks with defaults
+//! encode the software-STM behaviour; the HTM simulator overrides them to
+//! express its speculative/serial mode ladder.
+
+use std::sync::Arc;
+
+use crate::ctl::{TxCtl, WaitCondition, WaitSpec};
+use crate::runtime::TmRuntime;
+use crate::thread::ThreadCtx;
+use crate::tx::{Tx, TxCommon, TxMode};
+
+/// What a successful commit tells the driver loop.
+///
+/// One shape serves every runtime: the software STMs report the ownership
+/// records they wrote (feeding the `Retry-Orig` intersection test), while
+/// hardware commits — whose write sets are architecturally invisible —
+/// report nothing beyond the writer flag.
+#[derive(Debug, Clone, Default)]
+pub struct CommitOutcome {
+    /// True if the transaction performed any write.
+    pub was_writer: bool,
+    /// True if the attempt committed in (simulated) hardware.
+    pub hardware: bool,
+    /// Ownership-record indices the transaction had locked; empty for
+    /// read-only and hardware commits.
+    pub written_orecs: Vec<usize>,
+    /// The commit timestamp (global-clock value); 0 when no clock was
+    /// ticked (read-only and hardware commits).
+    pub commit_time: u64,
+}
+
+impl CommitOutcome {
+    /// A read-only commit (no wake-ups required).
+    pub fn read_only() -> Self {
+        CommitOutcome::default()
+    }
+
+    /// A software writer commit with its lock set and timestamp.
+    pub fn software_writer(written_orecs: Vec<usize>, commit_time: u64) -> Self {
+        CommitOutcome {
+            was_writer: true,
+            hardware: false,
+            written_orecs,
+            commit_time,
+        }
+    }
+
+    /// A (simulated) hardware commit; the write set is invisible.
+    pub fn hardware(was_writer: bool) -> Self {
+        CommitOutcome {
+            was_writer,
+            hardware: true,
+            written_orecs: Vec::new(),
+            commit_time: 0,
+        }
+    }
+
+    /// A serial-mode commit (software-visible, but lock-free metadata).
+    pub fn serial(was_writer: bool) -> Self {
+        CommitOutcome {
+            was_writer,
+            hardware: false,
+            written_orecs: Vec::new(),
+            commit_time: 0,
+        }
+    }
+}
+
+/// The engine interface between a transaction runtime and the shared driver
+/// loop.
+///
+/// Implementations are thin: they construct attempts and expose the
+/// per-design commit/rollback/materialise primitives.  Everything that used
+/// to be copied between the three runtime crates — re-execution, abort-reason
+/// dispatch, `Retry` value-log restarts, the deschedule hand-off and
+/// post-commit `wakeWaiters` — lives in [`super::run`] instead.
+pub trait TxEngine: TmRuntime + Sized {
+    /// The attempt descriptor; may borrow the engine (as the HTM simulator's
+    /// does).
+    type Tx<'eng>: Tx
+    where
+        Self: 'eng;
+
+    /// Begins a fresh attempt with the given per-attempt metadata.
+    fn begin(&self, common: TxCommon) -> Self::Tx<'_>;
+
+    /// Attempts to commit.  On `Err` the driver rolls the attempt back and
+    /// dispatches on the control request.
+    fn try_commit(&self, tx: &mut Self::Tx<'_>) -> Result<CommitOutcome, TxCtl>;
+
+    /// Rolls the attempt back completely.
+    fn rollback(&self, tx: &mut Self::Tx<'_>);
+
+    /// Rolls the attempt back *and* captures the condition the thread wants
+    /// to sleep on, consistently with the aborted attempt's view of memory.
+    ///
+    /// `Err` means the condition could not be captured consistently; the
+    /// attempt is already rolled back and the driver simply re-executes.
+    fn materialise_wait(
+        &self,
+        tx: &mut Self::Tx<'_>,
+        spec: WaitSpec,
+    ) -> Result<WaitCondition, TxCtl>;
+
+    /// The execution mode of the first attempt.
+    fn initial_mode(&self) -> TxMode {
+        TxMode::Software
+    }
+
+    /// True while `tx` is a speculative (hardware) attempt.
+    fn attempt_is_hardware(&self, tx: &Self::Tx<'_>) -> bool {
+        let _ = tx;
+        false
+    }
+
+    /// Whether this engine supports the lock-metadata `Retry-Orig` baseline
+    /// (requires STM ownership records; the HTM simulator does not).
+    fn supports_orig_retry(&self) -> bool {
+        false
+    }
+
+    /// The full `Retry-Orig` deschedule path (Algorithm 1): roll `tx` back,
+    /// then atomically validate the read set against the waiting list and
+    /// sleep if registration succeeded.
+    ///
+    /// Only called when [`TxEngine::supports_orig_retry`] returns true.
+    fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut Self::Tx<'_>) {
+        let _ = (thread, tx);
+        unreachable!("deschedule_orig called on an engine without Retry-Orig support");
+    }
+
+    /// The mode to re-execute in after returning from a deschedule (whether
+    /// the thread slept or skipped the sleep).  Hardware engines restart
+    /// speculatively; software engines drop back to plain instrumentation.
+    fn mode_after_wake(&self) -> TxMode {
+        TxMode::Software
+    }
+
+    /// The mode to re-execute in after a `SwitchToSoftware` / `BecomeSerial`
+    /// request in `current` mode.  Software engines just re-execute; the HTM
+    /// simulator escalates to the serial fallback.
+    fn mode_for_software_switch(&self, current: TxMode) -> TxMode {
+        current
+    }
+
+    /// Post-commit hook for writer transactions, running after the generic
+    /// `wakeWaiters` scan.  The software STMs use it to wake `Retry-Orig`
+    /// sleepers whose read locks intersect the commit's write set.
+    fn after_writer_commit(&self, thread: &Arc<ThreadCtx>, outcome: &CommitOutcome) {
+        let _ = (thread, outcome);
+    }
+}

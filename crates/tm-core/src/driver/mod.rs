@@ -1,0 +1,29 @@
+//! The unified transaction driver: one loop, many engines.
+//!
+//! The paper's three runtime configurations (eager STM, lazy STM, simulated
+//! HTM) differ in how an individual attempt reads, writes and commits — but
+//! the *orchestration* around attempts is identical: re-execute on abort,
+//! back off on conflicts, restart in value-logging mode when `Retry` needs a
+//! waitset, roll back and hand off to `Deschedule` when a precondition fails,
+//! and run `wakeWaiters` after every writer commit (Algorithm 4).
+//!
+//! This module owns that orchestration:
+//!
+//! * [`TxEngine`] — the narrow per-runtime interface (begin / commit /
+//!   rollback / materialise_wait plus a few mode-policy hooks),
+//! * [`run`] — the single generic driver loop,
+//! * [`deschedule`] / [`wake_waiters`] — the paper's parking and waking
+//!   protocol, called from the loop and re-exported through `condsync`.
+//!
+//! Runtime crates implement [`TxEngine`] and forward their public
+//! [`crate::TmRuntime`] / [`crate::TmRt`] entry points to [`run`]; adding a
+//! fourth runtime (e.g. a hybrid HTM/STM path) means implementing the engine
+//! trait, not re-writing the protocol.
+
+mod engine;
+mod run;
+mod wake;
+
+pub use engine::{CommitOutcome, TxEngine};
+pub use run::run;
+pub use wake::{deschedule, wake_waiters, DescheduleOutcome};

@@ -1,0 +1,178 @@
+//! The one driver loop shared by every runtime.
+//!
+//! Before this module existed each runtime crate hand-rolled a near-identical
+//! ~100-line loop (begin → body → commit/abort → deschedule materialisation →
+//! `wakeWaiters` → backoff).  [`run`] is that loop, written once against
+//! [`TxEngine`]; the state machine it owns is:
+//!
+//! ```text
+//!            begin(mode) ── body ── try_commit ──ok──▶ wakeWaiters ─▶ return
+//!                ▲                      │
+//!                │                      ▼ TxCtl
+//!   backoff ◀─ Abort            Deschedule(spec)            SwitchToSoftware
+//!                │                      │                         │
+//!                │     hardware attempt │ software attempt        ▼
+//!                │      relog / serial  │ relog → orig → sleep   mode ladder
+//!                └──────────────────────┴─────────────────────────┘
+//! ```
+//!
+//! The deschedule hand-off ([`super::deschedule`]) and the post-commit
+//! [`super::wake_waiters`] scan are called from here and *only* here, so a
+//! future runtime (e.g. a hybrid HTM/STM path) picks up the paper's whole
+//! condition-synchronization protocol by implementing the engine trait.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::ctl::{AbortReason, TxCtl, TxResult, WaitSpec};
+use crate::stats::TxStats;
+use crate::thread::ThreadCtx;
+use crate::tx::{Tx, TxCommon, TxMode};
+
+use super::engine::TxEngine;
+use super::wake;
+
+/// Global seed sequence for per-transaction backoff randomisation; seeds
+/// only need to differ across concurrently running transactions.
+static BACKOFF_SEED: AtomicU64 = AtomicU64::new(1);
+
+/// Runs `body` as a transaction on `engine` until it commits, handling
+/// re-execution, mode switching, descheduling and post-commit wake-ups.
+pub fn run<E, T, F>(engine: &E, thread: &Arc<ThreadCtx>, mut body: F) -> T
+where
+    E: TxEngine,
+    F: FnMut(&mut dyn Tx) -> TxResult<T>,
+{
+    let seed = BACKOFF_SEED
+        .fetch_add(0x9E37_79B9, Ordering::Relaxed)
+        .wrapping_add(thread.id as u64);
+    let mut backoff = Backoff::new(engine.system().config.backoff, seed);
+    let mut mode = engine.initial_mode();
+    let mut hw_failures: u32 = 0;
+    let mut attempts: u32 = 0;
+
+    loop {
+        let mut tx = engine.begin(TxCommon::new(Arc::clone(thread), mode, attempts));
+        let ctl = match body(&mut tx) {
+            Ok(value) => match engine.try_commit(&mut tx) {
+                Ok(outcome) => {
+                    // Release attempt-held resources (e.g. the HTM serial
+                    // lock's bookkeeping) before running wake-up transactions.
+                    drop(tx);
+                    if outcome.hardware {
+                        TxStats::bump(&thread.stats.hw_commits);
+                    } else {
+                        TxStats::bump(&thread.stats.sw_commits);
+                    }
+                    if outcome.was_writer {
+                        // Post-commit wake-ups: the paper's value-based
+                        // mechanism, then any engine-specific extras (the
+                        // Retry-Orig lock-set intersection on the STMs).
+                        wake::wake_waiters(engine, thread);
+                        engine.after_writer_commit(thread, &outcome);
+                    }
+                    return value;
+                }
+                Err(ctl) => ctl,
+            },
+            Err(ctl) => ctl,
+        };
+
+        attempts += 1;
+        let hardware_attempt = engine.attempt_is_hardware(&tx);
+        match ctl {
+            TxCtl::Abort(reason) => {
+                engine.rollback(&mut tx);
+                drop(tx);
+                if hardware_attempt {
+                    TxStats::bump(&thread.stats.hw_aborts);
+                    if let AbortReason::Explicit(_) = reason {
+                        // Program-requested restarts (the Restart baseline)
+                        // stay speculative; only genuine conflict/capacity
+                        // failures count towards the fallback budget.
+                        TxStats::bump(&thread.stats.explicit_aborts);
+                    } else {
+                        hw_failures += 1;
+                        // GCC libitm policy: after a bounded number of
+                        // speculative failures, suspend concurrency and run
+                        // serially so the transaction is guaranteed to finish.
+                        if hw_failures >= engine.system().config.htm.max_attempts {
+                            mode = TxMode::Serial;
+                        }
+                    }
+                } else {
+                    TxStats::bump(&thread.stats.sw_aborts);
+                    if let AbortReason::Explicit(_) = reason {
+                        TxStats::bump(&thread.stats.explicit_aborts);
+                    }
+                }
+                if reason.is_conflict() {
+                    backoff.abort_and_wait();
+                }
+            }
+            TxCtl::Deschedule(spec) if hardware_attempt => {
+                // No escape actions in hardware: abort and re-execute in a
+                // software mode, value-logging if the request was a Retry
+                // (§2.2.3).
+                engine.rollback(&mut tx);
+                drop(tx);
+                TxStats::bump(&thread.stats.hw_aborts);
+                mode = match spec {
+                    WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
+                        TxStats::bump(&thread.stats.retry_relogs);
+                        TxMode::SoftwareRetry
+                    }
+                    _ => TxMode::Serial,
+                };
+            }
+            TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
+                // Retry was called before the value log existed: restart in
+                // value-logging mode (Algorithm 5, lines 2–5).  This also
+                // covers the first attempt after waking up.
+                engine.rollback(&mut tx);
+                drop(tx);
+                TxStats::bump(&thread.stats.retry_relogs);
+                mode = TxMode::SoftwareRetry;
+            }
+            TxCtl::Deschedule(WaitSpec::OrigReadLocks) if engine.supports_orig_retry() => {
+                engine.deschedule_orig(thread, &mut tx);
+                drop(tx);
+                mode = TxMode::Software;
+            }
+            TxCtl::Deschedule(WaitSpec::OrigReadLocks) if mode != TxMode::SoftwareRetry => {
+                // Engines without lock metadata approximate Retry-Orig with
+                // the value-based mechanism: relog, then deschedule below.
+                engine.rollback(&mut tx);
+                drop(tx);
+                TxStats::bump(&thread.stats.retry_relogs);
+                mode = TxMode::SoftwareRetry;
+            }
+            TxCtl::Deschedule(spec) => {
+                match engine.materialise_wait(&mut tx, spec) {
+                    Ok(cond) => {
+                        drop(tx);
+                        wake::deschedule(engine, thread, cond);
+                    }
+                    Err(_) => {
+                        // The wait condition could not be captured
+                        // consistently: treat it as an ordinary abort.
+                        drop(tx);
+                        TxStats::bump(&thread.stats.sw_aborts);
+                        backoff.abort_and_wait();
+                    }
+                }
+                // After waking, restart plainly; Retry will re-request value
+                // logging if it trips again (the paper resets `is_retry` the
+                // same way).
+                mode = engine.mode_after_wake();
+                hw_failures = 0;
+            }
+            TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
+                engine.rollback(&mut tx);
+                drop(tx);
+                mode = engine.mode_for_software_switch(mode);
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! The Deschedule abstract mechanism (Algorithm 4): parking and waking.
+//!
+//! A transaction that discovers its precondition does not hold is rolled
+//! back by the driver loop, which then calls [`deschedule`] with the
+//! materialised wait condition.  `deschedule`:
+//!
+//! 1. publishes a [`Waiter`] record (condition + semaphore) in the global
+//!    waiter registry,
+//! 2. re-evaluates the condition in a fresh read-only transaction
+//!    (the "double-check" of Algorithm 4 lines 6–13) — publishing *before*
+//!    checking is what removes the need to validate the read set atomically
+//!    with the insertion, and is the key difference from Algorithm 1,
+//! 3. sleeps on the semaphore if the condition still does not hold,
+//! 4. deregisters itself upon wake-up and returns, at which point the driver
+//!    re-executes the original transaction from its checkpoint.
+//!
+//! Writers call [`wake_waiters`] strictly *after* committing: the decision to
+//! wake is a computation over (now committed) shared memory, so it never
+//! burdens the in-flight transaction — in particular hardware transactions
+//! that never deschedule pay nothing beyond an empty-list check.
+//!
+//! This logic lives in `tm-core` because the unified driver loop
+//! ([`super::run`]) is its only legitimate caller on the hot path; the
+//! `condsync` crate re-exports both functions as part of its public API.
+
+use std::sync::Arc;
+
+use crate::ctl::WaitCondition;
+use crate::runtime::TmRuntime;
+use crate::sem::Semaphore;
+use crate::stats::TxStats;
+use crate::thread::ThreadCtx;
+use crate::waiter::Waiter;
+
+/// Outcome of a [`deschedule`] call, for statistics and tests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DescheduleOutcome {
+    /// The double-check found the condition already established; the thread
+    /// never slept.
+    SkippedSleep,
+    /// The thread slept and was woken by a committing writer.
+    SleptAndWoken,
+}
+
+/// Publishes `condition` and blocks the calling thread until a committed
+/// writer establishes it (or until the immediate double-check finds it
+/// already established).
+///
+/// The caller (the driver loop) must have completely rolled back the
+/// descheduling transaction before calling this, so that the program state
+/// is indistinguishable from the transaction never having run (Figure 2.1,
+/// time 1).
+pub fn deschedule(
+    rt: &dyn TmRuntime,
+    thread: &Arc<ThreadCtx>,
+    condition: WaitCondition,
+) -> DescheduleOutcome {
+    let system = rt.system();
+    TxStats::bump(&thread.stats.descheds);
+
+    // A fresh semaphore per sleep avoids consuming permits left over from
+    // earlier sleeps (a waiter can be woken spuriously and re-deschedule).
+    let sem = Arc::new(Semaphore::new());
+    let waiter = Waiter::new(thread.id, condition, Arc::clone(&sem));
+
+    // Publish first, then double-check.  Any writer that commits after this
+    // point will see us in its wakeWaiters scan; any writer that committed
+    // before it is covered by the double-check below.
+    system.waiters.register(Arc::clone(&waiter));
+
+    let established = rt.exec_bool(thread, &mut |tx| waiter.condition.should_wake(tx));
+    if established {
+        // Claim our own wake-up so a concurrent writer does not also signal
+        // us; if the writer won the race the permit simply goes unused
+        // because the semaphore is private to this sleep.
+        waiter.claim_wake();
+        system.waiters.deregister(&waiter);
+        TxStats::bump(&thread.stats.desched_skips);
+        return DescheduleOutcome::SkippedSleep;
+    }
+
+    TxStats::bump(&thread.stats.sleeps);
+    sem.wait();
+    system.waiters.deregister(&waiter);
+    DescheduleOutcome::SleptAndWoken
+}
+
+/// Scans the waiter registry after a writer commit and wakes every sleeper
+/// whose condition now holds (Algorithm 4, `wakeWaiters`).
+///
+/// Each condition is evaluated in its own read-only transaction; on the HTM
+/// runtime these run as (simulated) hardware transactions, which is why the
+/// paper keeps the wake-up computation small and contention-free.
+pub fn wake_waiters(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>) {
+    let system = rt.system();
+    // Fast path: nobody is waiting (the common case, and the reason in-flight
+    // transactions see no overhead from the mechanism).
+    if system.waiters.is_empty() {
+        return;
+    }
+    // Shallow copy so the scan happens without holding the registry lock.
+    let snapshot = system.waiters.snapshot();
+    for waiter in snapshot {
+        if !waiter.is_asleep() {
+            continue;
+        }
+        TxStats::bump(&thread.stats.wake_checks);
+        let should_wake = rt.exec_bool(thread, &mut |tx| waiter.condition.should_wake(tx));
+        if should_wake && waiter.claim_wake() {
+            waiter.sem.post();
+            TxStats::bump(&thread.stats.wakeups);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use crate::addr::Addr;
+    use crate::config::TmConfig;
+    use crate::ctl::{TxResult, WaitCondition};
+    use crate::system::TmSystem;
+    use crate::tx::{Tx, TxCommon, TxMode};
+
+    /// A toy runtime whose "transactions" are direct heap accesses; adequate
+    /// for exercising the deschedule/wake protocol in isolation.
+    struct ToyRuntime {
+        system: Arc<TmSystem>,
+        exec_count: AtomicU64,
+    }
+
+    struct ToyTx {
+        common: TxCommon,
+        system: Arc<TmSystem>,
+    }
+
+    impl Tx for ToyTx {
+        fn read(&mut self, addr: Addr) -> TxResult<u64> {
+            Ok(self.system.heap.load(addr))
+        }
+        fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+            self.system.heap.store(addr, val);
+            Ok(())
+        }
+        fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+            Ok(self.system.heap.alloc(words).unwrap())
+        }
+        fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+            self.system.heap.dealloc(addr, words);
+            Ok(())
+        }
+        fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+            block();
+            Ok(())
+        }
+        fn explicit_abort(&mut self, code: u8) -> crate::ctl::TxCtl {
+            crate::ctl::TxCtl::Abort(crate::ctl::AbortReason::Explicit(code))
+        }
+        fn common(&self) -> &TxCommon {
+            &self.common
+        }
+        fn common_mut(&mut self) -> &mut TxCommon {
+            &mut self.common
+        }
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+    }
+
+    impl TmRuntime for ToyRuntime {
+        fn system(&self) -> &Arc<TmSystem> {
+            &self.system
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn exec_u64(
+            &self,
+            thread: &Arc<ThreadCtx>,
+            body: &mut dyn FnMut(&mut dyn Tx) -> TxResult<u64>,
+        ) -> u64 {
+            self.exec_count.fetch_add(1, Ordering::Relaxed);
+            let mut tx = ToyTx {
+                common: TxCommon::new(Arc::clone(thread), TxMode::Software, 0),
+                system: Arc::clone(&self.system),
+            };
+            body(&mut tx).expect("toy runtime cannot abort")
+        }
+    }
+
+    fn toy() -> (Arc<TmSystem>, ToyRuntime) {
+        let system = TmSystem::new(TmConfig::small());
+        let rt = ToyRuntime {
+            system: Arc::clone(&system),
+            exec_count: AtomicU64::new(0),
+        };
+        (system, rt)
+    }
+
+    #[test]
+    fn double_check_skips_sleep_when_condition_holds() {
+        let (system, rt) = toy();
+        let th = system.register_thread();
+        // Memory already differs from the recorded value -> no sleep.
+        system.heap.store(Addr(10), 5);
+        let outcome = deschedule(&rt, &th, WaitCondition::ValuesChanged(vec![(Addr(10), 4)]));
+        assert_eq!(outcome, DescheduleOutcome::SkippedSleep);
+        assert!(system.waiters.is_empty(), "waiter must deregister itself");
+        assert_eq!(th.stats.snapshot().desched_skips, 1);
+        assert_eq!(th.stats.snapshot().sleeps, 0);
+    }
+
+    #[test]
+    fn writer_wakes_sleeping_thread() {
+        let (system, rt) = toy();
+        let waiter_thread = system.register_thread();
+        let writer_thread = system.register_thread();
+        system.heap.store(Addr(20), 0);
+
+        let system2 = Arc::clone(&system);
+        let rt = Arc::new(rt);
+        let rt2 = Arc::clone(&rt);
+        let wt = Arc::clone(&waiter_thread);
+        let sleeper = std::thread::spawn(move || {
+            deschedule(
+                rt2.as_ref(),
+                &wt,
+                WaitCondition::ValuesChanged(vec![(Addr(20), 0)]),
+            )
+        });
+
+        // Wait until the sleeper is registered and actually asleep.
+        while system2.waiters.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+
+        // "Commit" a write that changes the value, then run wakeWaiters.
+        system.heap.store(Addr(20), 7);
+        wake_waiters(rt.as_ref(), &writer_thread);
+
+        assert_eq!(sleeper.join().unwrap(), DescheduleOutcome::SleptAndWoken);
+        assert_eq!(writer_thread.stats.snapshot().wakeups, 1);
+        assert!(system.waiters.is_empty());
+    }
+
+    #[test]
+    fn silent_store_does_not_wake() {
+        let (system, rt) = toy();
+        let writer_thread = system.register_thread();
+        system.heap.store(Addr(30), 9);
+        // Register a waiter manually (not sleeping on a real thread).
+        let sem = Arc::new(Semaphore::new());
+        let w = Waiter::new(
+            99,
+            WaitCondition::ValuesChanged(vec![(Addr(30), 9)]),
+            Arc::clone(&sem),
+        );
+        system.waiters.register(Arc::clone(&w));
+
+        // A "silent store" writes the same value; the waiter must not wake.
+        system.heap.store(Addr(30), 9);
+        wake_waiters(&rt, &writer_thread);
+        assert!(w.is_asleep());
+        assert_eq!(sem.permits(), 0);
+
+        // A real change wakes it.
+        system.heap.store(Addr(30), 10);
+        wake_waiters(&rt, &writer_thread);
+        assert!(!w.is_asleep());
+        assert_eq!(sem.permits(), 1);
+    }
+
+    #[test]
+    fn waiter_is_signalled_at_most_once() {
+        let (system, rt) = toy();
+        let writer = system.register_thread();
+        system.heap.store(Addr(40), 1);
+        let sem = Arc::new(Semaphore::new());
+        let w = Waiter::new(
+            7,
+            WaitCondition::ValuesChanged(vec![(Addr(40), 0)]),
+            Arc::clone(&sem),
+        );
+        system.waiters.register(Arc::clone(&w));
+        wake_waiters(&rt, &writer);
+        wake_waiters(&rt, &writer);
+        wake_waiters(&rt, &writer);
+        assert_eq!(sem.permits(), 1, "exactly one signal per sleep");
+    }
+
+    #[test]
+    fn predicate_conditions_are_evaluated_transactionally() {
+        let (system, rt) = toy();
+        let writer = system.register_thread();
+        fn above_threshold(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+            Ok(tx.read(Addr(args[0] as usize))? > args[1])
+        }
+        system.heap.store(Addr(50), 3);
+        let sem = Arc::new(Semaphore::new());
+        let w = Waiter::new(
+            1,
+            WaitCondition::Pred {
+                f: above_threshold,
+                args: vec![50, 10],
+            },
+            Arc::clone(&sem),
+        );
+        system.waiters.register(Arc::clone(&w));
+
+        // Value changes but predicate still false: no wake (this is the
+        // false-wake-up immunity WaitPred buys over Retry).
+        system.heap.store(Addr(50), 8);
+        wake_waiters(&rt, &writer);
+        assert!(w.is_asleep());
+
+        system.heap.store(Addr(50), 11);
+        wake_waiters(&rt, &writer);
+        assert!(!w.is_asleep());
+    }
+
+    #[test]
+    fn wake_waiters_with_empty_registry_runs_no_transactions() {
+        let (system, rt) = toy();
+        let writer = system.register_thread();
+        wake_waiters(&rt, &writer);
+        assert_eq!(rt.exec_count.load(Ordering::Relaxed), 0);
+        assert_eq!(writer.stats.snapshot().wake_checks, 0);
+        let _ = system;
+    }
+}

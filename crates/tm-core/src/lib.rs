@@ -5,6 +5,11 @@
 //! ([`stm-eager`], [`stm-lazy`], [`htm-sim`]) and the condition-synchronization
 //! layer ([`condsync`]) have in common:
 //!
+//! * the unified transaction driver ([`driver`]): the single loop that runs
+//!   every runtime's transactions ([`driver::run`]) against the narrow
+//!   [`driver::TxEngine`] interface, including the `Deschedule` parking /
+//!   `wakeWaiters` protocol ([`driver::deschedule`],
+//!   [`driver::wake_waiters`]),
 //! * a word-addressable transactional heap ([`heap::TmHeap`]) with a simple
 //!   allocator, standing in for the raw C memory the paper instruments,
 //! * a table of ownership records ([`orec::OrecTable`]) hashed from addresses,
@@ -37,7 +42,9 @@ pub mod backoff;
 pub mod clock;
 pub mod config;
 pub mod ctl;
+pub mod driver;
 pub mod heap;
+pub mod lock;
 pub mod orec;
 pub mod runtime;
 pub mod sem;
@@ -52,6 +59,7 @@ pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::GlobalClock;
 pub use config::{BackoffConfig, HtmConfig, TmConfig};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
+pub use driver::{CommitOutcome, TxEngine};
 pub use heap::TmHeap;
 pub use orec::{OrecTable, OrecValue};
 pub use runtime::{TmRt, TmRuntime};

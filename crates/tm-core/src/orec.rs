@@ -46,7 +46,11 @@ impl OrecValue {
     #[inline]
     pub fn locked(version: u64, owner: ThreadId) -> Self {
         debug_assert!(owner < MAX_THREADS);
-        OrecValue((version << VERSION_SHIFT) | (((owner as u64 + 1) << OWNER_SHIFT) & OWNER_MASK) | LOCK_BIT)
+        OrecValue(
+            (version << VERSION_SHIFT)
+                | (((owner as u64 + 1) << OWNER_SHIFT) & OWNER_MASK)
+                | LOCK_BIT,
+        )
     }
 
     /// Reconstructs an orec value from its raw packed form.

@@ -84,7 +84,9 @@ mod tests {
             self.system
                 .heap
                 .alloc(words)
-                .ok_or(crate::ctl::TxCtl::Abort(crate::ctl::AbortReason::OutOfMemory))
+                .ok_or(crate::ctl::TxCtl::Abort(
+                    crate::ctl::AbortReason::OutOfMemory,
+                ))
         }
         fn free(&mut self, addr: crate::addr::Addr, words: usize) -> TxResult<()> {
             self.system.heap.dealloc(addr, words);

@@ -146,7 +146,9 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..4 {
             let s = Arc::clone(&s);
-            handles.push(std::thread::spawn(move || s.wait_timeout(Duration::from_secs(5))));
+            handles.push(std::thread::spawn(move || {
+                s.wait_timeout(Duration::from_secs(5))
+            }));
         }
         for _ in 0..4 {
             s.post();

@@ -8,8 +8,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
-
 macro_rules! stats_fields {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
         /// Live (atomic) per-thread counters.
@@ -20,7 +18,7 @@ macro_rules! stats_fields {
 
         /// A point-in-time copy of [`TxStats`], suitable for aggregation and
         /// serialization.
-        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
         pub struct StatsSnapshot {
             $($(#[$doc])* pub $name: u64,)+
         }
@@ -44,6 +42,24 @@ macro_rules! stats_fields {
             pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
                     $($name: self.$name + other.$name,)+
+                }
+            }
+
+            /// Field names and values in declaration order, for serialization
+            /// without a reflection framework.
+            pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name)),+]
+            }
+
+            /// Sets a counter by field name; returns `false` for unknown
+            /// names (forward compatibility when reading old reports).
+            pub fn set_by_name(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    $(stringify!($name) => {
+                        self.$name = value;
+                        true
+                    })+
+                    _ => false,
                 }
             }
         }

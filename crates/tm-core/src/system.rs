@@ -150,7 +150,11 @@ mod tests {
         // Commit time 10 > other's start 5, so quiesce must block until the
         // helper thread publishes its exit.
         s.quiesce(me.id, 10);
-        assert_eq!(s.heap.load(Addr(1)), 1, "quiesce returned before the older tx finished");
+        assert_eq!(
+            s.heap.load(Addr(1)),
+            1,
+            "quiesce returned before the older tx finished"
+        );
         h.join().unwrap();
     }
 

@@ -8,7 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::lock::RwLock;
 
 use crate::sem::Semaphore;
 use crate::stats::TxStats;

@@ -192,7 +192,10 @@ impl<T: TmValue> TmArray<T> {
     /// Panics if the heap is exhausted or `len` is zero.
     pub fn alloc(system: &Arc<TmSystem>, len: usize, init: T) -> Self {
         assert!(len > 0, "TmArray length must be positive");
-        let base = system.heap.alloc(len).expect("transactional heap exhausted");
+        let base = system
+            .heap
+            .alloc(len)
+            .expect("transactional heap exhausted");
         for i in 0..len {
             system.heap.store(base.offset(i), init.into_word());
         }
@@ -219,7 +222,11 @@ impl<T: TmValue> TmArray<T> {
     ///
     /// Panics if `i` is out of bounds.
     pub fn addr_of(&self, i: usize) -> Addr {
-        assert!(i < self.len, "TmArray index {i} out of bounds ({})", self.len);
+        assert!(
+            i < self.len,
+            "TmArray index {i} out of bounds ({})",
+            self.len
+        );
         self.base.offset(i)
     }
 

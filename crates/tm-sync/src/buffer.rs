@@ -86,7 +86,8 @@ impl TmBoundedBuffer {
             self.buf.store_direct(system, i, i as u64 + 1);
         }
         self.count.store_direct(system, n as u64);
-        self.nextprod.store_direct(system, n as u64 % self.cap as u64);
+        self.nextprod
+            .store_direct(system, n as u64 % self.cap as u64);
         self.nextcons.store_direct(system, 0);
     }
 

@@ -156,7 +156,10 @@ mod tests {
         let system = TmSystem::new(TmConfig::small());
         let c = TmCounter::new(&system, 7);
         let mut tx = direct_tx(&system);
-        assert_eq!(c.wait_for_at_least(Mechanism::Retry, &mut tx, 5).unwrap(), 7);
+        assert_eq!(
+            c.wait_for_at_least(Mechanism::Retry, &mut tx, 5).unwrap(),
+            7
+        );
     }
 
     #[test]

@@ -189,10 +189,11 @@ impl TmHashMap {
                 // Wake when the map has grown past its current size; the
                 // re-executed lookup then decides whether *our* key arrived.
                 let current = self.len.get(tx)?;
-                condsync::wait_pred(tx, pred_map_len_at_least, &[
-                    self.len_addr().0 as u64,
-                    current + 1,
-                ])
+                condsync::wait_pred(
+                    tx,
+                    pred_map_len_at_least,
+                    &[self.len_addr().0 as u64, current + 1],
+                )
             }
             Mechanism::Restart => condsync::restart(tx),
             Mechanism::Pthreads | Mechanism::TmCondVar => {

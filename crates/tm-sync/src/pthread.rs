@@ -6,7 +6,7 @@
 //! correctness tests (both buffers must transfer exactly the same multiset of
 //! elements).
 
-use parking_lot::{Condvar, Mutex};
+use tm_core::lock::{Condvar, Mutex};
 
 /// Internal state guarded by the mutex.
 #[derive(Debug)]

@@ -1,0 +1,296 @@
+//! A tiny, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! This build environment has no network access, so the real crates.io
+//! `criterion` cannot be fetched.  This crate implements the small API
+//! subset the workspace's benches use — `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! warm-up + timed-run measurement loop and plain-text output.
+//!
+//! It is intentionally *not* statistically rigorous (no outlier analysis,
+//! no HTML reports); swap the workspace dependency back to crates.io
+//! criterion when building with network access for publication-grade
+//! numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    config: &'a MeasurementConfig,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasurementConfig {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: first for the warm-up window, then for the
+    /// measurement window, and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        // Measurement: run until the measurement window elapses, counting
+        // iterations; cap the iteration count so pathologically fast
+        // routines still terminate promptly.
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        let max_iters = (self.config.sample_size as u64).max(1) * 1_000_000;
+        let mut iters: u64 = 0;
+        while Instant::now() < deadline && iters < max_iters {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        let mean = if iters == 0 {
+            Duration::ZERO
+        } else {
+            elapsed / (iters as u32).max(1)
+        };
+        self.result = Some(Sample { mean, iters });
+    }
+}
+
+/// Measurement strategies (API compatibility; only wall-clock time exists).
+pub mod measurement {
+    /// Wall-clock time measurement, the crates.io criterion default.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    config: MeasurementConfig,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples (kept for API compatibility; this
+    /// harness folds all iterations into one sample).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Overrides the warm-up window.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.to_string(), bencher.result);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            result: None,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), bencher.result);
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report(group: &str, id: &str, sample: Option<Sample>) {
+    match sample {
+        Some(s) => println!(
+            "{group}/{id:<40} {:>12.3} µs/iter ({} iters)",
+            s.mean.as_secs_f64() * 1e6,
+            s.iters
+        ),
+        None => println!("{group}/{id:<40} (no measurement recorded)"),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: MeasurementConfig::default(),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring crates.io criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> MeasurementConfig {
+        MeasurementConfig {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_size: 2,
+        }
+    }
+
+    #[test]
+    fn bencher_records_a_sample() {
+        let config = quick();
+        let mut b = Bencher {
+            config: &config,
+            result: None,
+        };
+        let mut n = 0u64;
+        b.iter(|| n = n.wrapping_add(1));
+        let s = b.result.expect("iter must record a sample");
+        assert!(s.iters > 0);
+        assert!(n >= s.iters);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("eager", "Retry").to_string(),
+            "eager/Retry"
+        );
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn groups_run_their_functions() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

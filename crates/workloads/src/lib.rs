@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
 pub mod loc;
 pub mod parsec;
 pub mod pc;

@@ -17,12 +17,10 @@
 //!   `Await` needs slightly more lines than `Retry`/`WaitPred` because the
 //!   programmer must name the awaited addresses.
 
-use serde::{Deserialize, Serialize};
-
 use super::parsec::ParsecApp;
 
 /// One row of Table 2.1.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct LocRow {
     /// The application.
     pub app: ParsecApp,
@@ -130,8 +128,7 @@ fn count_lock_sync_lines(source: &str) -> usize {
                 || t.contains("PthreadBuffer")
                 || (t.contains("barrier.wait()") && !t.contains("&rt"))
                 || t.contains(".consume()")
-                || t.contains(".produce(")
-                    && !t.contains("mechanism")
+                || t.contains(".produce(") && !t.contains("mechanism")
                 || t.contains(".lock()")
         })
         .count()

@@ -17,8 +17,8 @@
 //! verify that changing the synchronization mechanism does not change
 //! program behaviour.
 
-use std::sync::{Condvar, Mutex};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 
 use condsync::{Mechanism, TmCondVar};
 use tm_core::{ThreadCtx, TmSystem, Tx, TxResult};

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use condsync::Mechanism;
-use parking_lot::Mutex;
+use tm_core::lock::Mutex;
 use tm_core::TmConfig;
 use tm_sync::{TmBarrier, TmCounter};
 
@@ -96,9 +96,9 @@ pub fn run(params: &KernelParams) -> KernelResult {
 }
 
 fn run_tm(params: &KernelParams) -> (u64, u64, tm_core::StatsSnapshot) {
-    let rt = params
-        .runtime
-        .over(tm_core::TmSystem::new(TmConfig::default().with_heap_words(1 << 14)));
+    let rt = params.runtime.over(tm_core::TmSystem::new(
+        TmConfig::default().with_heap_words(1 << 14),
+    ));
     let system = Arc::clone(rt.system());
     let mechanism = params.mechanism;
     let steps = timesteps(params);

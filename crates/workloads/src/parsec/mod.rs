@@ -31,13 +31,12 @@ use std::str::FromStr;
 use std::time::Duration;
 
 use condsync::Mechanism;
-use serde::{Deserialize, Serialize};
 use tm_core::StatsSnapshot;
 
 use crate::runtime::RuntimeKind;
 
 /// The eight PARSEC applications that use condition variables (Table 2.1).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum ParsecApp {
     /// Body tracking: per-frame worker pool (5 sync points).
     Bodytrack,
@@ -150,7 +149,7 @@ impl FromStr for ParsecApp {
 
 /// How much work a kernel performs; scales both item counts and per-item
 /// compute so quick test runs and full benchmark runs use the same code.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Scale {
     /// A few hundred work items — used by unit and integration tests.
     Test,
@@ -181,7 +180,7 @@ impl Scale {
 }
 
 /// Parameters shared by every kernel run.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct KernelParams {
     /// Number of worker threads (the figures' x-axis, 1–8).
     pub threads: usize,
@@ -212,7 +211,7 @@ impl KernelParams {
 }
 
 /// Result of one kernel run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelResult {
     /// Which application ran.
     pub app: ParsecApp,
@@ -264,7 +263,10 @@ mod tests {
             let ts = app.supported_threads();
             assert!(ts.contains(&1), "{app} must run single-threaded");
             assert!(ts.contains(&8), "{app} must run at 8 threads");
-            assert!(ts.windows(2).all(|w| w[0] < w[1]), "{app} thread list sorted");
+            assert!(
+                ts.windows(2).all(|w| w[0] < w[1]),
+                "{app} thread list sorted"
+            );
         }
     }
 

@@ -60,7 +60,14 @@ pub fn expected_checksum(params: &KernelParams) -> u64 {
         }
         // The coordinator "opens" the centre when the cost clears a
         // deterministic threshold; both branches feed the checksum.
-        sum = fold(sum, if cost & 1 == 0 { cost } else { cost.rotate_left(7) });
+        sum = fold(
+            sum,
+            if cost & 1 == 0 {
+                cost
+            } else {
+                cost.rotate_left(7)
+            },
+        );
     }
     sum
 }
@@ -93,9 +100,9 @@ fn decide(cost: u64) -> u64 {
 }
 
 fn run_tm(params: &KernelParams) -> (u64, u64, tm_core::StatsSnapshot) {
-    let rt = params
-        .runtime
-        .over(tm_core::TmSystem::new(TmConfig::default().with_heap_words(1 << 14)));
+    let rt = params.runtime.over(tm_core::TmSystem::new(
+        TmConfig::default().with_heap_words(1 << 14),
+    ));
     let system = Arc::clone(rt.system());
     let mechanism = params.mechanism;
     let n_rounds = rounds(params);
@@ -176,7 +183,11 @@ fn run_locks(params: &KernelParams) -> (u64, u64, tm_core::StatsSnapshot) {
             .fold(0u64, fold)
     });
 
-    (checksum, n_rounds * POINTS, tm_core::StatsSnapshot::default())
+    (
+        checksum,
+        n_rounds * POINTS,
+        tm_core::StatsSnapshot::default(),
+    )
 }
 
 #[cfg(test)]

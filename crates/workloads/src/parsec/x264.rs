@@ -80,9 +80,9 @@ pub fn run(params: &KernelParams) -> KernelResult {
 }
 
 fn run_tm(params: &KernelParams) -> (u64, u64, tm_core::StatsSnapshot) {
-    let rt = params
-        .runtime
-        .over(tm_core::TmSystem::new(TmConfig::default().with_heap_words(1 << 14)));
+    let rt = params.runtime.over(tm_core::TmSystem::new(
+        TmConfig::default().with_heap_words(1 << 14),
+    ));
     let system = Arc::clone(rt.system());
     let mechanism = params.mechanism;
     let n_frames = frames(params);
@@ -111,17 +111,11 @@ fn run_tm(params: &KernelParams) -> (u64, u64, tm_core::StatsSnapshot) {
                     for row in 0..ROWS {
                         if frame > 0 {
                             let needed = (row + LOOKAHEAD).min(ROWS);
-                            progress[(frame - 1) as usize].wait_at_least(
-                                &rt,
-                                &th,
-                                mechanism,
-                                needed,
-                            );
+                            progress[(frame - 1) as usize]
+                                .wait_at_least(&rt, &th, mechanism, needed);
                         }
                         local = fold(local, encode_row(units, frame, row));
-                        rt.atomically(&th, |tx| {
-                            progress[frame as usize].add(tx, 1).map(|_| ())
-                        });
+                        rt.atomically(&th, |tx| progress[frame as usize].add(tx, 1).map(|_| ()));
                     }
                     frame += threads;
                 }

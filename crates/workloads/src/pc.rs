@@ -12,14 +12,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use condsync::Mechanism;
-use serde::{Deserialize, Serialize};
 use tm_core::{StatsSnapshot, TmConfig};
 use tm_sync::{PthreadBuffer, TmBoundedBuffer};
 
 use crate::runtime::{AnyRuntime, RuntimeKind};
 
 /// Parameters of one producer/consumer trial.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct PcParams {
     /// Number of producer threads (`p` in the figure labels).
     pub producers: usize,
@@ -47,7 +46,10 @@ impl PcParams {
         mechanism: Mechanism,
     ) -> Self {
         assert!(producers > 0 && consumers > 0, "need at least one of each");
-        assert!(buffer_size >= 2, "the paper half-fills the buffer, so cap >= 2");
+        assert!(
+            buffer_size >= 2,
+            "the paper half-fills the buffer, so cap >= 2"
+        );
         PcParams {
             producers,
             consumers,
@@ -99,7 +101,7 @@ fn gcd(a: u64, b: u64) -> u64 {
 }
 
 /// Result of one producer/consumer trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PcResult {
     /// The parameters that produced this result.
     pub params: PcParams,
@@ -195,8 +197,14 @@ pub fn run_pc(runtime_kind: RuntimeKind, params: &PcParams) -> PcResult {
                 sum
             }));
         }
-        let produced: u64 = producers.into_iter().map(|h| h.join().expect("producer")).sum();
-        let consumed: u64 = consumers.into_iter().map(|h| h.join().expect("consumer")).sum();
+        let produced: u64 = producers
+            .into_iter()
+            .map(|h| h.join().expect("producer"))
+            .sum();
+        let consumed: u64 = consumers
+            .into_iter()
+            .map(|h| h.join().expect("consumer"))
+            .sum();
         (produced, consumed)
     });
     let elapsed = start.elapsed();
@@ -268,8 +276,14 @@ fn run_pc_pthreads(params: &PcParams) -> PcResult {
                 sum
             }));
         }
-        let produced: u64 = producers.into_iter().map(|h| h.join().expect("producer")).sum();
-        let consumed: u64 = consumers.into_iter().map(|h| h.join().expect("consumer")).sum();
+        let produced: u64 = producers
+            .into_iter()
+            .map(|h| h.join().expect("producer"))
+            .sum();
+        let consumed: u64 = consumers
+            .into_iter()
+            .map(|h| h.join().expect("consumer"))
+            .sum();
         (produced, consumed)
     });
     let elapsed = start.elapsed();
@@ -296,7 +310,9 @@ fn run_pc_pthreads(params: &PcParams) -> PcResult {
 
 /// Runs `trials` trials and returns all results.
 pub fn run_pc_trials(runtime_kind: RuntimeKind, params: &PcParams, trials: u32) -> Vec<PcResult> {
-    (0..trials.max(1)).map(|_| run_pc(runtime_kind, params)).collect()
+    (0..trials.max(1))
+        .map(|_| run_pc(runtime_kind, params))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,14 +9,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use crate::json::{JsonError, Value};
 use condsync::Mechanism;
-use serde::{Deserialize, Serialize};
 use tm_core::StatsSnapshot;
 
 /// One measured point: a configuration label (e.g. buffer size or thread
 /// count) mapped to a wall-clock time and the runtime statistics gathered
 /// during the trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DataPoint {
     /// X-axis value (buffer size for Figures 2.3–2.5, thread count for
     /// Figures 2.6–2.8).
@@ -34,7 +34,10 @@ pub struct DataPoint {
 impl DataPoint {
     /// Builds a point from raw per-trial durations.
     pub fn from_trials(x: u64, durations: &[Duration], stats: StatsSnapshot) -> Self {
-        assert!(!durations.is_empty(), "a data point needs at least one trial");
+        assert!(
+            !durations.is_empty(),
+            "a data point needs at least one trial"
+        );
         let secs: Vec<f64> = durations.iter().map(Duration::as_secs_f64).collect();
         let mean = secs.iter().sum::<f64>() / secs.len() as f64;
         let var = if secs.len() > 1 {
@@ -53,7 +56,7 @@ impl DataPoint {
 }
 
 /// One line in a figure: a mechanism and its measured points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// The mechanism this series measures.
     pub mechanism: Mechanism,
@@ -84,7 +87,7 @@ impl Series {
 
 /// One panel of a figure (e.g. `p2-c4` in Figure 2.3, or one PARSEC app in
 /// Figure 2.6): a set of series sharing the same x-axis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Panel label (`"p2-c4"`, `"dedup"`, …).
     pub label: String,
@@ -163,7 +166,7 @@ impl Panel {
 }
 
 /// A complete experiment: one figure or table of the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment identifier (`"fig2.3"`, `"table2.1"`, …).
     pub experiment: String,
@@ -210,7 +213,11 @@ impl Report {
     /// Renders the whole report as plain text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "# {} — {} [{}]", self.experiment, self.title, self.runtime);
+        let _ = writeln!(
+            out,
+            "# {} — {} [{}]",
+            self.experiment, self.title, self.runtime
+        );
         for (k, v) in &self.notes {
             let _ = writeln!(out, "#   {k}: {v}");
         }
@@ -224,12 +231,187 @@ impl Report {
 
     /// Serializes the report to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("reports are serializable")
+        self.to_value().pretty()
     }
 
     /// Parses a report back from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        Report::from_value(&Value::parse(s)?)
+    }
+}
+
+// Hand-written JSON (de)serialization: the build environment cannot fetch
+// serde, and the record types are few and flat enough that explicit code
+// stays readable.  Field names match what a serde derive would emit, so
+// reports written by earlier builds keep parsing.
+
+fn stats_to_value(stats: &StatsSnapshot) -> Value {
+    Value::Obj(
+        stats
+            .as_pairs()
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), Value::Num(v as f64)))
+            .collect(),
+    )
+}
+
+fn stats_from_value(v: &Value) -> Result<StatsSnapshot, JsonError> {
+    let pairs = match v {
+        Value::Obj(pairs) => pairs,
+        _ => return Err(JsonError::new("stats must be an object")),
+    };
+    let mut stats = StatsSnapshot::default();
+    for (name, value) in pairs {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| JsonError::new(format!("stat `{name}` must be a u64")))?;
+        // Unknown counters are ignored so old reports survive renames.
+        stats.set_by_name(name, n);
+    }
+    Ok(stats)
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, JsonError> {
+    v.require(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a u64")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, JsonError> {
+    v.require(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a number")))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, JsonError> {
+    Ok(v.require(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::new(format!("`{key}` must be a string")))?
+        .to_string())
+}
+
+impl DataPoint {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("x", Value::Num(self.x as f64)),
+            ("seconds", Value::Num(self.seconds)),
+            ("stddev", Value::Num(self.stddev)),
+            ("trials", Value::Num(self.trials as f64)),
+            ("stats", stats_to_value(&self.stats)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(DataPoint {
+            x: u64_field(v, "x")?,
+            seconds: f64_field(v, "seconds")?,
+            stddev: f64_field(v, "stddev")?,
+            trials: u64_field(v, "trials")? as u32,
+            stats: stats_from_value(v.require("stats")?)?,
+        })
+    }
+}
+
+impl Series {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("mechanism", Value::Str(self.mechanism.label().to_string())),
+            (
+                "points",
+                Value::Arr(self.points.iter().map(DataPoint::to_value).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let mechanism = str_field(v, "mechanism")?
+            .parse::<Mechanism>()
+            .map_err(JsonError::new)?;
+        let points = v
+            .require("points")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`points` must be an array"))?
+            .iter()
+            .map(DataPoint::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Series { mechanism, points })
+    }
+}
+
+impl Panel {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("label", Value::Str(self.label.clone())),
+            ("x_label", Value::Str(self.x_label.clone())),
+            (
+                "series",
+                Value::Arr(self.series.iter().map(Series::to_value).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let series = v
+            .require("series")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`series` must be an array"))?
+            .iter()
+            .map(Series::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Panel {
+            label: str_field(v, "label")?,
+            x_label: str_field(v, "x_label")?,
+            series,
+        })
+    }
+}
+
+impl Report {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("experiment", Value::Str(self.experiment.clone())),
+            ("title", Value::Str(self.title.clone())),
+            ("runtime", Value::Str(self.runtime.clone())),
+            (
+                "panels",
+                Value::Arr(self.panels.iter().map(Panel::to_value).collect()),
+            ),
+            (
+                "notes",
+                Value::Obj(
+                    self.notes
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let panels = v
+            .require("panels")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new("`panels` must be an array"))?
+            .iter()
+            .map(Panel::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut notes = BTreeMap::new();
+        if let Value::Obj(pairs) = v.require("notes")? {
+            for (k, note) in pairs {
+                let s = note
+                    .as_str()
+                    .ok_or_else(|| JsonError::new("notes must map to strings"))?;
+                notes.insert(k.clone(), s.to_string());
+            }
+        }
+        Ok(Report {
+            experiment: str_field(v, "experiment")?,
+            title: str_field(v, "title")?,
+            runtime: str_field(v, "runtime")?,
+            panels,
+            notes,
+        })
     }
 }
 
@@ -272,7 +454,10 @@ mod tests {
         s.push(point(128, 1.0));
         s.push(point(4, 2.0));
         s.push(point(16, 1.5));
-        assert_eq!(s.points.iter().map(|p| p.x).collect::<Vec<_>>(), vec![4, 16, 128]);
+        assert_eq!(
+            s.points.iter().map(|p| p.x).collect::<Vec<_>>(),
+            vec![4, 16, 128]
+        );
         assert!((s.at(16).unwrap().seconds - 1.5).abs() < 1e-12);
         assert!(s.at(99).is_none());
     }

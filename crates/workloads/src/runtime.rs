@@ -11,7 +11,6 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use htm_sim::HtmSim;
-use serde::{Deserialize, Serialize};
 use stm_eager::EagerStm;
 use stm_lazy::LazyStm;
 use tm_core::{ThreadCtx, TmConfig, TmRt, TmRuntime, TmSystem, Tx, TxResult};
@@ -20,7 +19,7 @@ use tm_core::{ThreadCtx, TmConfig, TmRt, TmRuntime, TmSystem, Tx, TxResult};
 ///
 /// Mirrors the three configurations of §2.4: the default GCC "ml-wt" eager
 /// STM, a TL2-like lazy STM, and TSX-style best-effort HTM.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum RuntimeKind {
     /// Undo-log, encounter-time-locking STM (Appendix A; paper "Eager STM").
     EagerStm,
@@ -33,7 +32,11 @@ pub enum RuntimeKind {
 impl RuntimeKind {
     /// All three runtime configurations, in the order the paper presents
     /// them (Figures 2.3/2.6 eager, 2.4/2.7 lazy, 2.5/2.8 HTM).
-    pub const ALL: [RuntimeKind; 3] = [RuntimeKind::EagerStm, RuntimeKind::LazyStm, RuntimeKind::Htm];
+    pub const ALL: [RuntimeKind; 3] = [
+        RuntimeKind::EagerStm,
+        RuntimeKind::LazyStm,
+        RuntimeKind::Htm,
+    ];
 
     /// The label used in figure captions and harness output.
     pub fn label(self) -> &'static str {

@@ -117,7 +117,10 @@ fn main() {
         } else {
             "intermediate state leaked (atomicity broken at the wait point)"
         };
-        println!("{:<12} observer saw inprogress=1 {leaks} times — {verdict}", mechanism.label());
+        println!(
+            "{:<12} observer saw inprogress=1 {leaks} times — {verdict}",
+            mechanism.label()
+        );
     }
     println!(
         "\nRetry/Await keep the composition atomic because a deschedule rolls the whole\n\

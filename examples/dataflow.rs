@@ -31,12 +31,36 @@ fn graph() -> Vec<Node> {
     //   c = a + b        d = a * 2
     //   e = c - d        f = e * e
     vec![
-        Node { name: "a", inputs: vec![], op: |_| 7 },
-        Node { name: "b", inputs: vec![], op: |_| 35 },
-        Node { name: "c", inputs: vec![0, 1], op: |v| v[0] + v[1] },
-        Node { name: "d", inputs: vec![0], op: |v| v[0] * 2 },
-        Node { name: "e", inputs: vec![2, 3], op: |v| v[0] - v[1] },
-        Node { name: "f", inputs: vec![4], op: |v| v[0] * v[0] },
+        Node {
+            name: "a",
+            inputs: vec![],
+            op: |_| 7,
+        },
+        Node {
+            name: "b",
+            inputs: vec![],
+            op: |_| 35,
+        },
+        Node {
+            name: "c",
+            inputs: vec![0, 1],
+            op: |v| v[0] + v[1],
+        },
+        Node {
+            name: "d",
+            inputs: vec![0],
+            op: |v| v[0] * 2,
+        },
+        Node {
+            name: "e",
+            inputs: vec![2, 3],
+            op: |v| v[0] - v[1],
+        },
+        Node {
+            name: "f",
+            inputs: vec![4],
+            op: |v| v[0] * v[0],
+        },
     ]
 }
 
@@ -74,7 +98,9 @@ fn run(mechanism: Mechanism) {
     });
 
     let th = system.register_thread();
-    let final_value = rt.atomically(&th, |tx| cells[5].try_get(tx)).expect("graph completed");
+    let final_value = rt
+        .atomically(&th, |tx| cells[5].try_get(tx))
+        .expect("graph completed");
     let stats = system.stats();
     println!(
         "[{}] f = {final_value}  (descheds={}, sleeps={}, wakeups={})\n",

@@ -105,7 +105,12 @@ fn run(mechanism: Mechanism) {
 
 fn main() {
     println!("dedup-style 3-stage pipeline, {CHUNKS} chunks, queue capacity {QUEUE_CAP}\n");
-    for mechanism in [Mechanism::Retry, Mechanism::Await, Mechanism::WaitPred, Mechanism::TmCondVar] {
+    for mechanism in [
+        Mechanism::Retry,
+        Mechanism::Await,
+        Mechanism::WaitPred,
+        Mechanism::TmCondVar,
+    ] {
         run(mechanism);
     }
 }

@@ -103,7 +103,10 @@ fn retry_preserves_composition_atomicity_on_htm() {
 #[test]
 fn await_and_waitpred_preserve_composition_atomicity() {
     assert_eq!(observed_leaks(RuntimeKind::EagerStm, Mechanism::Await), 0);
-    assert_eq!(observed_leaks(RuntimeKind::EagerStm, Mechanism::WaitPred), 0);
+    assert_eq!(
+        observed_leaks(RuntimeKind::EagerStm, Mechanism::WaitPred),
+        0
+    );
 }
 
 #[test]
@@ -121,12 +124,14 @@ fn produce1_consume2_returns_consecutive_elements_single_threaded() {
     let buffer = TmBoundedBuffer::new(&system, 8);
     buffer.prefill(&system, 2); // elements 1 and 2
     let th = system.register_thread();
-    let (a, b) = rt.atomically(&th, |tx| {
-        buffer.produce1_consume2(Mechanism::Retry, tx, 99)
-    });
+    let (a, b) = rt.atomically(&th, |tx| buffer.produce1_consume2(Mechanism::Retry, tx, 99));
     // FIFO: the two consumed elements are the two oldest, in order.
     assert_eq!((a, b), (1, 2));
-    assert_eq!(buffer.len_direct(&system), 1, "the produced element remains");
+    assert_eq!(
+        buffer.len_direct(&system),
+        1,
+        "the produced element remains"
+    );
 }
 
 /// Nested library-style use: a transaction that calls a helper which itself

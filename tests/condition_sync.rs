@@ -25,7 +25,9 @@ fn countdown(kind: RuntimeKind, mechanism: Mechanism, waiters: usize, threshold:
             let counter = counter.clone();
             scope.spawn(move || {
                 let th = system.register_thread();
-                let v = rt.atomically(&th, |tx| counter.wait_for_at_least(mechanism, tx, threshold));
+                let v = rt.atomically(&th, |tx| {
+                    counter.wait_for_at_least(mechanism, tx, threshold)
+                });
                 assert!(v >= threshold);
             });
         }

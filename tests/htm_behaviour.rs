@@ -27,7 +27,10 @@ fn small_transactions_commit_in_hardware() {
         rt.atomically(&th, |tx| v.set(tx, i));
     }
     let stats = system.stats();
-    assert!(stats.hw_commits >= 50, "expected hardware commits, got {stats:?}");
+    assert!(
+        stats.hw_commits >= 50,
+        "expected hardware commits, got {stats:?}"
+    );
     assert_eq!(v.load_direct(&system), 50);
 }
 
@@ -90,7 +93,10 @@ fn descheduling_from_hardware_switches_to_software_mode() {
     assert_eq!(waiter.join().unwrap(), 3);
 
     let stats = system.stats();
-    assert!(stats.descheds >= 1, "the waiter must have descheduled: {stats:?}");
+    assert!(
+        stats.descheds >= 1,
+        "the waiter must have descheduled: {stats:?}"
+    );
     // The writer that woke it ran in hardware; the waiter's sleeping attempt
     // could not have.
     assert!(stats.hw_commits >= 1);

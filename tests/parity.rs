@@ -1,0 +1,153 @@
+//! Cross-runtime parity: the same condition-synchronization scenario must
+//! produce identical results on all three runtimes (eager STM, lazy STM,
+//! simulated HTM), and must actually exercise the Deschedule machinery
+//! (non-zero wake-ups), now that all three share the one driver loop in
+//! `tm_core::driver`.
+
+use std::sync::Arc;
+
+use condsync::Mechanism;
+use tm_core::{Addr, StatsSnapshot, TmConfig, Tx, TxResult};
+use tm_repro::prelude::*;
+
+/// Outcome of one scenario run: what the waiters observed, plus the
+/// system-wide statistics at the end.
+#[derive(Debug)]
+struct ScenarioResult {
+    observed: Vec<u64>,
+    final_count: u64,
+    stats: StatsSnapshot,
+}
+
+/// One waiter per deschedule-based mechanism blocks until a shared counter
+/// reaches `TARGET`; a writer then establishes the condition step by step.
+/// Every waiter must observe a value `>= TARGET` regardless of mechanism or
+/// runtime, and at least one of them must have gone through a real
+/// sleep/wake cycle.
+fn run_scenario(kind: RuntimeKind) -> ScenarioResult {
+    const TARGET: u64 = 3;
+
+    let rt = kind.build(TmConfig::small());
+    let system = Arc::clone(rt.system());
+    let count = TmVar::<u64>::alloc(&system, 0);
+
+    fn reached_target(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+        Ok(tx.read(Addr(args[0] as usize))? >= args[1])
+    }
+
+    let mut waiters = Vec::new();
+    for mechanism in [Mechanism::Retry, Mechanism::Await, Mechanism::WaitPred] {
+        let rt = rt.clone();
+        let system = Arc::clone(&system);
+        let count = count.clone();
+        waiters.push(std::thread::spawn(move || {
+            let th = system.register_thread();
+            rt.atomically(&th, |tx| {
+                let v = count.get(tx)?;
+                if v < TARGET {
+                    return match mechanism {
+                        Mechanism::Retry => retry(tx),
+                        Mechanism::Await => await_one(tx, count.addr()),
+                        Mechanism::WaitPred => {
+                            wait_pred(tx, reached_target, &[count.addr().0 as u64, TARGET])
+                        }
+                        _ => unreachable!("scenario only runs deschedule-based mechanisms"),
+                    };
+                }
+                Ok(v)
+            })
+        }));
+    }
+
+    // Wait until all three waiters have published their wait records; the
+    // condition cannot hold before the writer runs, so each stays registered
+    // (and headed for a real sleep) once it appears.  This makes the
+    // writer's wakeWaiters traffic deterministic instead of timing-based.
+    while rt.system().waiters.len() < 3 {
+        std::thread::yield_now();
+    }
+
+    let th = system.register_thread();
+    for _ in 0..TARGET {
+        rt.atomically(&th, |tx| {
+            let v = count.get(tx)?;
+            count.set(tx, v + 1)
+        });
+    }
+
+    let mut observed: Vec<u64> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+    observed.sort_unstable();
+    ScenarioResult {
+        observed,
+        final_count: count.load_direct(&system),
+        stats: system.stats(),
+    }
+}
+
+#[test]
+fn same_scenario_same_results_on_all_runtimes() {
+    let results: Vec<(RuntimeKind, ScenarioResult)> = RuntimeKind::ALL
+        .iter()
+        .map(|&kind| (kind, run_scenario(kind)))
+        .collect();
+
+    let (first_kind, first) = &results[0];
+    for (kind, result) in &results {
+        // Await can observe any post-change value >= 1; Retry and WaitPred
+        // wake only once the target holds.  What must agree across runtimes
+        // is the *final* state and the waiters' success.
+        assert_eq!(
+            result.final_count, first.final_count,
+            "{kind} final count diverged from {first_kind}"
+        );
+        assert_eq!(result.observed.len(), 3, "{kind}: a waiter was lost");
+        assert!(
+            result.observed.iter().all(|&v| v >= 1),
+            "{kind}: a waiter returned before any write: {:?}",
+            result.observed
+        );
+        assert!(
+            result.observed.iter().max() == Some(&3),
+            "{kind}: no waiter saw the established condition: {:?}",
+            result.observed
+        );
+    }
+}
+
+#[test]
+fn every_runtime_reports_real_deschedule_traffic() {
+    for kind in RuntimeKind::ALL {
+        let result = run_scenario(kind);
+        let stats = &result.stats;
+        assert!(
+            stats.descheds >= 3,
+            "{kind}: expected every waiter to deschedule, got {}",
+            stats.descheds
+        );
+        assert!(
+            stats.wakeups > 0,
+            "{kind}: writer commits woke nobody (stats: {stats:?})"
+        );
+        assert!(
+            stats.wake_checks >= stats.wakeups,
+            "{kind}: every wakeup requires a condition check"
+        );
+        assert!(
+            stats.total_commits() >= 4,
+            "{kind}: three waiters plus the writers must all commit"
+        );
+    }
+}
+
+#[test]
+fn parity_holds_under_repetition() {
+    // The scenario is timing-sensitive (waiters may skip the sleep if the
+    // writer wins the race); repeat it to cover both interleavings.
+    for round in 0..3 {
+        for kind in RuntimeKind::ALL {
+            let result = run_scenario(kind);
+            assert_eq!(result.final_count, 3, "{kind} round {round}");
+            assert_eq!(result.observed.len(), 3, "{kind} round {round}");
+        }
+    }
+}

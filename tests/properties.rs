@@ -1,152 +1,167 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! invariants the mechanisms rely on.
+//! Property-based tests over the core data structures and the invariants the
+//! mechanisms rely on.
+//!
+//! The seed version of this file used `proptest`, which cannot be fetched in
+//! this offline build environment.  The same properties are checked here with
+//! a deterministic xorshift generator driving randomized cases: every run
+//! explores the same inputs, so failures are trivially reproducible, and each
+//! property still sees dozens of distinct cases.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use condsync::Mechanism;
+use tm_core::backoff::XorShift64;
 use tm_repro::prelude::*;
 use tm_repro::workloads::pc::PcParams;
 use tm_repro::workloads::runtime::RuntimeKind;
 
-/// Operations for the bounded-buffer model test.
-#[derive(Clone, Debug)]
-enum BufOp {
-    Put(u64),
-    Get,
-}
+const CASES: u64 = 32;
 
-fn buf_op() -> impl Strategy<Value = BufOp> {
-    prop_oneof![
-        (1u64..1_000_000).prop_map(BufOp::Put),
-        Just(BufOp::Get),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        .. ProptestConfig::default()
-    })]
-
-    /// The transactional bounded buffer behaves exactly like a capacity-
-    /// bounded VecDeque for any single-threaded sequence of puts and gets.
-    #[test]
-    fn bounded_buffer_matches_vecdeque_model(
-        cap in 2usize..20,
-        ops in proptest::collection::vec(buf_op(), 1..80),
-    ) {
+/// The transactional bounded buffer behaves exactly like a capacity-bounded
+/// VecDeque for any single-threaded sequence of puts and gets.
+#[test]
+fn bounded_buffer_matches_vecdeque_model() {
+    let mut rng = XorShift64::new(0xB0F0);
+    for case in 0..CASES {
+        let cap = 2 + (rng.next() % 18) as usize;
         let rt = RuntimeKind::EagerStm.build(TmConfig::small());
         let system = Arc::clone(rt.system());
         let buffer = TmBoundedBuffer::new(&system, cap);
         let th = system.register_thread();
         let mut model: VecDeque<u64> = VecDeque::new();
 
-        for op in ops {
-            match op {
-                BufOp::Put(v) => {
-                    let full = rt.atomically(&th, |tx| buffer.full(tx));
-                    prop_assert_eq!(full, model.len() == cap);
-                    if !full {
-                        rt.atomically(&th, |tx| buffer.put(tx, v));
-                        model.push_back(v);
-                    }
+        let ops = 1 + (rng.next() % 79) as usize;
+        for _ in 0..ops {
+            if rng.next().is_multiple_of(2) {
+                let v = 1 + rng.next() % 1_000_000;
+                let full = rt.atomically(&th, |tx| buffer.full(tx));
+                assert_eq!(full, model.len() == cap, "case {case}");
+                if !full {
+                    rt.atomically(&th, |tx| buffer.put(tx, v));
+                    model.push_back(v);
                 }
-                BufOp::Get => {
-                    let empty = rt.atomically(&th, |tx| buffer.empty(tx));
-                    prop_assert_eq!(empty, model.is_empty());
-                    if !empty {
-                        let got = rt.atomically(&th, |tx| buffer.get(tx));
-                        prop_assert_eq!(Some(got), model.pop_front());
-                    }
+            } else {
+                let empty = rt.atomically(&th, |tx| buffer.empty(tx));
+                assert_eq!(empty, model.is_empty(), "case {case}");
+                if !empty {
+                    let got = rt.atomically(&th, |tx| buffer.get(tx));
+                    assert_eq!(Some(got), model.pop_front(), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(buffer.len_direct(&system), model.len() as u64);
+        assert_eq!(
+            buffer.len_direct(&system),
+            model.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// Values written through a transaction are the values read back, for any
-    /// u64 bit pattern, on every runtime.
-    #[test]
-    fn tmvar_round_trips_arbitrary_values(value in any::<u64>(), second in any::<u64>()) {
+/// Values written through a transaction are the values read back, for any
+/// u64 bit pattern, on every runtime.
+#[test]
+fn tmvar_round_trips_arbitrary_values() {
+    let mut rng = XorShift64::new(0x707A);
+    for _ in 0..CASES {
+        let value = rng.next();
+        let second = rng.next();
         for kind in RuntimeKind::ALL {
             let rt = kind.build(TmConfig::small());
             let system = Arc::clone(rt.system());
             let var = TmVar::<u64>::alloc(&system, value);
             let th = system.register_thread();
             let observed = rt.atomically(&th, |tx| var.get(tx));
-            prop_assert_eq!(observed, value);
-            rt.atomically(&th, |tx| var.set(tx, second))  ;
-            prop_assert_eq!(var.load_direct(&system), second);
+            assert_eq!(observed, value, "{kind}");
+            rt.atomically(&th, |tx| var.set(tx, second));
+            assert_eq!(var.load_direct(&system), second, "{kind}");
         }
     }
+}
 
-    /// The value-based wake-up condition fires exactly when some recorded
-    /// location's current value differs from the recorded value — silent
-    /// stores (same value) never wake, any real change does.
-    #[test]
-    fn values_changed_condition_fires_iff_some_value_differs(
-        recorded in proptest::collection::vec((0usize..64, any::<u64>()), 1..16),
-        flip_index in any::<prop::sample::Index>(),
-        flip_delta in 1u64..1000,
-    ) {
+/// The value-based wake-up condition fires exactly when some recorded
+/// location's current value differs from the recorded value — silent stores
+/// (same value) never wake, any real change does.
+#[test]
+fn values_changed_condition_fires_iff_some_value_differs() {
+    let mut rng = XorShift64::new(0xC0DE);
+    for case in 0..CASES {
         let rt = RuntimeKind::EagerStm.build(TmConfig::small());
         let system = Arc::clone(rt.system());
         let th = system.register_thread();
 
-        // Deduplicate addresses (later entries would otherwise overwrite
-        // earlier recorded values in memory but not in the waitset).
-        let mut seen = std::collections::HashSet::new();
-        let recorded: Vec<(Addr, u64)> = recorded
-            .into_iter()
-            .filter(|(a, _)| seen.insert(*a))
-            .map(|(a, v)| (Addr(128 + a), v))
-            .collect();
+        // Distinct addresses with arbitrary recorded values.
+        let len = 1 + (rng.next() % 15) as usize;
+        let mut recorded: Vec<(Addr, u64)> = Vec::new();
+        for _ in 0..len {
+            let a = Addr(128 + (rng.next() % 64) as usize);
+            if !recorded.iter().any(|&(x, _)| x == a) {
+                recorded.push((a, rng.next()));
+            }
+        }
 
         // Memory exactly matches the waitset: must not wake.
         for &(a, v) in &recorded {
             system.heap.store(a, v);
         }
-        let condition = tm_core::WaitCondition::ValuesChanged(recorded.clone());
+        let condition = tm_repro::core::WaitCondition::ValuesChanged(recorded.clone());
         let wake = rt.atomically(&th, |tx| condition.should_wake(tx));
-        prop_assert!(!wake, "silent state caused a wake-up");
+        assert!(!wake, "case {case}: silent state caused a wake-up");
 
         // Change exactly one recorded location: must wake.
-        let (addr, val) = recorded[flip_index.index(recorded.len())];
-        system.heap.store(addr, val.wrapping_add(flip_delta));
+        let (addr, val) = recorded[(rng.next() % recorded.len() as u64) as usize];
+        let delta = 1 + rng.next() % 999;
+        system.heap.store(addr, val.wrapping_add(delta));
         let wake = rt.atomically(&th, |tx| condition.should_wake(tx));
-        prop_assert!(wake, "a changed value failed to wake");
+        assert!(wake, "case {case}: a changed value failed to wake");
     }
+}
 
-    /// The micro-benchmark's work division is exact: every producer and every
-    /// consumer gets an equal share and nothing is lost to rounding.
-    #[test]
-    fn pc_params_split_is_exact(
-        producers in 1usize..9,
-        consumers in 1usize..9,
-        total in 1u64..100_000,
-        buffer in 2usize..256,
-    ) {
+/// The micro-benchmark's work division is exact: every producer and every
+/// consumer gets an equal share and nothing is lost to rounding.
+#[test]
+fn pc_params_split_is_exact() {
+    let mut rng = XorShift64::new(0x5717);
+    for case in 0..CASES {
+        let producers = 1 + (rng.next() % 8) as usize;
+        let consumers = 1 + (rng.next() % 8) as usize;
+        let total = 1 + rng.next() % 99_999;
+        let buffer = 2 + (rng.next() % 254) as usize;
+
         let params = PcParams::new(producers, consumers, buffer, total, Mechanism::Retry);
         let eff = params.effective_total();
-        prop_assert!(eff >= total);
-        prop_assert_eq!(eff % producers as u64, 0);
-        prop_assert_eq!(eff % consumers as u64, 0);
-        prop_assert_eq!(params.items_per_producer() * producers as u64, eff);
-        prop_assert_eq!(params.items_per_consumer() * consumers as u64, eff);
+        assert!(eff >= total, "case {case}");
+        assert_eq!(eff % producers as u64, 0, "case {case}");
+        assert_eq!(eff % consumers as u64, 0, "case {case}");
+        assert_eq!(
+            params.items_per_producer() * producers as u64,
+            eff,
+            "case {case}"
+        );
+        assert_eq!(
+            params.items_per_consumer() * consumers as u64,
+            eff,
+            "case {case}"
+        );
         // The rounding slack is always less than one extra item per thread
         // pair (bounded by lcm(p, c)).
-        prop_assert!(eff - total < (producers as u64) * (consumers as u64));
-        prop_assert!(params.prefill() <= buffer / 2);
+        assert!(
+            eff - total < (producers as u64) * (consumers as u64),
+            "case {case}"
+        );
+        assert!(params.prefill() <= buffer / 2, "case {case}");
     }
+}
 
-    /// Transactional allocation hands out non-overlapping regions and
-    /// rollback returns them (no leaks observable through the allocator's
-    /// bookkeeping).
-    #[test]
-    fn transactional_alloc_regions_do_not_overlap(sizes in proptest::collection::vec(1usize..16, 1..10)) {
+/// Transactional allocation hands out non-overlapping regions and rollback
+/// returns them (no leaks observable through the allocator's bookkeeping).
+#[test]
+fn transactional_alloc_regions_do_not_overlap() {
+    let mut rng = XorShift64::new(0xA110);
+    for case in 0..CASES {
+        let sizes: Vec<usize> = (0..1 + (rng.next() % 9) as usize)
+            .map(|_| 1 + (rng.next() % 15) as usize)
+            .collect();
         let rt = RuntimeKind::EagerStm.build(TmConfig::small());
         let system = Arc::clone(rt.system());
         let th = system.register_thread();
@@ -162,22 +177,35 @@ proptest! {
             for &(b, sb) in addrs.iter().skip(i + 1) {
                 let a_end = a.0 + sa;
                 let b_end = b.0 + sb;
-                prop_assert!(a_end <= b.0 || b_end <= a.0, "overlapping allocations");
+                assert!(
+                    a_end <= b.0 || b_end <= a.0,
+                    "case {case}: overlapping allocations"
+                );
             }
         }
     }
+}
 
-    /// The counter's `wait_for_at_least` returns immediately with the current
-    /// value whenever the threshold is already met, for any threshold.
-    #[test]
-    fn counter_wait_returns_immediately_when_satisfied(start in 0u64..1000, threshold in 0u64..1000) {
-        prop_assume!(threshold <= start);
+/// The counter's `wait_for_at_least` returns immediately with the current
+/// value whenever the threshold is already met, for any threshold.
+#[test]
+fn counter_wait_returns_immediately_when_satisfied() {
+    let mut rng = XorShift64::new(0xC417);
+    for case in 0..CASES {
+        let start = rng.next() % 1000;
+        let threshold = if start == 0 {
+            0
+        } else {
+            rng.next() % (start + 1)
+        };
         let rt = RuntimeKind::LazyStm.build(TmConfig::small());
         let system = Arc::clone(rt.system());
         let counter = TmCounter::new(&system, start);
         let th = system.register_thread();
-        let v = rt.atomically(&th, |tx| counter.wait_for_at_least(Mechanism::Retry, tx, threshold));
-        prop_assert_eq!(v, start);
-        prop_assert_eq!(system.stats().sleeps, 0);
+        let v = rt.atomically(&th, |tx| {
+            counter.wait_for_at_least(Mechanism::Retry, tx, threshold)
+        });
+        assert_eq!(v, start, "case {case}");
+        assert_eq!(system.stats().sleeps, 0, "case {case}");
     }
 }

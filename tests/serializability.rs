@@ -49,7 +49,9 @@ fn bank_transfers_conserve_total_balance() {
         let rt = kind.build(TmConfig::small());
         let system = Arc::clone(rt.system());
         let accounts: Arc<Vec<TmVar<u64>>> = Arc::new(
-            (0..ACCOUNTS).map(|_| TmVar::alloc(&system, INITIAL)).collect(),
+            (0..ACCOUNTS)
+                .map(|_| TmVar::alloc(&system, INITIAL))
+                .collect(),
         );
 
         std::thread::scope(|scope| {
@@ -117,8 +119,16 @@ fn queue_and_stack_do_not_lose_elements_under_contention() {
             }
         });
 
-        assert_eq!(queue.len_direct(&system), THREADS as u64 * PER_THREAD, "{kind}");
-        assert_eq!(stack.len_direct(&system), THREADS as u64 * PER_THREAD, "{kind}");
+        assert_eq!(
+            queue.len_direct(&system),
+            THREADS as u64 * PER_THREAD,
+            "{kind}"
+        );
+        assert_eq!(
+            stack.len_direct(&system),
+            THREADS as u64 * PER_THREAD,
+            "{kind}"
+        );
 
         // Drain both and check every value appears exactly once.
         let th = system.register_thread();
@@ -144,8 +154,14 @@ fn queue_and_stack_do_not_lose_elements_under_contention() {
                 None => break,
             }
         }
-        assert_eq!(seen_q.iter().filter(|&&b| b).count() as u64, THREADS as u64 * PER_THREAD);
-        assert_eq!(seen_s.iter().filter(|&&b| b).count() as u64, THREADS as u64 * PER_THREAD);
+        assert_eq!(
+            seen_q.iter().filter(|&&b| b).count() as u64,
+            THREADS as u64 * PER_THREAD
+        );
+        assert_eq!(
+            seen_s.iter().filter(|&&b| b).count() as u64,
+            THREADS as u64 * PER_THREAD
+        );
     }
 }
 

@@ -60,7 +60,9 @@ fn once_cell_racing_writers_agree_on_one_value() {
     assert_eq!(winners, 1, "exactly one writer may win a once-cell");
 
     let th = system.register_thread();
-    let v = rt.atomically(&th, |tx| cell.try_get(tx)).expect("value present");
+    let v = rt
+        .atomically(&th, |tx| cell.try_get(tx))
+        .expect("value present");
     assert!((100..104).contains(&v));
 }
 
@@ -101,7 +103,11 @@ fn latch_releases_waiters_once_all_events_arrive() {
         });
 
         assert_eq!(latch.remaining_direct(&system), 0, "{kind}");
-        assert_eq!(results.load_direct(&system), 2, "{kind}: both waiters ran after the latch opened");
+        assert_eq!(
+            results.load_direct(&system),
+            2,
+            "{kind}: both waiters ran after the latch opened"
+        );
     }
 }
 
