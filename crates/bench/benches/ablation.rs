@@ -55,7 +55,8 @@ fn register_sleepers(system: &Arc<TmSystem>, n: usize) -> Vec<Arc<Waiter>> {
                 WaitCondition::ValuesChanged(vec![(addr, i as u64)]),
                 Arc::new(Semaphore::new()),
             );
-            system.waiters.register(Arc::clone(&w));
+            let stripes = w.condition.stripes(&system.orecs);
+            system.waiters.register(Arc::clone(&w), &stripes);
             w
         })
         .collect()

@@ -20,10 +20,25 @@
 //!
 //! All of the paper's mechanisms are expressed as a rollback followed by
 //! [`deschedule::deschedule`]; committed writers call
-//! [`deschedule::wake_waiters`], which evaluates each sleeper's wait
-//! condition as an ordinary read-only transaction over shared memory.  No
-//! access to the writer's write set is required, which is what makes the
-//! design compatible with (simulated) hardware TM.
+//! [`deschedule::wake_waiters_matching`], which evaluates each *relevant*
+//! sleeper's wait condition as an ordinary read-only transaction over shared
+//! memory.  Relevance comes from the sharded waiter registry
+//! (`tm_core::waitlist`): waiters are indexed by the ownership-record
+//! stripes their conditions cover, and a committing writer scans only the
+//! shards covering the stripes it wrote.  Correctness never *requires* the
+//! write set — [`deschedule::wake_waiters`] is the scan-everything variant
+//! any committer may use — which is what keeps the design compatible with
+//! (simulated) hardware TM, whose serial fallback reports no write set at
+//! all.
+//!
+//! How each [`tm_core::WaitSpec`] variant maps onto registry shards:
+//!
+//! | `WaitSpec` variant | materialised condition | registry shard(s) |
+//! |---|---|---|
+//! | `ReadSetValues` (`Retry`) | value log `(addr, val)` pairs | shard of every logged address's stripe |
+//! | `Addrs` (`Await`) | captured `(addr, val)` pairs | shard of every awaited address's stripe |
+//! | `Pred` (`WaitPred`) | predicate + marshalled args | the *unindexed* shard (no addresses to index; scanned by every writer) |
+//! | `OrigReadLocks` (`Retry-Orig`) | — | not in this registry at all: it uses the separate [`OrigRegistry`] keyed by read-lock indices |
 //!
 //! Both functions are invoked exclusively by the unified driver loop in
 //! `tm_core::driver` (where their implementation lives — the dependency
@@ -40,6 +55,6 @@ pub mod mechanism;
 pub mod orig;
 
 pub use condvar::TmCondVar;
-pub use deschedule::{deschedule, wake_waiters, DescheduleOutcome};
+pub use deschedule::{deschedule, wake_waiters, wake_waiters_matching, DescheduleOutcome};
 pub use mechanism::{await_addrs, await_one, restart, retry, retry_orig, wait_pred, Mechanism};
 pub use orig::{sleep_until_intersection, OrigRegistry, OrigWaiter};

@@ -10,10 +10,27 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tm_core::{LineId, ThreadId};
+use tm_core::{LineId, OrecTable, ThreadId};
 
 /// Maximum number of threads the reader bitmask can represent.
 pub const MAX_HW_THREADS: usize = 64;
+
+/// Maps a committed cache line back to the ownership-record stripes of its
+/// words, appending them to `out`.
+///
+/// Hardware transactions never touch ownership records — that is the crux of
+/// the paper's compatibility argument — but the targeted `wakeWaiters` scan
+/// is indexed by orec stripe, and a hardware commit's effects are visible at
+/// line granularity.  Covering every word of each written line yields a
+/// superset of the written words' stripes, so targeting from hardware
+/// commits can narrow the scan without ever losing a wakeup.  The caller
+/// sorts/dedups (stripes from different lines may collide).
+///
+/// The mapping itself lives in [`OrecTable::line_indices`], shared with the
+/// wake-path tests and benches.
+pub fn line_stripes(orecs: &OrecTable, line: LineId, out: &mut Vec<usize>) {
+    out.extend(orecs.line_indices(line));
+}
 
 /// One directory slot.
 #[derive(Debug, Default)]
@@ -248,6 +265,23 @@ mod tests {
         assert_eq!(t.writer_of(slot), Some(4));
         t.clear_writer(slot, 4);
         assert_eq!(t.writer_of(slot), None);
+    }
+
+    #[test]
+    fn line_stripes_cover_every_word_of_the_line() {
+        use tm_core::LINE_WORDS;
+        let orecs = OrecTable::new(256);
+        let line = LineId(5);
+        let mut stripes = Vec::new();
+        line_stripes(&orecs, line, &mut stripes);
+        assert_eq!(stripes.len(), LINE_WORDS);
+        for i in 0..LINE_WORDS {
+            let addr = line.first_word().offset(i);
+            assert!(
+                stripes.contains(&orecs.index_for(addr)),
+                "word {i} of the line must be covered"
+            );
+        }
     }
 
     #[test]

@@ -10,12 +10,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use tm_core::backoff::SpinWait;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::lock::{Mutex, MutexGuard};
 use tm_core::stats::TxStats;
 use tm_core::{
     ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
-    WaitCondition, WaitSpec,
+    WaitCondition, WaitSpec, WakeSet,
 };
 
 use crate::lines::LineTable;
@@ -79,14 +80,9 @@ impl HtmSim {
     /// Spins until the fallback lock is free (hardware transactions subscribe
     /// to the lock before starting, as in lock elision).
     pub fn wait_fallback_clear(&self) {
-        let mut spins = 0u32;
+        let mut spin = SpinWait::new();
         while self.fallback_held() {
-            spins += 1;
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            spin.pause();
         }
     }
 
@@ -95,18 +91,13 @@ impl HtmSim {
     /// acquiring the fallback lock aborts elided transactions on real
     /// hardware).
     pub fn acquire_serial(&self, thread: &Arc<ThreadCtx>) {
-        let mut spins = 0u32;
+        let mut spin = SpinWait::new();
         while self
             .fallback_flag
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
             .is_err()
         {
-            spins += 1;
-            if spins > 64 {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            spin.pause();
         }
         TxStats::bump(&thread.stats.serial_acquires);
         self.system.threads.for_each_other(thread.id, |t| t.doom());
@@ -168,6 +159,19 @@ impl TxEngine for HtmSim {
     fn mode_after_wake(&self) -> TxMode {
         // After waking, try hardware again from scratch.
         TxMode::Hardware
+    }
+
+    fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        if outcome.hardware {
+            // The commit path mapped its written cache lines to stripes
+            // (a superset of the written words' stripes), so the wake scan
+            // can be targeted even though orecs were never touched.
+            WakeSet::Stripes(outcome.written_orecs.clone())
+        } else {
+            // Serial-fallback commits write directly with no metadata at
+            // all; conservatively wake every shard.
+            WakeSet::All
+        }
     }
 
     fn mode_for_software_switch(&self, _current: TxMode) -> TxMode {

@@ -17,7 +17,7 @@ use tm_core::{
     AbortReason, Addr, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
 };
 
-use crate::lines::WriteRegistration;
+use crate::lines::{line_stripes, WriteRegistration};
 use crate::runtime::HtmSim;
 
 /// Execution state specific to the attempt flavour.
@@ -170,6 +170,25 @@ impl<'rt> HtmTx<'rt> {
                 for &(addr, val) in redo.iter() {
                     system.heap.store(addr, val);
                 }
+                // Map the committed cache lines back to orec stripes for the
+                // targeted post-commit wake scan (the word-level write set is
+                // architecturally invisible; the line cover is a superset) —
+                // but only if someone is actually waiting, so the common
+                // no-sleeper case pays one atomic load and nothing else.
+                // A waiter that registers after this check double-checks its
+                // condition after registering, and the write-back above is
+                // already complete, so no wakeup is lost.
+                let mut wake_stripes = Vec::new();
+                if was_writer && !system.waiters.is_empty() {
+                    let mut lines: Vec<_> = redo.iter().map(|&(addr, _)| addr.line()).collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    for line in lines {
+                        line_stripes(&system.orecs, line, &mut wake_stripes);
+                    }
+                    wake_stripes.sort_unstable();
+                    wake_stripes.dedup();
+                }
                 let me = self.common.thread.id;
                 for &slot in write_slots.iter() {
                     self.rt.lines().clear_writer(slot, me);
@@ -185,7 +204,7 @@ impl<'rt> HtmTx<'rt> {
                 }
                 self.mallocs.clear();
                 self.frees.clear();
-                Ok(CommitOutcome::hardware(was_writer))
+                Ok(CommitOutcome::hardware(was_writer, wake_stripes))
             }
             State::Serial { holding, undo } => {
                 let was_writer = !undo.is_empty();

@@ -11,6 +11,7 @@ use condsync::OrigRegistry;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
     ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxResult, WaitCondition, WaitSpec,
+    WakeSet,
 };
 
 use crate::tx::EagerTx;
@@ -59,6 +60,13 @@ impl TxEngine for EagerStm {
 
     fn supports_orig_retry(&self) -> bool {
         true
+    }
+
+    fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        // The lock set *is* the write set's stripe cover: every written
+        // address hashed to one of these ownership records when its lock was
+        // acquired, so a targeted scan over them cannot lose a wakeup.
+        WakeSet::Stripes(outcome.written_orecs.clone())
     }
 
     fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut EagerTx) {

@@ -11,6 +11,7 @@ use condsync::OrigRegistry;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
     ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxResult, WaitCondition, WaitSpec,
+    WakeSet,
 };
 
 use crate::tx::LazyTx;
@@ -59,6 +60,13 @@ impl TxEngine for LazyStm {
 
     fn supports_orig_retry(&self) -> bool {
         true
+    }
+
+    fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        // Commit-time lock acquisition covered every redo-log address with
+        // one of these ownership records, so they are a complete stripe
+        // cover of the write set.
+        WakeSet::Stripes(outcome.written_orecs.clone())
     }
 
     fn deschedule_orig(&self, thread: &Arc<ThreadCtx>, tx: &mut LazyTx) {

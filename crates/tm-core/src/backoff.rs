@@ -35,14 +35,17 @@ impl Backoff {
         self.attempts = 0;
     }
 
-    /// Records an abort and waits an appropriate amount of time.
+    /// Records an abort and waits an appropriate amount of time: a jittered
+    /// exponentially growing spin whose growth stops at the configured cap
+    /// (`max_exp` doublings, ceiling `max_spins`), switching to yielding the
+    /// CPU after `yield_after` consecutive aborts.
     pub fn abort_and_wait(&mut self) {
         self.attempts += 1;
         if self.attempts >= self.config.yield_after {
             std::thread::yield_now();
             return;
         }
-        let exp = self.attempts.min(16);
+        let exp = self.attempts.min(self.config.max_exp).min(31);
         let ceiling = (self.config.min_spins.saturating_mul(1 << exp)).min(self.config.max_spins);
         let spins = if ceiling <= 1 {
             1
@@ -52,6 +55,70 @@ impl Backoff {
         for _ in 0..spins {
             std::hint::spin_loop();
         }
+    }
+}
+
+/// A cheap spin-then-yield waiter for short waits on a condition another
+/// thread is about to establish (lock hand-offs, quiescence, the HTM
+/// fallback subscription).
+///
+/// Unlike [`Backoff`] this has no randomness and no exponential growth — it
+/// spins with `spin_loop` hints for a bounded number of iterations, then
+/// yields the CPU on every further pause so oversubscribed configurations
+/// make progress.  It exists so the runtimes share one policy instead of
+/// hand-rolling `spins > 64` loops.
+#[derive(Debug)]
+pub struct SpinWait {
+    spins: u32,
+    threshold: u32,
+}
+
+impl SpinWait {
+    /// Default number of busy spins before yielding.
+    pub const DEFAULT_SPINS: u32 = 64;
+
+    /// Creates a waiter with the default spin threshold.
+    pub fn new() -> Self {
+        SpinWait {
+            spins: 0,
+            threshold: Self::DEFAULT_SPINS,
+        }
+    }
+
+    /// Creates a waiter that busy-spins `threshold` times before yielding.
+    pub fn with_threshold(threshold: u32) -> Self {
+        SpinWait {
+            spins: 0,
+            threshold,
+        }
+    }
+
+    /// Number of pauses taken so far.
+    pub fn pauses(&self) -> u32 {
+        self.spins
+    }
+
+    /// Waits once: a `spin_loop` hint while under the threshold, a CPU yield
+    /// beyond it.
+    #[inline]
+    pub fn pause(&mut self) {
+        self.spins += 1;
+        if self.spins > self.threshold {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Resets the waiter for a fresh wait.
+    pub fn reset(&mut self) {
+        self.spins = 0;
+    }
+}
+
+impl Default for SpinWait {
+    fn default() -> Self {
+        SpinWait::new()
     }
 }
 
@@ -135,6 +202,7 @@ mod tests {
             BackoffConfig {
                 min_spins: 1,
                 max_spins: 8,
+                max_exp: 4,
                 yield_after: 3,
             },
             99,
@@ -143,5 +211,38 @@ mod tests {
             b.abort_and_wait();
         }
         assert_eq!(b.attempts(), 50);
+    }
+
+    #[test]
+    fn exponent_cap_bounds_growth_without_overflow() {
+        // max_exp far above 31 must not overflow the 1 << exp shift, and a
+        // huge abort count must stay bounded by max_spins.
+        let mut b = Backoff::new(
+            BackoffConfig {
+                min_spins: 2,
+                max_spins: 64,
+                max_exp: 1000,
+                yield_after: u32::MAX,
+            },
+            7,
+        );
+        for _ in 0..100 {
+            b.abort_and_wait();
+        }
+        assert_eq!(b.attempts(), 100);
+    }
+
+    #[test]
+    fn spin_wait_counts_and_resets() {
+        let mut s = SpinWait::with_threshold(3);
+        for _ in 0..10 {
+            s.pause();
+        }
+        assert_eq!(s.pauses(), 10);
+        s.reset();
+        assert_eq!(s.pauses(), 0);
+        let mut d = SpinWait::new();
+        d.pause();
+        assert_eq!(d.pauses(), 1);
     }
 }

@@ -35,6 +35,10 @@ pub struct BackoffConfig {
     pub min_spins: u32,
     /// Cap on spin iterations.
     pub max_spins: u32,
+    /// Cap on the exponential growth: the (jittered) spin ceiling stops
+    /// doubling after this many consecutive aborts, bounding the worst-case
+    /// wait even when `max_spins` is set very high.
+    pub max_exp: u32,
     /// Number of consecutive aborts after which the thread yields the CPU
     /// instead of spinning (important when threads outnumber cores, as in
     /// the paper's oversubscribed configurations).
@@ -46,6 +50,7 @@ impl Default for BackoffConfig {
         BackoffConfig {
             min_spins: 16,
             max_spins: 4096,
+            max_exp: 16,
             yield_after: 6,
         }
     }
@@ -58,6 +63,11 @@ pub struct TmConfig {
     pub heap_words: usize,
     /// Number of ownership records (rounded up to a power of two).
     pub orec_count: usize,
+    /// Number of shards in the address-indexed waiter registry (rounded up
+    /// to a power of two).  Ownership-record stripes map onto shards by
+    /// masking; more shards mean finer wake targeting at the cost of more
+    /// registration work per multi-address wait condition.
+    pub wake_shards: usize,
     /// Whether committing writers quiesce to provide privatization safety
     /// (the paper's STMs are privatization-safe variants).
     pub quiescence: bool,
@@ -72,6 +82,7 @@ impl Default for TmConfig {
         TmConfig {
             heap_words: 1 << 20,
             orec_count: 1 << 16,
+            wake_shards: 256,
             quiescence: true,
             htm: HtmConfig::default(),
             backoff: BackoffConfig::default(),
@@ -85,6 +96,7 @@ impl TmConfig {
         TmConfig {
             heap_words: 1 << 12,
             orec_count: 1 << 8,
+            wake_shards: 64,
             quiescence: true,
             htm: HtmConfig::default(),
             backoff: BackoffConfig::default(),
@@ -109,6 +121,18 @@ impl TmConfig {
         self.heap_words = words;
         self
     }
+
+    /// Overrides the waiter-registry shard count.
+    pub fn with_wake_shards(mut self, shards: usize) -> Self {
+        self.wake_shards = shards;
+        self
+    }
+
+    /// Overrides the backoff parameters.
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = backoff;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +153,13 @@ mod tests {
         let c = TmConfig::small()
             .without_quiescence()
             .with_heap_words(100)
+            .with_wake_shards(8)
+            .with_backoff(BackoffConfig {
+                min_spins: 1,
+                max_spins: 2,
+                max_exp: 1,
+                yield_after: 1,
+            })
             .with_htm(HtmConfig {
                 max_read_lines: 8,
                 max_write_lines: 4,
@@ -136,6 +167,8 @@ mod tests {
             });
         assert!(!c.quiescence);
         assert_eq!(c.heap_words, 100);
+        assert_eq!(c.wake_shards, 8);
+        assert_eq!(c.backoff.max_exp, 1);
         assert_eq!(c.htm.max_write_lines, 4);
     }
 

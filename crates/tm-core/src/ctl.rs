@@ -13,6 +13,7 @@
 //! should wake.
 
 use crate::addr::Addr;
+use crate::orec::OrecTable;
 use crate::tx::Tx;
 
 /// Why a transaction attempt failed and must be re-executed.
@@ -52,6 +53,15 @@ impl AbortReason {
                 | AbortReason::CommitValidation
                 | AbortReason::HwConflict
         )
+    }
+
+    /// True for aborts where retrying immediately is likely to collide with
+    /// the same contending thread again, so the driver should back off:
+    /// data conflicts plus the fallback-lock abort (another thread holds the
+    /// serial lock and will keep dooming speculative attempts until it is
+    /// done).
+    pub fn is_contention(self) -> bool {
+        self.is_conflict() || matches!(self, AbortReason::HwFallbackLock)
     }
 }
 
@@ -181,6 +191,29 @@ impl WaitCondition {
             WaitCondition::Pred { args, .. } => args.len(),
         }
     }
+
+    /// The ownership-record stripes covering every address whose change
+    /// could establish this condition, sorted and deduplicated.  Empty for
+    /// predicate conditions, which name no addresses and therefore go to the
+    /// waiter registry's unindexed shard (scanned by every writer).
+    ///
+    /// This is the indexing side of the no-lost-wakeups invariant: the
+    /// waiter registers under exactly these stripes, and committing writers
+    /// scan (a superset of) the stripes they wrote through the same hash.
+    pub fn stripes(&self, orecs: &OrecTable) -> Vec<usize> {
+        match self {
+            WaitCondition::ValuesChanged(pairs) => {
+                let mut stripes: Vec<usize> = pairs
+                    .iter()
+                    .map(|&(addr, _)| orecs.index_for(addr))
+                    .collect();
+                stripes.sort_unstable();
+                stripes.dedup();
+                stripes
+            }
+            WaitCondition::Pred { .. } => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +243,31 @@ mod tests {
         let c = WaitCondition::ValuesChanged(vec![(Addr(1), 0), (Addr(2), 5)]);
         assert_eq!(c.tracked(), 2);
         assert_eq!(c.kind(), "values");
+    }
+
+    #[test]
+    fn contention_classification_includes_fallback_lock() {
+        assert!(AbortReason::HwFallbackLock.is_contention());
+        assert!(!AbortReason::HwFallbackLock.is_conflict());
+        assert!(AbortReason::WriteConflict.is_contention());
+        assert!(!AbortReason::HwCapacity.is_contention());
+        assert!(!AbortReason::Explicit(1).is_contention());
+    }
+
+    #[test]
+    fn condition_stripes_follow_the_orec_hash() {
+        let orecs = OrecTable::new(256);
+        let c = WaitCondition::ValuesChanged(vec![(Addr(10), 0), (Addr(99), 5), (Addr(10), 7)]);
+        let stripes = c.stripes(&orecs);
+        let mut expected = vec![orecs.index_for(Addr(10)), orecs.index_for(Addr(99))];
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(stripes, expected);
+
+        fn p(_: &mut dyn Tx, _: &[u64]) -> TxResult<bool> {
+            Ok(true)
+        }
+        let pred = WaitCondition::Pred { f: p, args: vec![] };
+        assert!(pred.stripes(&orecs).is_empty(), "predicates are unindexed");
     }
 }

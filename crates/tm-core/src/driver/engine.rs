@@ -14,21 +14,25 @@ use crate::ctl::{TxCtl, WaitCondition, WaitSpec};
 use crate::runtime::TmRuntime;
 use crate::thread::ThreadCtx;
 use crate::tx::{Tx, TxCommon, TxMode};
+use crate::waitlist::WakeSet;
 
 /// What a successful commit tells the driver loop.
 ///
 /// One shape serves every runtime: the software STMs report the ownership
-/// records they wrote (feeding the `Retry-Orig` intersection test), while
-/// hardware commits — whose write sets are architecturally invisible —
-/// report nothing beyond the writer flag.
+/// records they locked (feeding both the `Retry-Orig` intersection test and
+/// the targeted `wakeWaiters` scan), while hardware commits — whose write
+/// sets are architecturally invisible — report the stripes covered by their
+/// committed cache lines, which the simulator *can* observe.
 #[derive(Debug, Clone, Default)]
 pub struct CommitOutcome {
     /// True if the transaction performed any write.
     pub was_writer: bool,
     /// True if the attempt committed in (simulated) hardware.
     pub hardware: bool,
-    /// Ownership-record indices the transaction had locked; empty for
-    /// read-only and hardware commits.
+    /// Ownership-record stripe indices covering the commit's write set: the
+    /// lock set for software commits, the stripes of the written cache lines
+    /// (a superset of the written words' stripes) for hardware commits.
+    /// Empty for read-only and serial commits.
     pub written_orecs: Vec<usize>,
     /// The commit timestamp (global-clock value); 0 when no clock was
     /// ticked (read-only and hardware commits).
@@ -51,12 +55,15 @@ impl CommitOutcome {
         }
     }
 
-    /// A (simulated) hardware commit; the write set is invisible.
-    pub fn hardware(was_writer: bool) -> Self {
+    /// A (simulated) hardware commit.  `line_stripes` are the ownership-
+    /// record stripes covered by the committed cache lines (empty for
+    /// read-only commits), which the targeted wake path uses in place of the
+    /// architecturally invisible word-level write set.
+    pub fn hardware(was_writer: bool, line_stripes: Vec<usize>) -> Self {
         CommitOutcome {
             was_writer,
             hardware: true,
-            written_orecs: Vec::new(),
+            written_orecs: line_stripes,
             commit_time: 0,
         }
     }
@@ -147,6 +154,22 @@ pub trait TxEngine: TmRuntime + Sized {
     /// simulator escalates to the serial fallback.
     fn mode_for_software_switch(&self, current: TxMode) -> TxMode {
         current
+    }
+
+    /// The waiter-registry shards a committed writer must scan: the stripes
+    /// its commit may have changed, or [`WakeSet::All`] when the write set
+    /// is unknown.
+    ///
+    /// The default is the conservative scan-everything answer, which is
+    /// always correct; engines that know their write set (the software STMs
+    /// via their lock sets, hardware commits via their written cache lines)
+    /// override this so `wakeWaiters` only evaluates sleepers whose
+    /// conditions could actually have been established.  An override must
+    /// never under-report: returning a stripe set that misses a written
+    /// address loses wakeups.
+    fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        let _ = outcome;
+        WakeSet::All
     }
 
     /// Post-commit hook for writer transactions, running after the generic

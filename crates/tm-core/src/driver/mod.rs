@@ -10,10 +10,13 @@
 //! This module owns that orchestration:
 //!
 //! * [`TxEngine`] — the narrow per-runtime interface (begin / commit /
-//!   rollback / materialise_wait plus a few mode-policy hooks),
+//!   rollback / materialise_wait plus a few mode-policy hooks, including
+//!   [`TxEngine::committed_stripes`], which tells the wake path which
+//!   waiter-registry shards a commit must scan),
 //! * [`run`] — the single generic driver loop,
-//! * [`deschedule`] / [`wake_waiters`] — the paper's parking and waking
-//!   protocol, called from the loop and re-exported through `condsync`.
+//! * [`deschedule`] / [`wake_waiters_matching`] — the paper's parking and
+//!   waking protocol, sharded by ownership-record stripe, called from the
+//!   loop and re-exported through `condsync`.
 //!
 //! Runtime crates implement [`TxEngine`] and forward their public
 //! [`crate::TmRuntime`] / [`crate::TmRt`] entry points to [`run`]; adding a
@@ -26,4 +29,4 @@ mod wake;
 
 pub use engine::{CommitOutcome, TxEngine};
 pub use run::run;
-pub use wake::{deschedule, wake_waiters, DescheduleOutcome};
+pub use wake::{deschedule, wake_waiters, wake_waiters_matching, DescheduleOutcome};

@@ -67,9 +67,20 @@ where
                     }
                     if outcome.was_writer {
                         // Post-commit wake-ups: the paper's value-based
-                        // mechanism, then any engine-specific extras (the
-                        // Retry-Orig lock-set intersection on the STMs).
-                        wake::wake_waiters(engine, thread);
+                        // mechanism, targeted at the shards covering the
+                        // commit's write-set stripes, then any engine-
+                        // specific extras (the Retry-Orig lock-set
+                        // intersection on the STMs).  The empty-registry
+                        // check comes first so the common no-sleeper case
+                        // pays one atomic load — building the wake set
+                        // clones the commit's stripe list, which would be
+                        // wasted work.  A waiter registering after this
+                        // check is covered by its own double-check, which
+                        // runs after our (completed) commit.
+                        if !engine.system().waiters.is_empty() {
+                            let wake_set = engine.committed_stripes(&outcome);
+                            wake::wake_waiters_matching(engine, thread, &wake_set);
+                        }
                         engine.after_writer_commit(thread, &outcome);
                     }
                     return value;
@@ -107,7 +118,10 @@ where
                         TxStats::bump(&thread.stats.explicit_aborts);
                     }
                 }
-                if reason.is_conflict() {
+                if reason.is_contention() {
+                    // Jittered exponential backoff (capped via
+                    // `BackoffConfig`): the one wait policy for every
+                    // contention-class abort, rather than ad-hoc spinning.
                     backoff.abort_and_wait();
                 }
             }
@@ -164,9 +178,11 @@ where
                 }
                 // After waking, restart plainly; Retry will re-request value
                 // logging if it trips again (the paper resets `is_retry` the
-                // same way).
+                // same way).  The sleep also ended whatever contention burst
+                // the attempt saw, so the backoff window starts over.
                 mode = engine.mode_after_wake();
                 hw_failures = 0;
+                backoff.reset();
             }
             TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
                 engine.rollback(&mut tx);

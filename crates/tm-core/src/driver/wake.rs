@@ -4,8 +4,10 @@
 //! back by the driver loop, which then calls [`deschedule`] with the
 //! materialised wait condition.  `deschedule`:
 //!
-//! 1. publishes a [`Waiter`] record (condition + semaphore) in the global
-//!    waiter registry,
+//! 1. publishes a [`Waiter`] record (condition + semaphore) in the sharded
+//!    waiter registry, under every ownership-record stripe its condition
+//!    covers (predicate conditions, which name no addresses, go to the
+//!    registry's unindexed shard),
 //! 2. re-evaluates the condition in a fresh read-only transaction
 //!    (the "double-check" of Algorithm 4 lines 6–13) — publishing *before*
 //!    checking is what removes the need to validate the read set atomically
@@ -14,14 +16,21 @@
 //! 4. deregisters itself upon wake-up and returns, at which point the driver
 //!    re-executes the original transaction from its checkpoint.
 //!
-//! Writers call [`wake_waiters`] strictly *after* committing: the decision to
-//! wake is a computation over (now committed) shared memory, so it never
+//! Writers call [`wake_waiters_matching`] strictly *after* committing, with
+//! the stripes their commit wrote ([`TxEngine::committed_stripes`]): only the
+//! shards covering those stripes — plus the unindexed shard — are scanned,
+//! so a commit's wake work scales with the sleepers that could actually be
+//! affected, not with every sleeper in the system.  The decision to wake is
+//! still a computation over (now committed) shared memory, so it never
 //! burdens the in-flight transaction — in particular hardware transactions
-//! that never deschedule pay nothing beyond an empty-list check.
+//! that never deschedule pay nothing beyond an empty-registry check (one
+//! atomic load).
 //!
 //! This logic lives in `tm-core` because the unified driver loop
 //! ([`super::run`]) is its only legitimate caller on the hot path; the
-//! `condsync` crate re-exports both functions as part of its public API.
+//! `condsync` crate re-exports the entry points as part of its public API.
+//!
+//! [`TxEngine::committed_stripes`]: super::TxEngine::committed_stripes
 
 use std::sync::Arc;
 
@@ -30,7 +39,7 @@ use crate::runtime::TmRuntime;
 use crate::sem::Semaphore;
 use crate::stats::TxStats;
 use crate::thread::ThreadCtx;
-use crate::waiter::Waiter;
+use crate::waitlist::{Waiter, WakeSet};
 
 /// Outcome of a [`deschedule`] call, for statistics and tests.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -61,12 +70,16 @@ pub fn deschedule(
     // A fresh semaphore per sleep avoids consuming permits left over from
     // earlier sleeps (a waiter can be woken spuriously and re-deschedule).
     let sem = Arc::new(Semaphore::new());
+    // The stripes covering every address whose change could establish the
+    // condition; any writer whose commit touches one of them scans the
+    // covering shard, which is the no-lost-wakeups invariant.
+    let stripes = condition.stripes(&system.orecs);
     let waiter = Waiter::new(thread.id, condition, Arc::clone(&sem));
 
     // Publish first, then double-check.  Any writer that commits after this
     // point will see us in its wakeWaiters scan; any writer that committed
     // before it is covered by the double-check below.
-    system.waiters.register(Arc::clone(&waiter));
+    system.waiters.register(Arc::clone(&waiter), &stripes);
 
     let established = rt.exec_bool(thread, &mut |tx| waiter.condition.should_wake(tx));
     if established {
@@ -74,33 +87,49 @@ pub fn deschedule(
         // us; if the writer won the race the permit simply goes unused
         // because the semaphore is private to this sleep.
         waiter.claim_wake();
-        system.waiters.deregister(&waiter);
+        system.waiters.deregister(&waiter, &stripes);
         TxStats::bump(&thread.stats.desched_skips);
         return DescheduleOutcome::SkippedSleep;
     }
 
     TxStats::bump(&thread.stats.sleeps);
     sem.wait();
-    system.waiters.deregister(&waiter);
+    system.waiters.deregister(&waiter, &stripes);
     DescheduleOutcome::SleptAndWoken
 }
 
-/// Scans the waiter registry after a writer commit and wakes every sleeper
-/// whose condition now holds (Algorithm 4, `wakeWaiters`).
+/// Conservative `wakeWaiters`: scans every shard of the registry.
+///
+/// Equivalent to [`wake_waiters_matching`] with [`WakeSet::All`]; kept as
+/// the public entry point for callers that commit outside the driver loop
+/// and do not know their write set.
+pub fn wake_waiters(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>) {
+    wake_waiters_matching(rt, thread, &WakeSet::All);
+}
+
+/// Scans the waiter-registry shards covered by `wake` after a writer commit
+/// and wakes every sleeper whose condition now holds (Algorithm 4,
+/// `wakeWaiters`, sharded).
 ///
 /// Each condition is evaluated in its own read-only transaction; on the HTM
 /// runtime these run as (simulated) hardware transactions, which is why the
 /// paper keeps the wake-up computation small and contention-free.
-pub fn wake_waiters(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>) {
+pub fn wake_waiters_matching(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>, wake: &WakeSet) {
     let system = rt.system();
     // Fast path: nobody is waiting (the common case, and the reason in-flight
     // transactions see no overhead from the mechanism).
     if system.waiters.is_empty() {
         return;
     }
-    // Shallow copy so the scan happens without holding the registry lock.
-    let snapshot = system.waiters.snapshot();
-    for waiter in snapshot {
+    if let WakeSet::Stripes(_) = wake {
+        TxStats::bump(&thread.stats.wake_targeted);
+    }
+    // Shallow copy of the relevant shards so the scan happens without
+    // holding any registry lock.
+    let plan = system.waiters.scan(wake);
+    TxStats::add(&thread.stats.wake_shard_scans, plan.shards_scanned as u64);
+    TxStats::add(&thread.stats.wake_shard_skips, plan.shards_skipped as u64);
+    for waiter in plan.waiters {
         if !waiter.is_asleep() {
             continue;
         }
@@ -199,6 +228,14 @@ mod tests {
         (system, rt)
     }
 
+    /// Registers a values-changed waiter under its condition's stripes, the
+    /// way `deschedule` does.
+    fn register_manually(system: &Arc<TmSystem>, w: &Arc<Waiter>) -> Vec<usize> {
+        let stripes = w.condition.stripes(&system.orecs);
+        system.waiters.register(Arc::clone(w), &stripes);
+        stripes
+    }
+
     #[test]
     fn double_check_skips_sleep_when_condition_holds() {
         let (system, rt) = toy();
@@ -247,6 +284,75 @@ mod tests {
     }
 
     #[test]
+    fn targeted_wake_reaches_sleeper_through_its_stripe() {
+        let (system, rt) = toy();
+        let waiter_thread = system.register_thread();
+        let writer_thread = system.register_thread();
+        system.heap.store(Addr(21), 0);
+
+        let system2 = Arc::clone(&system);
+        let rt = Arc::new(rt);
+        let rt2 = Arc::clone(&rt);
+        let wt = Arc::clone(&waiter_thread);
+        let sleeper = std::thread::spawn(move || {
+            deschedule(
+                rt2.as_ref(),
+                &wt,
+                WaitCondition::ValuesChanged(vec![(Addr(21), 0)]),
+            )
+        });
+        while system2.waiters.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+
+        system.heap.store(Addr(21), 7);
+        let stripe = system.orecs.index_for(Addr(21));
+        wake_waiters_matching(rt.as_ref(), &writer_thread, &WakeSet::Stripes(vec![stripe]));
+
+        assert_eq!(sleeper.join().unwrap(), DescheduleOutcome::SleptAndWoken);
+        let stats = writer_thread.stats.snapshot();
+        assert_eq!(stats.wakeups, 1);
+        assert_eq!(stats.wake_targeted, 1);
+        assert!(stats.wake_shard_scans >= 1);
+        assert!(system.waiters.is_empty());
+    }
+
+    #[test]
+    fn targeted_wake_skips_unrelated_stripes() {
+        let (system, rt) = toy();
+        let writer = system.register_thread();
+        system.heap.store(Addr(30), 0);
+        let sem = Arc::new(Semaphore::new());
+        let w = Waiter::new(
+            99,
+            WaitCondition::ValuesChanged(vec![(Addr(30), 0)]),
+            Arc::clone(&sem),
+        );
+        let stripes = register_manually(&system, &w);
+
+        // Pick a stripe that maps to a different shard than the waiter's.
+        let waiter_shard = system.waiters.shard_of(stripes[0]);
+        let other_stripe = (0..system.orecs.len())
+            .find(|&s| system.waiters.shard_of(s) != waiter_shard)
+            .expect("more than one shard");
+
+        // The value HAS changed, but the writer only wrote an unrelated
+        // stripe, so the targeted scan must not even evaluate the waiter.
+        system.heap.store(Addr(30), 1);
+        wake_waiters_matching(&rt, &writer, &WakeSet::Stripes(vec![other_stripe]));
+        assert!(w.is_asleep(), "unrelated commit must not wake the sleeper");
+        assert_eq!(writer.stats.snapshot().wake_checks, 0);
+        assert!(writer.stats.snapshot().wake_shard_skips >= 1);
+
+        // A commit touching the right stripe wakes it.
+        wake_waiters_matching(&rt, &writer, &WakeSet::Stripes(stripes.clone()));
+        assert!(!w.is_asleep());
+        assert_eq!(sem.permits(), 1);
+        system.waiters.deregister(&w, &stripes);
+    }
+
+    #[test]
     fn silent_store_does_not_wake() {
         let (system, rt) = toy();
         let writer_thread = system.register_thread();
@@ -258,7 +364,7 @@ mod tests {
             WaitCondition::ValuesChanged(vec![(Addr(30), 9)]),
             Arc::clone(&sem),
         );
-        system.waiters.register(Arc::clone(&w));
+        let stripes = register_manually(&system, &w);
 
         // A "silent store" writes the same value; the waiter must not wake.
         system.heap.store(Addr(30), 9);
@@ -271,6 +377,7 @@ mod tests {
         wake_waiters(&rt, &writer_thread);
         assert!(!w.is_asleep());
         assert_eq!(sem.permits(), 1);
+        system.waiters.deregister(&w, &stripes);
     }
 
     #[test]
@@ -284,7 +391,7 @@ mod tests {
             WaitCondition::ValuesChanged(vec![(Addr(40), 0)]),
             Arc::clone(&sem),
         );
-        system.waiters.register(Arc::clone(&w));
+        register_manually(&system, &w);
         wake_waiters(&rt, &writer);
         wake_waiters(&rt, &writer);
         wake_waiters(&rt, &writer);
@@ -308,7 +415,7 @@ mod tests {
             },
             Arc::clone(&sem),
         );
-        system.waiters.register(Arc::clone(&w));
+        register_manually(&system, &w);
 
         // Value changes but predicate still false: no wake (this is the
         // false-wake-up immunity WaitPred buys over Retry).
@@ -316,8 +423,10 @@ mod tests {
         wake_waiters(&rt, &writer);
         assert!(w.is_asleep());
 
+        // Predicate waiters live in the unindexed shard, so even a targeted
+        // commit that wrote "elsewhere" must evaluate them.
         system.heap.store(Addr(50), 11);
-        wake_waiters(&rt, &writer);
+        wake_waiters_matching(&rt, &writer, &WakeSet::Stripes(vec![0]));
         assert!(!w.is_asleep());
     }
 
@@ -326,8 +435,15 @@ mod tests {
         let (system, rt) = toy();
         let writer = system.register_thread();
         wake_waiters(&rt, &writer);
+        wake_waiters_matching(&rt, &writer, &WakeSet::Stripes(vec![1, 2, 3]));
         assert_eq!(rt.exec_count.load(Ordering::Relaxed), 0);
-        assert_eq!(writer.stats.snapshot().wake_checks, 0);
+        let stats = writer.stats.snapshot();
+        assert_eq!(stats.wake_checks, 0);
+        assert_eq!(stats.wake_shard_scans, 0);
+        assert_eq!(
+            stats.wake_targeted, 0,
+            "the fast path returns before any accounting"
+        );
         let _ = system;
     }
 }

@@ -5,10 +5,13 @@
 //! reads and writes go through the runtime instrumentation, while the atomics
 //! keep the eager runtime's racy in-place updates well defined in Rust.
 //!
-//! The heap also provides a small first-fit allocator so that transactions
-//! can `malloc`/`free` words (Appendix A defers reclamation until commit and
-//! undoes allocation on abort; the runtimes implement that policy on top of
-//! these primitives).
+//! The heap also provides a segregated free-list allocator so that
+//! transactions can `malloc`/`free` words (Appendix A defers reclamation
+//! until commit and undoes allocation on abort; the runtimes implement that
+//! policy on top of these primitives).  Small allocations — the common case
+//! for transactional nodes — are O(1) pushes/pops on exact-size bins;
+//! address-ordered coalescing is preserved by lazily flushing the bins back
+//! into the sorted region list whenever a carve fails.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -99,11 +102,31 @@ impl TmHeap {
     }
 }
 
-/// A minimal first-fit allocator over the heap's word space.
+/// Largest allocation size (in words) served by an exact-size bin.
+const BIN_SIZES: usize = 64;
+
+/// A segregated free-list allocator over the heap's word space.
+///
+/// Two tiers:
+///
+/// * `bins[s-1]` holds blocks of exactly `s` words (`s <= BIN_SIZES`) as a
+///   LIFO stack, so the common alloc/free cycle of small transactional nodes
+///   is a push or pop — O(1) instead of the old first-fit scan over every
+///   free region.
+/// * `free` holds address-ordered coalesced regions: large blocks, the
+///   untouched tail of the heap, and whatever the bins spill back.
+///
+/// Binned blocks are not coalesced eagerly (that is what makes the fast path
+/// O(1)); instead, when carving from `free` fails, every binned block is
+/// flushed back into `free` and coalesced, then the carve is retried.  An
+/// allocation therefore fails only when the fully-coalesced heap genuinely
+/// cannot satisfy it — the same answer the old first-fit allocator gave.
 #[derive(Debug)]
 struct Allocator {
     /// Free regions as (start, length), kept sorted by start address.
     free: Vec<(usize, usize)>,
+    /// Exact-size free lists for 1..=BIN_SIZES words.
+    bins: Vec<Vec<usize>>,
     allocated: usize,
 }
 
@@ -112,11 +135,31 @@ impl Allocator {
         // Word 0 is reserved for the null address.
         Allocator {
             free: vec![(1, total_words - 1)],
+            bins: (0..BIN_SIZES).map(|_| Vec::new()).collect(),
             allocated: 0,
         }
     }
 
     fn alloc(&mut self, words: usize) -> Option<Addr> {
+        // Fast path: pop an exact-size block off the bin.
+        if words <= BIN_SIZES {
+            if let Some(start) = self.bins[words - 1].pop() {
+                self.allocated += words;
+                return Some(Addr(start));
+            }
+        }
+        let start = self.carve(words).or_else(|| {
+            // Spill the binned blocks back, coalesce, and retry before
+            // declaring the heap exhausted.
+            self.flush_bins();
+            self.carve(words)
+        })?;
+        self.allocated += words;
+        Some(Addr(start))
+    }
+
+    /// First-fit carve from the coalesced region list.
+    fn carve(&mut self, words: usize) -> Option<usize> {
         for i in 0..self.free.len() {
             let (start, len) = self.free[i];
             if len >= words {
@@ -125,8 +168,7 @@ impl Allocator {
                 } else {
                     self.free[i] = (start + words, len - words);
                 }
-                self.allocated += words;
-                return Some(Addr(start));
+                return Some(start);
             }
         }
         None
@@ -134,12 +176,40 @@ impl Allocator {
 
     fn dealloc(&mut self, addr: Addr, words: usize) {
         self.allocated = self.allocated.saturating_sub(words);
+        // Fast path: cache small blocks at their exact size for reuse.
+        if words <= BIN_SIZES {
+            self.bins[words - 1].push(addr.0);
+            return;
+        }
+        self.insert_region(addr.0, words);
+        self.coalesce();
+    }
+
+    fn insert_region(&mut self, start: usize, words: usize) {
         let pos = self
             .free
-            .binary_search_by_key(&addr.0, |&(s, _)| s)
+            .binary_search_by_key(&start, |&(s, _)| s)
             .unwrap_or_else(|p| p);
-        self.free.insert(pos, (addr.0, words));
-        self.coalesce();
+        self.free.insert(pos, (start, words));
+    }
+
+    /// Returns every binned block to the region list and coalesces, so the
+    /// next carve sees the fully merged free space.
+    fn flush_bins(&mut self) {
+        let mut spilled = false;
+        for size in 1..=BIN_SIZES {
+            let bin = &mut self.bins[size - 1];
+            if bin.is_empty() {
+                continue;
+            }
+            spilled = true;
+            for start in std::mem::take(bin) {
+                self.insert_region(start, size);
+            }
+        }
+        if spilled {
+            self.coalesce();
+        }
     }
 
     fn coalesce(&mut self) {
@@ -228,6 +298,54 @@ mod tests {
         // After freeing everything the full region is available again.
         let big = h.alloc(60).unwrap();
         assert!(!big.is_null());
+    }
+
+    #[test]
+    fn small_blocks_are_reused_from_the_bin() {
+        let h = TmHeap::new(256);
+        let a = h.alloc(4).unwrap();
+        h.dealloc(a, 4);
+        // The very next same-size allocation must come from the bin (the
+        // freed block), not carve fresh space.
+        let b = h.alloc(4).unwrap();
+        assert_eq!(a, b, "bin reuse is LIFO on the freed block");
+        // A different size must not be served from that bin.
+        h.dealloc(b, 4);
+        let c = h.alloc(5).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn binned_blocks_coalesce_when_a_large_alloc_needs_them() {
+        let h = TmHeap::new(64);
+        // Carve the whole heap into small binned-size pieces and free them.
+        let blocks: Vec<_> = (0..7).map(|_| h.alloc(9).unwrap()).collect();
+        for &b in &blocks {
+            h.dealloc(b, 9);
+        }
+        assert_eq!(h.allocated_words(), 0);
+        // 63 contiguous words exist only after the bins are flushed and
+        // coalesced; a first-fit over the (empty) region list alone fails.
+        let big = h.alloc(63).unwrap();
+        assert!(!big.is_null());
+        h.dealloc(big, 63);
+    }
+
+    #[test]
+    fn mixed_bin_and_large_blocks_coalesce_together() {
+        // Heap tail (39 words) cannot satisfy the final allocation, so it
+        // must come from coalescing binned blocks with the large region.
+        let h = TmHeap::new(256);
+        let small = h.alloc(8).unwrap();
+        let large = h.alloc(200).unwrap();
+        let small2 = h.alloc(8).unwrap();
+        h.dealloc(small, 8);
+        h.dealloc(large, 200);
+        h.dealloc(small2, 8);
+        // small + large + small2 are adjacent; the full span is available
+        // again once the bins spill into the region list.
+        let all = h.alloc(216).unwrap();
+        assert_eq!(all, small, "coalesced span starts at the first block");
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //! * control-flow types for aborts and descheduling ([`ctl`]),
 //! * the thread registry, statistics and quiescence support ([`thread`],
 //!   [`stats`]),
-//! * the waiter registry and semaphore used by the `Deschedule` mechanism
-//!   ([`waiter`], [`sem`]),
+//! * the sharded, address-indexed waiter registry and semaphore used by the
+//!   `Deschedule` mechanism ([`waitlist`], [`sem`]),
 //! * typed views over heap words ([`vars::TmVar`], [`vars::TmArray`]).
 //!
 //! The paper's algorithms are implemented on top of these pieces; see the
@@ -53,7 +53,7 @@ pub mod system;
 pub mod thread;
 pub mod tx;
 pub mod vars;
-pub mod waiter;
+pub mod waitlist;
 
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::GlobalClock;
@@ -69,4 +69,4 @@ pub use system::TmSystem;
 pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};
 pub use tx::{Tx, TxCommon, TxMode};
 pub use vars::{TmArray, TmValue, TmVar};
-pub use waiter::{Waiter, WaiterRegistry};
+pub use waitlist::{ScanPlan, WaitList, Waiter, WakeSet};

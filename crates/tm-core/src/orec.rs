@@ -18,7 +18,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::addr::Addr;
+use crate::addr::{Addr, LineId, LINE_WORDS};
 use crate::thread::ThreadId;
 
 const LOCK_BIT: u64 = 1;
@@ -132,6 +132,21 @@ impl OrecTable {
         // 2^64 / golden ratio, the usual Fibonacci hashing constant.
         const K: u64 = 0x9E37_79B9_7F4A_7C15;
         ((addr.0 as u64).wrapping_mul(K) >> 32) as usize & self.mask
+    }
+
+    /// The orec indices covering every word of a cache line, in word order
+    /// (not deduplicated).
+    ///
+    /// This is the stripe cover a line-granular writer (a hardware commit)
+    /// may have touched: a superset of the written words' stripes, so wake
+    /// targeting built on it can never miss a sleeper.  The single source of
+    /// truth for that mapping — the HTM simulator, the wake-path tests and
+    /// the `wake_scaling` bench all derive from it.
+    pub fn line_indices(&self, line: LineId) -> Vec<usize> {
+        let base = line.first_word();
+        (0..LINE_WORDS)
+            .map(|i| self.index_for(base.offset(i)))
+            .collect()
     }
 
     /// Atomically reads the orec for `addr`.

@@ -88,6 +88,14 @@ stats_fields! {
     wakeups,
     /// Wait conditions evaluated by committing writers (`wakeWaiters` work).
     wake_checks,
+    /// Waiter-registry shards a committing writer actually visited.
+    wake_shard_scans,
+    /// Waiter-registry shards a committing writer skipped (either outside
+    /// its write set's stripes, or empty at scan time).
+    wake_shard_skips,
+    /// Writer commits that used a targeted (stripe-filtered) wake scan
+    /// instead of the conservative scan-everything path.
+    wake_targeted,
     /// Times a `Retry` transaction restarted to populate its value log.
     retry_relogs,
     /// Explicit aborts requested by the program (Restart baseline, xabort).

@@ -9,13 +9,14 @@
 
 use std::sync::Arc;
 
+use crate::backoff::SpinWait;
 use crate::clock::GlobalClock;
 use crate::config::TmConfig;
 use crate::heap::TmHeap;
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
 use crate::thread::{ThreadCtx, ThreadId, ThreadRegistry, NOT_IN_TX};
-use crate::waiter::WaiterRegistry;
+use crate::waitlist::WaitList;
 
 /// A complete transactional-memory system: memory, metadata, threads and
 /// waiters.
@@ -33,8 +34,9 @@ pub struct TmSystem {
     pub clock: GlobalClock,
     /// Registry of worker threads.
     pub threads: ThreadRegistry,
-    /// Registry of descheduled (sleeping) transactions.
-    pub waiters: WaiterRegistry,
+    /// Sharded, address-indexed registry of descheduled (sleeping)
+    /// transactions, keyed by ownership-record stripe.
+    pub waiters: WaitList,
 }
 
 impl TmSystem {
@@ -45,7 +47,7 @@ impl TmSystem {
             orecs: OrecTable::new(config.orec_count),
             clock: GlobalClock::new(),
             threads: ThreadRegistry::new(),
-            waiters: WaiterRegistry::new(),
+            waiters: WaitList::new(config.wake_shards),
             config,
         })
     }
@@ -75,19 +77,14 @@ impl TmSystem {
             if t.id == me {
                 continue;
             }
-            let mut spins = 0u32;
+            let mut spin = SpinWait::new();
             loop {
                 let s = t.published_start();
                 if s == NOT_IN_TX || s >= commit_time {
                     break;
                 }
                 any = true;
-                spins += 1;
-                if spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
+                spin.pause();
             }
         }
         if any {

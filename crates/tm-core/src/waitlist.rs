@@ -1,0 +1,487 @@
+//! The sharded, address-indexed registry of descheduled (sleeping)
+//! transactions.
+//!
+//! This is the `waiting` list of Algorithms 1 and 4, scaled for heavy
+//! traffic.  A thread that deschedules publishes a [`Waiter`] record carrying
+//! its wake-up condition and an `asleep` flag; committing writers evaluate
+//! each *relevant* waiter's condition in a read-only transaction and signal
+//! the waiter's semaphore if the condition holds.
+//!
+//! The original reproduction kept one global `Mutex<Vec<Arc<Waiter>>>`, so
+//! every writer commit scanned *every* sleeper — O(all sleepers) per commit
+//! under a single lock.  Since `Retry`/`Await` conditions are address sets
+//! and every address already hashes to an ownership-record stripe
+//! ([`crate::orec::OrecTable::index_for`]), the registry is now **sharded by
+//! stripe**: a waiter is registered under every shard covering a stripe of
+//! its wait condition, and a committing writer scans only the shards covering
+//! the stripes it actually wrote (plus the *unindexed* shard, which holds
+//! predicate conditions that name no addresses).  Writers whose write sets
+//! are invisible (the HTM serial fallback) pass [`WakeSet::All`] and scan
+//! every shard, which is exactly the old behaviour.
+//!
+//! Two invariants carry over from the paper and must be preserved by every
+//! caller:
+//!
+//! * **No lost wakeups** — a waiter is registered under every shard whose
+//!   stripes cover an address whose change could establish its condition, and
+//!   writers report (a superset of) the stripes they wrote.  Registration
+//!   before the double-check in `deschedule` closes the publish/commit race
+//!   exactly as Algorithm 4 requires; sharding does not widen the window
+//!   because each shard's mutex orders registration against the scan.
+//! * **Free fast path** — the common no-waiter case costs committing writers
+//!   a single atomic load of the global count, so in-flight (hardware)
+//!   transactions pay nothing for the mechanism.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::lock::Mutex;
+
+use crate::ctl::WaitCondition;
+use crate::sem::Semaphore;
+use crate::thread::ThreadId;
+
+/// A published record of a sleeping (descheduled) transaction.
+#[derive(Debug)]
+pub struct Waiter {
+    /// The descheduled thread.
+    pub thread: ThreadId,
+    /// True while the thread still needs to be woken.  Cleared exactly once
+    /// by whoever wakes it (waiter itself during the double-check, or a
+    /// committing writer), so a waiter is signalled at most once per sleep.
+    pub asleep: AtomicBool,
+    /// The condition under which the thread should be re-scheduled.
+    pub condition: WaitCondition,
+    /// Semaphore the thread blocks on.
+    pub sem: Arc<Semaphore>,
+}
+
+impl Waiter {
+    /// Creates a new waiter record (initially marked asleep).
+    pub fn new(thread: ThreadId, condition: WaitCondition, sem: Arc<Semaphore>) -> Arc<Self> {
+        Arc::new(Waiter {
+            thread,
+            asleep: AtomicBool::new(true),
+            condition,
+            sem,
+        })
+    }
+
+    /// Attempts to claim the right to wake this waiter; returns true for
+    /// exactly one caller.
+    pub fn claim_wake(&self) -> bool {
+        self.asleep.swap(false, Ordering::AcqRel)
+    }
+
+    /// True if the waiter has not yet been claimed for wake-up.
+    pub fn is_asleep(&self) -> bool {
+        self.asleep.load(Ordering::Acquire)
+    }
+}
+
+/// Which shards a committing writer must scan.
+///
+/// Engines whose commit path knows the ownership-record stripes it wrote
+/// (the software STMs, and hardware commits via their written cache lines)
+/// produce [`WakeSet::Stripes`]; commits with invisible write sets (the HTM
+/// serial fallback) conservatively produce [`WakeSet::All`].
+#[derive(Clone, Debug)]
+pub enum WakeSet {
+    /// Scan every shard (conservative; always correct).
+    All,
+    /// Scan only the shards covering these ownership-record stripes, plus
+    /// the unindexed shard.
+    Stripes(Vec<usize>),
+}
+
+/// What a targeted scan gathered: the waiters to evaluate plus shard-level
+/// accounting for the effectiveness counters in [`crate::stats::TxStats`].
+#[derive(Debug, Default)]
+pub struct ScanPlan {
+    /// Distinct waiters registered under the scanned shards.
+    pub waiters: Vec<Arc<Waiter>>,
+    /// Shards whose lists were visited.
+    pub shards_scanned: usize,
+    /// Shards the wake set allowed the writer to skip entirely.
+    pub shards_skipped: usize,
+}
+
+/// One shard: a mutex-protected list plus a count that lets scans skip empty
+/// shards without taking the lock.
+#[derive(Debug, Default)]
+struct Shard {
+    list: Mutex<Vec<Arc<Waiter>>>,
+    count: AtomicUsize,
+}
+
+impl Shard {
+    fn push(&self, w: Arc<Waiter>) {
+        let mut list = self.list.lock();
+        list.push(w);
+        self.count.store(list.len(), Ordering::Release);
+    }
+
+    /// Removes `w` if present; returns true when something was removed.
+    fn remove(&self, w: &Arc<Waiter>) -> bool {
+        let mut list = self.list.lock();
+        let before = list.len();
+        list.retain(|x| !Arc::ptr_eq(x, w));
+        self.count.store(list.len(), Ordering::Release);
+        list.len() != before
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    fn collect_into(&self, out: &mut Vec<Arc<Waiter>>) {
+        out.extend(self.list.lock().iter().cloned());
+    }
+}
+
+/// The sharded registry of sleeping transactions.
+///
+/// Stripe indices (from [`crate::orec::OrecTable::index_for`]) map onto a
+/// power-of-two number of shards by masking, so registration and scans agree
+/// on the mapping no matter how many stripes the orec table has.
+#[derive(Debug)]
+pub struct WaitList {
+    shards: Box<[Shard]>,
+    /// Predicate conditions name no addresses; they live here and are scanned
+    /// by every writer.
+    unindexed: Shard,
+    mask: usize,
+    /// Total registered waiters; the committing writer's fast path is one
+    /// atomic load of this count.
+    count: AtomicUsize,
+    /// Monotone counter of registrations, handy for tests and tracing.
+    registrations: AtomicU64,
+}
+
+impl Default for WaitList {
+    fn default() -> Self {
+        WaitList::new(64)
+    }
+}
+
+impl WaitList {
+    /// Creates an empty registry with `shards` shards (rounded up to a power
+    /// of two).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.next_power_of_two().max(2);
+        let vec = (0..shards).map(|_| Shard::default()).collect::<Vec<_>>();
+        WaitList {
+            shards: vec.into_boxed_slice(),
+            unindexed: Shard::default(),
+            mask: shards - 1,
+            count: AtomicUsize::new(0),
+            registrations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of indexed shards (excluding the unindexed shard).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an ownership-record stripe maps to.
+    #[inline]
+    pub fn shard_of(&self, stripe: usize) -> usize {
+        stripe & self.mask
+    }
+
+    /// Fast check used by committing writers: is anyone possibly waiting?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+
+    /// Number of currently registered waiters.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Total number of registrations ever performed.
+    pub fn registrations(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+
+    /// Adds a waiter under every shard covering `stripes`; an empty stripe
+    /// list means the condition names no addresses (a predicate) and the
+    /// waiter goes to the unindexed shard, scanned by every writer.
+    ///
+    /// The caller must double-check its wait condition *after* this returns
+    /// (Algorithm 4 lines 6–13): any writer that commits after this point
+    /// will observe the waiter in its `wakeWaiters` scan, and any writer that
+    /// committed before it is covered by the double-check.  `deregister` must
+    /// later be called with the same stripe list.
+    pub fn register(&self, w: Arc<Waiter>, stripes: &[usize]) {
+        for shard in self.shard_indices(stripes) {
+            match shard {
+                Some(i) => self.shards[i].push(Arc::clone(&w)),
+                None => self.unindexed.push(Arc::clone(&w)),
+            }
+        }
+        self.count.fetch_add(1, Ordering::Release);
+        self.registrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes a waiter registered under `stripes` (Algorithm 4 line 16,
+    /// after wake-up).  Must mirror the `register` call.
+    pub fn deregister(&self, w: &Arc<Waiter>, stripes: &[usize]) {
+        let mut removed = false;
+        for shard in self.shard_indices(stripes) {
+            removed |= match shard {
+                Some(i) => self.shards[i].remove(w),
+                None => self.unindexed.remove(w),
+            };
+        }
+        // Only decrement for waiters that were actually registered, so a
+        // deregister of an unknown waiter stays harmless.
+        if removed {
+            let _ = self
+                .count
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                    Some(c.saturating_sub(1))
+                });
+        }
+    }
+
+    /// The distinct shard slots covering `stripes` (`None` = unindexed).
+    fn shard_indices(&self, stripes: &[usize]) -> Vec<Option<usize>> {
+        if stripes.is_empty() {
+            return vec![None];
+        }
+        let mut idx: Vec<Option<usize>> = stripes.iter().map(|&s| Some(self.shard_of(s))).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+
+    /// Gathers the waiters a commit touching `wake` must evaluate: the union
+    /// of the shards covering the written stripes, plus the unindexed shard.
+    /// Shards the wake set does not touch (and touched-but-empty shards) are
+    /// skipped without taking their locks.
+    pub fn scan(&self, wake: &WakeSet) -> ScanPlan {
+        let mut plan = ScanPlan::default();
+        match wake {
+            WakeSet::All => {
+                for shard in self.shards.iter().chain(std::iter::once(&self.unindexed)) {
+                    if shard.is_empty() {
+                        plan.shards_skipped += 1;
+                    } else {
+                        plan.shards_scanned += 1;
+                        shard.collect_into(&mut plan.waiters);
+                    }
+                }
+            }
+            WakeSet::Stripes(stripes) => {
+                let mut targeted = 0usize;
+                for shard_idx in self.shard_indices(stripes) {
+                    let shard = match shard_idx {
+                        Some(i) => &self.shards[i],
+                        None => continue, // unindexed handled below
+                    };
+                    targeted += 1;
+                    if shard.is_empty() {
+                        plan.shards_skipped += 1;
+                    } else {
+                        plan.shards_scanned += 1;
+                        shard.collect_into(&mut plan.waiters);
+                    }
+                }
+                // Shards outside the write set's stripe cover are skipped
+                // without even a count load — the whole point of targeting.
+                plan.shards_skipped += self.shards.len() - targeted;
+                // Every writer scans the unindexed (predicate) shard.
+                if self.unindexed.is_empty() {
+                    plan.shards_skipped += 1;
+                } else {
+                    plan.shards_scanned += 1;
+                    self.unindexed.collect_into(&mut plan.waiters);
+                }
+            }
+        }
+        // A waiter spanning several scanned shards appears once per shard;
+        // evaluate it once.
+        plan.waiters.sort_by_key(|w| Arc::as_ptr(w) as usize);
+        plan.waiters.dedup_by(|a, b| Arc::ptr_eq(a, b));
+        plan
+    }
+
+    /// A shallow copy of every registered waiter (`waiting.copy()` in the
+    /// paper's `wakeWaiters`); the conservative scan-all path and tests.
+    pub fn snapshot(&self) -> Vec<Arc<Waiter>> {
+        self.scan(&WakeSet::All).waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn dummy_waiter(tid: ThreadId) -> Arc<Waiter> {
+        Waiter::new(
+            tid,
+            WaitCondition::ValuesChanged(vec![(Addr(1), 0)]),
+            Arc::new(Semaphore::new()),
+        )
+    }
+
+    fn pred_waiter(tid: ThreadId) -> Arc<Waiter> {
+        fn always(_: &mut dyn crate::tx::Tx, _: &[u64]) -> crate::ctl::TxResult<bool> {
+            Ok(true)
+        }
+        Waiter::new(
+            tid,
+            WaitCondition::Pred {
+                f: always,
+                args: vec![],
+            },
+            Arc::new(Semaphore::new()),
+        )
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let r = WaitList::new(8);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(WaitList::new(5).shard_count(), 8);
+        assert_eq!(WaitList::new(64).shard_count(), 64);
+        assert_eq!(WaitList::new(0).shard_count(), 2);
+    }
+
+    #[test]
+    fn register_and_deregister_round_trip() {
+        let r = WaitList::new(8);
+        let w1 = dummy_waiter(0);
+        let w2 = dummy_waiter(1);
+        r.register(Arc::clone(&w1), &[3]);
+        r.register(Arc::clone(&w2), &[4]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.registrations(), 2);
+        r.deregister(&w1, &[3]);
+        assert_eq!(r.len(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(Arc::ptr_eq(&snap[0], &w2));
+    }
+
+    #[test]
+    fn deregister_unknown_waiter_is_harmless() {
+        let r = WaitList::new(8);
+        let w1 = dummy_waiter(0);
+        r.register(Arc::clone(&w1), &[1]);
+        let unknown = dummy_waiter(9);
+        r.deregister(&unknown, &[1]);
+        assert_eq!(r.len(), 1);
+        // Even with the count decremented spuriously it must not underflow.
+        r.deregister(&unknown, &[2]);
+        r.deregister(&w1, &[1]);
+        r.deregister(&w1, &[1]);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn targeted_scan_hits_matching_stripes_only() {
+        let r = WaitList::new(8);
+        let a = dummy_waiter(0);
+        let b = dummy_waiter(1);
+        r.register(Arc::clone(&a), &[0]); // shard 0
+        r.register(Arc::clone(&b), &[1]); // shard 1
+        let hit = r.scan(&WakeSet::Stripes(vec![0]));
+        assert_eq!(hit.waiters.len(), 1);
+        assert!(Arc::ptr_eq(&hit.waiters[0], &a));
+        assert!(hit.shards_scanned >= 1);
+        let miss = r.scan(&WakeSet::Stripes(vec![2]));
+        assert!(miss.waiters.is_empty());
+        assert!(miss.shards_skipped >= 1);
+    }
+
+    #[test]
+    fn stripes_aliasing_one_shard_scan_once() {
+        let r = WaitList::new(4);
+        let w = dummy_waiter(0);
+        // Stripes 1 and 5 both map to shard 1 with 4 shards.
+        r.register(Arc::clone(&w), &[1, 5]);
+        assert_eq!(r.shard_of(1), r.shard_of(5));
+        let plan = r.scan(&WakeSet::Stripes(vec![1, 5]));
+        assert_eq!(plan.waiters.len(), 1, "waiter must be deduplicated");
+        r.deregister(&w, &[1, 5]);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn multi_stripe_waiter_found_from_any_stripe() {
+        let r = WaitList::new(8);
+        let w = dummy_waiter(0);
+        r.register(Arc::clone(&w), &[2, 6]);
+        assert_eq!(r.len(), 1, "one waiter regardless of stripe fan-out");
+        for stripe in [2usize, 6] {
+            let plan = r.scan(&WakeSet::Stripes(vec![stripe]));
+            assert_eq!(plan.waiters.len(), 1);
+        }
+        let plan = r.scan(&WakeSet::Stripes(vec![2, 6]));
+        assert_eq!(plan.waiters.len(), 1, "scan across both shards dedups");
+        r.deregister(&w, &[2, 6]);
+        assert!(r.is_empty());
+        assert!(r.scan(&WakeSet::Stripes(vec![2])).waiters.is_empty());
+    }
+
+    #[test]
+    fn predicate_waiters_are_seen_by_every_wake_set() {
+        let r = WaitList::new(8);
+        let w = pred_waiter(0);
+        r.register(Arc::clone(&w), &[]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.scan(&WakeSet::All).waiters.len(), 1);
+        assert_eq!(r.scan(&WakeSet::Stripes(vec![7])).waiters.len(), 1);
+        assert_eq!(r.scan(&WakeSet::Stripes(vec![])).waiters.len(), 1);
+        r.deregister(&w, &[]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn claim_wake_succeeds_exactly_once() {
+        let w = dummy_waiter(0);
+        assert!(w.is_asleep());
+        assert!(w.claim_wake());
+        assert!(!w.claim_wake());
+        assert!(!w.is_asleep());
+    }
+
+    #[test]
+    fn concurrent_claims_have_single_winner() {
+        let w = dummy_waiter(0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || w.claim_wake()));
+        }
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&x| x)
+            .count();
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn snapshot_is_shallow_copy() {
+        let r = WaitList::new(8);
+        let w = dummy_waiter(0);
+        r.register(Arc::clone(&w), &[1]);
+        let snap = r.snapshot();
+        // Claiming through the snapshot is visible through the registry copy.
+        assert!(snap[0].claim_wake());
+        assert!(!r.snapshot()[0].is_asleep());
+    }
+}

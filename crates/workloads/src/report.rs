@@ -138,7 +138,9 @@ impl Panel {
     }
 
     /// Renders the panel as a fixed-width text table (x value per row, one
-    /// column per mechanism), matching the rows the paper's plots encode.
+    /// column per mechanism), matching the rows the paper's plots encode,
+    /// followed by the wake-path effectiveness lines when any series did
+    /// wake work.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "## {}", self.label);
@@ -160,6 +162,35 @@ impl Panel {
                 }
             }
             let _ = writeln!(out);
+        }
+        out.push_str(&self.render_wake_stats());
+        out
+    }
+
+    /// One line per mechanism summarising targeted-wake effectiveness:
+    /// waiters whose conditions were evaluated versus registry shards the
+    /// writer never had to visit.  Empty when the panel did no wake work.
+    pub fn render_wake_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.wake_checks == 0 && stats.wake_shard_scans == 0 && stats.wake_shard_skips == 0
+            {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# wake-path {:>10}: waiters scanned {:>8}  wakeups {:>8}  shards scanned {:>8}  shards skipped {:>10}  targeted commits {:>8}",
+                s.mechanism.label(),
+                stats.wake_checks,
+                stats.wakeups,
+                stats.wake_shard_scans,
+                stats.wake_shard_skips,
+                stats.wake_targeted,
+            );
         }
         out
     }
@@ -502,6 +533,33 @@ mod tests {
         assert_eq!(back.experiment, "fig2.3");
         assert_eq!(back.panels.len(), 1);
         assert_eq!(back.notes["items"], "65536");
+    }
+
+    #[test]
+    fn wake_stats_render_only_when_wake_work_happened() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(
+            panel.render_wake_stats().is_empty(),
+            "no wake work, no wake lines"
+        );
+
+        let mut with_wakes = point(4, 1.0);
+        with_wakes.stats.wake_checks = 12;
+        with_wakes.stats.wakeups = 3;
+        with_wakes.stats.wake_shard_scans = 5;
+        with_wakes.stats.wake_shard_skips = 200;
+        with_wakes.stats.wake_targeted = 7;
+        panel.series_mut(Mechanism::Retry).push(with_wakes);
+        let text = panel.render();
+        assert!(text.contains("wake-path"));
+        assert!(text.contains("waiters scanned       12"));
+        assert!(text.contains("shards skipped        200"));
+        assert!(text.contains("targeted commits        7"));
+        assert!(
+            !text.contains("Pthreads: waiters"),
+            "series without wake work stay out of the wake block"
+        );
     }
 
     #[test]
