@@ -1,0 +1,123 @@
+//! `timeout_scenarios` — throughput and timeout behaviour of timed waits.
+//!
+//! Sweeps the deschedule-based mechanisms (`Retry`, `Await`, `WaitPred`)
+//! across all three runtimes on the stalling-pipeline scenario of
+//! `tm_workloads::timeout`: producers stall periodically, consumers drain
+//! with `consume_timeout`, and the interesting quantities are how many
+//! deadlines fired, who delivered them (sleeper backstop vs lazily polled
+//! timer wheel, visible as `timer_ticks`), and what the bounded waiting
+//! costs in wall-clock terms.
+//!
+//! Output: a plain-text table on stdout, plus a JSON report (via
+//! `tm_workloads::json`) written to `$TM_BENCH_JSON` (default
+//! `BENCH_timeouts.json`) so CI can archive the trajectory.
+//!
+//! Environment:
+//!
+//! | variable            | meaning                                 | default |
+//! |---------------------|-----------------------------------------|---------|
+//! | `TM_BENCH_SMOKE=1`  | tiny iteration counts for CI smoke runs | off     |
+//! | `TM_BENCH_ITEMS`    | items produced per cell                 | `2048`  |
+//! | `TM_BENCH_JSON`     | JSON report path                        | `BENCH_timeouts.json` |
+
+use condsync::Mechanism;
+use tm_workloads::json::Value;
+use tm_workloads::runtime::RuntimeKind;
+use tm_workloads::timeout::{run_timeout_scenario, TimeoutParams};
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let smoke = env_flag("TM_BENCH_SMOKE");
+    let items: u64 = std::env::var("TM_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 64 } else { 2048 });
+    let json_path =
+        std::env::var("TM_BENCH_JSON").unwrap_or_else(|_| "BENCH_timeouts.json".to_string());
+
+    let mechanisms = [Mechanism::Retry, Mechanism::Await, Mechanism::WaitPred];
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:<9} {:>7} {:>10} {:>9} {:>13} {:>11} {:>10}",
+        "runtime",
+        "mech",
+        "items",
+        "elapsed_ms",
+        "timeouts",
+        "rt_timeouts",
+        "timer_ticks",
+        "wakeups"
+    );
+    for kind in RuntimeKind::ALL {
+        for mechanism in mechanisms {
+            let params = TimeoutParams {
+                total_items: items,
+                ..TimeoutParams::smoke(mechanism)
+            };
+            let r = run_timeout_scenario(kind, params);
+            assert_eq!(r.consumed, r.produced, "scenario must drain");
+            assert!(r.checksum_ok, "value conservation");
+            println!(
+                "{:<10} {:<9} {:>7} {:>10.2} {:>9} {:>13} {:>11} {:>10}",
+                kind.label(),
+                mechanism.label(),
+                r.produced,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.timeouts,
+                r.stats.wake_timeouts,
+                r.stats.timer_ticks,
+                r.stats.wakeups,
+            );
+            cells.push((kind, mechanism, r));
+        }
+    }
+
+    let report = Value::obj(vec![
+        ("experiment", Value::Str("timeout_scenarios".to_string())),
+        (
+            "description",
+            Value::Str(
+                "stalling-pipeline drain with per-op consume deadlines (timed Deschedule)"
+                    .to_string(),
+            ),
+        ),
+        ("items_per_cell", Value::Num(items as f64)),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "op_timeout_ms",
+            Value::Num(
+                TimeoutParams::smoke(Mechanism::Retry)
+                    .op_timeout
+                    .as_secs_f64()
+                    * 1e3,
+            ),
+        ),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|(kind, mechanism, r)| {
+                        Value::obj(vec![
+                            ("runtime", Value::Str(kind.label().to_string())),
+                            ("mechanism", Value::Str(mechanism.label().to_string())),
+                            ("items", Value::Num(r.produced as f64)),
+                            ("elapsed_ms", Value::Num(r.elapsed.as_secs_f64() * 1e3)),
+                            ("observed_timeouts", Value::Num(r.timeouts as f64)),
+                            ("wake_timeouts", Value::Num(r.stats.wake_timeouts as f64)),
+                            ("wake_cancels", Value::Num(r.stats.wake_cancels as f64)),
+                            ("timer_ticks", Value::Num(r.stats.timer_ticks as f64)),
+                            ("wakeups", Value::Num(r.stats.wakeups as f64)),
+                            ("sleeps", Value::Num(r.stats.sleeps as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, report.pretty()).expect("write JSON report");
+    println!("wrote {json_path}");
+}

@@ -27,7 +27,7 @@
 //! | `TM_EXP_THREADS`  | comma list of thread counts (PARSEC)        | `1,2,4,8` |
 //! | `TM_EXP_SCALE`    | PARSEC kernel scale: `test`, `small`, `full`| `test`  |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::io;

@@ -18,4 +18,7 @@
 //! publish-then-double-check parking, at-most-one signal per sleep, and the
 //! committed-writer `wakeWaiters` scan.
 
-pub use tm_core::driver::{deschedule, wake_waiters, wake_waiters_matching, DescheduleOutcome};
+pub use tm_core::driver::{
+    deschedule, deschedule_until, wake_waiters, wake_waiters_matching, DescheduleOutcome,
+};
+pub use tm_core::WakeReason;

@@ -11,6 +11,12 @@
 //! * [`wait_pred`] — `WaitPred` (Algorithm 7): sleep until a user-supplied
 //!   predicate over shared state becomes true.
 //!
+//! Each construct also has a deadline-bounded variant — [`retry_for`],
+//! [`await_for`], [`wait_pred_for`] — and waits can be ended out-of-band
+//! with [`cancel`]; the re-executed transaction observes how its wait ended
+//! through [`wake_reason`] / [`timed_out`] / [`was_cancelled`] (see the
+//! [`timed`] module for the protocol).
+//!
 //! plus the baselines the evaluation compares against:
 //!
 //! * [`restart`] — abort and immediately re-execute (no sleeping),
@@ -46,15 +52,23 @@
 //! user-facing constructs, the `Retry-Orig` and `TMCondVar` baselines, and
 //! the [`Mechanism`] enumeration the evaluation sweeps over.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod condvar;
 pub mod deschedule;
 pub mod mechanism;
 pub mod orig;
+pub mod timed;
 
 pub use condvar::TmCondVar;
-pub use deschedule::{deschedule, wake_waiters, wake_waiters_matching, DescheduleOutcome};
+pub use deschedule::{
+    deschedule, deschedule_until, wake_waiters, wake_waiters_matching, DescheduleOutcome,
+    WakeReason,
+};
 pub use mechanism::{await_addrs, await_one, restart, retry, retry_orig, wait_pred, Mechanism};
 pub use orig::{sleep_until_intersection, OrigRegistry, OrigWaiter};
+pub use timed::{
+    await_for, await_one_for, cancel, cancel_thread, clear_wake_reason, retry_for, timed_out,
+    wait_interrupted, wait_pred_for, wake_reason, was_cancelled,
+};

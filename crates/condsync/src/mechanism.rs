@@ -39,8 +39,41 @@ pub const RESTART_ABORT_CODE: u8 = 0xFE;
 /// transaction is descheduled with a [`WaitSpec::ReadSetValues`] condition.
 ///
 /// Never returns `Ok`; the `T` parameter lets call sites use it in tail
-/// position of any expression type.
-pub fn retry<T>(_tx: &mut dyn Tx) -> TxResult<T> {
+/// position of any expression type.  For a deadline-bounded variant see
+/// [`crate::retry_for`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_core::{TmConfig, TmRt, TmSystem, TmVar};
+///
+/// let system = TmSystem::new(TmConfig::small());
+/// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+/// let flag = TmVar::<u64>::alloc(&system, 0);
+///
+/// // A waiter blocks until *something it read* changes value...
+/// let (rt2, system2, flag2) = (Arc::clone(&rt), Arc::clone(&system), flag.clone());
+/// let waiter = std::thread::spawn(move || {
+///     let th = system2.register_thread();
+///     rt2.atomically(&th, |tx| {
+///         let v = flag2.get(tx)?;
+///         if v == 0 {
+///             return condsync::retry(tx);
+///         }
+///         Ok(v)
+///     })
+/// });
+///
+/// // ...and a writer's commit wakes it.
+/// let th = system.register_thread();
+/// rt.atomically(&th, |tx| flag.set(tx, 9));
+/// assert_eq!(waiter.join().unwrap(), 9);
+/// ```
+pub fn retry<T>(tx: &mut dyn Tx) -> TxResult<T> {
+    // Unbounded: clear any deadline a timed construct stashed earlier in
+    // this attempt, so the deschedule request carries exactly its own.
+    tx.common_mut().wait_deadline = None;
     Err(TxCtl::Deschedule(WaitSpec::ReadSetValues))
 }
 
@@ -50,8 +83,38 @@ pub fn retry<T>(_tx: &mut dyn Tx) -> TxResult<T> {
 /// The addresses should have been read by the transaction (the paper assumes
 /// this and our runtimes validate it during rollback); the runtime captures
 /// their pre-transaction values after undoing the transaction's writes, while
-/// its locks are still held, so the snapshot is consistent.
-pub fn await_addrs<T>(_tx: &mut dyn Tx, addrs: &[Addr]) -> TxResult<T> {
+/// its locks are still held, so the snapshot is consistent.  For a
+/// deadline-bounded variant see [`crate::await_for`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_core::{TmConfig, TmRt, TmSystem, TmVar};
+///
+/// let system = TmSystem::new(TmConfig::small());
+/// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+/// let count = TmVar::<u64>::alloc(&system, 0);
+///
+/// let (rt2, system2, count2) = (Arc::clone(&rt), Arc::clone(&system), count.clone());
+/// let waiter = std::thread::spawn(move || {
+///     let th = system2.register_thread();
+///     rt2.atomically(&th, |tx| {
+///         let v = count2.get(tx)?;
+///         if v == 0 {
+///             // Wait on exactly this address, as Fig. 2.2 waits on <&count>.
+///             return condsync::await_addrs(tx, &[count2.addr()]);
+///         }
+///         Ok(v)
+///     })
+/// });
+///
+/// let th = system.register_thread();
+/// rt.atomically(&th, |tx| count.set(tx, 1));
+/// assert_eq!(waiter.join().unwrap(), 1);
+/// ```
+pub fn await_addrs<T>(tx: &mut dyn Tx, addrs: &[Addr]) -> TxResult<T> {
+    tx.common_mut().wait_deadline = None;
     Err(TxCtl::Deschedule(WaitSpec::Addrs(addrs.to_vec())))
 }
 
@@ -66,8 +129,48 @@ pub fn await_one<T>(tx: &mut dyn Tx, addr: Addr) -> TxResult<T> {
 ///
 /// `args` are marshalled *by value* into the wait record: the paper notes the
 /// waiter cannot point at objects it wrote, because those writes are undone
-/// before the record is published.
-pub fn wait_pred<T>(_tx: &mut dyn Tx, pred: PredFn, args: &[u64]) -> TxResult<T> {
+/// before the record is published.  For a deadline-bounded variant see
+/// [`crate::wait_pred_for`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tm_core::{Addr, TmConfig, TmRt, TmSystem, TmVar, Tx, TxResult};
+///
+/// // Predicates are plain functions over transactional state.
+/// fn at_least(tx: &mut dyn Tx, args: &[u64]) -> TxResult<bool> {
+///     Ok(tx.read(Addr(args[0] as usize))? >= args[1])
+/// }
+///
+/// let system = TmSystem::new(TmConfig::small());
+/// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+/// let count = TmVar::<u64>::alloc(&system, 0);
+///
+/// let (rt2, system2, count2) = (Arc::clone(&rt), Arc::clone(&system), count.clone());
+/// let waiter = std::thread::spawn(move || {
+///     let th = system2.register_thread();
+///     rt2.atomically(&th, |tx| {
+///         let v = count2.get(tx)?;
+///         if v < 2 {
+///             // Immune to false wake-ups: only predicate-true commits wake us.
+///             return condsync::wait_pred(tx, at_least, &[count2.addr().0 as u64, 2]);
+///         }
+///         Ok(v)
+///     })
+/// });
+///
+/// let th = system.register_thread();
+/// for _ in 0..2 {
+///     rt.atomically(&th, |tx| {
+///         let v = count.get(tx)?;
+///         count.set(tx, v + 1)
+///     });
+/// }
+/// assert_eq!(waiter.join().unwrap(), 2);
+/// ```
+pub fn wait_pred<T>(tx: &mut dyn Tx, pred: PredFn, args: &[u64]) -> TxResult<T> {
+    tx.common_mut().wait_deadline = None;
     Err(TxCtl::Deschedule(WaitSpec::Pred {
         f: pred,
         args: args.to_vec(),
@@ -75,8 +178,10 @@ pub fn wait_pred<T>(_tx: &mut dyn Tx, pred: PredFn, args: &[u64]) -> TxResult<T>
 }
 
 /// The original lock-metadata `Retry` (Algorithm 1), kept as the `Retry-Orig`
-/// baseline.  Supported by the software runtimes only.
-pub fn retry_orig<T>(_tx: &mut dyn Tx) -> TxResult<T> {
+/// baseline.  Supported by the software runtimes only; has no timed variant
+/// (the separate Retry-Orig registry carries no deadlines).
+pub fn retry_orig<T>(tx: &mut dyn Tx) -> TxResult<T> {
+    tx.common_mut().wait_deadline = None;
     Err(TxCtl::Deschedule(WaitSpec::OrigReadLocks))
 }
 
@@ -187,9 +292,49 @@ mod construct_tests {
             other => panic!("unexpected: {other:?}"),
         }
     }
+
+    #[test]
+    fn unbounded_constructs_clear_a_stale_deadline() {
+        let mut tx = null_tx();
+        tx.common_mut().wait_deadline = Some(std::time::Instant::now());
+        let _ = retry::<()>(&mut tx);
+        assert!(tx.common().wait_deadline.is_none());
+
+        tx.common_mut().wait_deadline = Some(std::time::Instant::now());
+        let _ = await_addrs::<()>(&mut tx, &[Addr(1)]);
+        assert!(tx.common().wait_deadline.is_none());
+
+        fn p(_: &mut dyn Tx, _: &[u64]) -> TxResult<bool> {
+            Ok(true)
+        }
+        tx.common_mut().wait_deadline = Some(std::time::Instant::now());
+        let _ = wait_pred::<()>(&mut tx, p, &[]);
+        assert!(tx.common().wait_deadline.is_none());
+
+        tx.common_mut().wait_deadline = Some(std::time::Instant::now());
+        let _ = retry_orig::<()>(&mut tx);
+        assert!(tx.common().wait_deadline.is_none());
+    }
 }
 
 /// The seven condition-synchronization mechanisms of §2.4.
+///
+/// # Examples
+///
+/// Workloads sweep over the enumeration and dispatch to the matching
+/// construct; the labels round-trip through [`FromStr`] so harness CLI
+/// arguments and figure legends agree:
+///
+/// ```
+/// use condsync::Mechanism;
+///
+/// for m in Mechanism::ALL {
+///     assert_eq!(m.label().parse::<Mechanism>().unwrap(), m);
+/// }
+/// assert!(Mechanism::Retry.is_deschedule_based());
+/// assert!(!Mechanism::RetryOrig.supports_htm());
+/// assert_eq!("retry-orig".parse::<Mechanism>(), Ok(Mechanism::RetryOrig));
+/// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Mechanism {
     /// Locks + POSIX-style condition variables (no transactions at all).

@@ -28,7 +28,7 @@
 //! checked word heap this is benign, and it does not change which
 //! transactions commit.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod lines;

@@ -17,12 +17,12 @@
 //! `tm_core::driver`: [`runtime::EagerStm`] implements the narrow
 //! `TxEngine` interface (begin / commit / rollback / materialise-wait plus
 //! the `Retry-Orig` hooks), and the loop owns re-execution, the deschedule
-//! hand-off to [`condsync::deschedule`], and the post-commit
+//! hand-off to [`condsync::deschedule()`], and the post-commit
 //! [`condsync::wake_waiters`] scan.  `Await` still captures its value
 //! snapshot while this runtime's locks are held (see
 //! [`tx::EagerTx::rollback_for_deschedule`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod runtime;

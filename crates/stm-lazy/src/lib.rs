@@ -15,7 +15,7 @@
 //! difference the mechanisms see is how `Await` captures its value snapshot
 //! (no undo is needed because memory was never modified).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod runtime;

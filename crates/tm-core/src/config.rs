@@ -56,6 +56,29 @@ impl Default for BackoffConfig {
     }
 }
 
+/// Configuration of the lazily driven timer wheel that delivers deadlines
+/// to timed waits (see [`crate::timer::TimerWheel`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TimerConfig {
+    /// Number of wheel slots (rounded up to a power of two).  One lap covers
+    /// `slots * tick_micros` microseconds; deadlines further out stay in
+    /// their slot and are re-examined once per lap.
+    pub slots: usize,
+    /// Microseconds per wheel tick (clamped to at least 1).  Coarser ticks
+    /// mean cheaper polls and coarser timeout delivery; the sleeper's own
+    /// semaphore timeout bounds the delivered error regardless.
+    pub tick_micros: u64,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig {
+            slots: 256,
+            tick_micros: 1000,
+        }
+    }
+}
+
 /// Configuration for a [`crate::system::TmSystem`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TmConfig {
@@ -75,6 +98,8 @@ pub struct TmConfig {
     pub htm: HtmConfig,
     /// Backoff parameters.
     pub backoff: BackoffConfig,
+    /// Timer-wheel parameters for timed waits.
+    pub timer: TimerConfig,
 }
 
 impl Default for TmConfig {
@@ -86,6 +111,7 @@ impl Default for TmConfig {
             quiescence: true,
             htm: HtmConfig::default(),
             backoff: BackoffConfig::default(),
+            timer: TimerConfig::default(),
         }
     }
 }
@@ -100,6 +126,10 @@ impl TmConfig {
             quiescence: true,
             htm: HtmConfig::default(),
             backoff: BackoffConfig::default(),
+            timer: TimerConfig {
+                slots: 64,
+                ..TimerConfig::default()
+            },
         }
     }
 
@@ -133,6 +163,12 @@ impl TmConfig {
         self.backoff = backoff;
         self
     }
+
+    /// Overrides the timer-wheel parameters.
+    pub fn with_timer(mut self, timer: TimerConfig) -> Self {
+        self.timer = timer;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -164,12 +200,18 @@ mod tests {
                 max_read_lines: 8,
                 max_write_lines: 4,
                 max_attempts: 1,
+            })
+            .with_timer(TimerConfig {
+                slots: 16,
+                tick_micros: 250,
             });
         assert!(!c.quiescence);
         assert_eq!(c.heap_words, 100);
         assert_eq!(c.wake_shards, 8);
         assert_eq!(c.backoff.max_exp, 1);
         assert_eq!(c.htm.max_write_lines, 4);
+        assert_eq!(c.timer.slots, 16);
+        assert_eq!(c.timer.tick_micros, 250);
     }
 
     #[test]

@@ -14,9 +14,17 @@
 //!   [`TxEngine::committed_stripes`], which tells the wake path which
 //!   waiter-registry shards a commit must scan),
 //! * [`run`] — the single generic driver loop,
-//! * [`deschedule`] / [`wake_waiters_matching`] — the paper's parking and
-//!   waking protocol, sharded by ownership-record stripe, called from the
-//!   loop and re-exported through `condsync`.
+//! * [`deschedule`] / [`deschedule_until`] / [`wake_waiters_matching`] — the
+//!   paper's parking and waking protocol (unbounded and deadline-bounded),
+//!   sharded by ownership-record stripe, called from the loop and
+//!   re-exported through `condsync`.
+//!
+//! Timed waits thread two extra pieces of state through the loop: the
+//! deadline a timed construct stashed in [`crate::tx::TxCommon::wait_deadline`]
+//! is forwarded to [`deschedule_until`], and the resulting
+//! [`crate::waitlist::WakeReason`] is handed to every subsequent attempt via
+//! [`crate::tx::TxCommon::wake_reason`], so the re-executed body can observe
+//! a timeout or cancellation.
 //!
 //! Runtime crates implement [`TxEngine`] and forward their public
 //! [`crate::TmRuntime`] / [`crate::TmRt`] entry points to [`run`]; adding a
@@ -29,4 +37,7 @@ mod wake;
 
 pub use engine::{CommitOutcome, TxEngine};
 pub use run::run;
-pub use wake::{deschedule, wake_waiters, wake_waiters_matching, DescheduleOutcome};
+pub use wake::{
+    deschedule, deschedule_until, poll_timers, wake_waiters, wake_waiters_matching,
+    DescheduleOutcome,
+};

@@ -29,6 +29,7 @@ use crate::ctl::{AbortReason, TxCtl, TxResult, WaitSpec};
 use crate::stats::TxStats;
 use crate::thread::ThreadCtx;
 use crate::tx::{Tx, TxCommon, TxMode};
+use crate::waitlist::WakeReason;
 
 use super::engine::TxEngine;
 use super::wake;
@@ -51,9 +52,20 @@ where
     let mut mode = engine.initial_mode();
     let mut hw_failures: u32 = 0;
     let mut attempts: u32 = 0;
+    // How the most recent deschedule of this transaction ended.  Handed to
+    // every subsequent attempt through `TxCommon::wake_reason`, so a timed
+    // wait's body can observe `Timeout` / `Cancelled` after it is
+    // re-executed and give up instead of waiting again.  Sticky across
+    // conflict aborts (the fact that the wait timed out is not undone by a
+    // failed re-execution attempt); overwritten by the next deschedule;
+    // scoped to this `run` call, so the flag never leaks into a later
+    // transaction.
+    let mut pending_wake: Option<WakeReason> = None;
 
     loop {
-        let mut tx = engine.begin(TxCommon::new(Arc::clone(thread), mode, attempts));
+        let mut common = TxCommon::new(Arc::clone(thread), mode, attempts);
+        common.wake_reason = pending_wake;
+        let mut tx = engine.begin(common);
         let ctl = match body(&mut tx) {
             Ok(value) => match engine.try_commit(&mut tx) {
                 Ok(outcome) => {
@@ -119,6 +131,11 @@ where
                     }
                 }
                 if reason.is_contention() {
+                    // A thread about to spin has time to spare: advance the
+                    // lazily driven timer wheel so timed waiters are expired
+                    // promptly even when no writer is committing.  One
+                    // atomic load when no timer is armed.
+                    wake::poll_timers(engine, thread);
                     // Jittered exponential backoff (capped via
                     // `BackoffConfig`): the one wait policy for every
                     // contention-class abort, rather than ad-hoc spinning.
@@ -152,6 +169,9 @@ where
             TxCtl::Deschedule(WaitSpec::OrigReadLocks) if engine.supports_orig_retry() => {
                 engine.deschedule_orig(thread, &mut tx);
                 drop(tx);
+                // The Retry-Orig baseline has no deadline support; its
+                // sleeps always end as plain wake-ups.
+                pending_wake = Some(WakeReason::Woken);
                 mode = TxMode::Software;
             }
             TxCtl::Deschedule(WaitSpec::OrigReadLocks) if mode != TxMode::SoftwareRetry => {
@@ -163,10 +183,15 @@ where
                 mode = TxMode::SoftwareRetry;
             }
             TxCtl::Deschedule(spec) => {
+                // The deadline (if any) was stashed in the attempt metadata
+                // by the timed construct (`retry_for` & friends); read it
+                // before the attempt is dropped.
+                let deadline = tx.common().wait_deadline;
                 match engine.materialise_wait(&mut tx, spec) {
                     Ok(cond) => {
                         drop(tx);
-                        wake::deschedule(engine, thread, cond);
+                        let outcome = wake::deschedule_until(engine, thread, cond, deadline);
+                        pending_wake = Some(outcome.reason());
                     }
                     Err(_) => {
                         // The wait condition could not be captured

@@ -33,27 +33,41 @@
 //! [`TxEngine::committed_stripes`]: super::TxEngine::committed_stripes
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::ctl::WaitCondition;
 use crate::runtime::TmRuntime;
 use crate::sem::Semaphore;
 use crate::stats::TxStats;
 use crate::thread::ThreadCtx;
-use crate::waitlist::{Waiter, WakeSet};
+use crate::waitlist::{Waiter, WakeReason, WakeSet};
 
-/// Outcome of a [`deschedule`] call, for statistics and tests.
+/// Outcome of a [`deschedule`] / [`deschedule_until`] call, for the driver
+/// loop, statistics and tests.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum DescheduleOutcome {
     /// The double-check found the condition already established; the thread
     /// never slept.
     SkippedSleep,
-    /// The thread slept and was woken by a committing writer.
-    SleptAndWoken,
+    /// The thread slept (or its deadline had already passed) and was
+    /// re-scheduled for the recorded reason.
+    Slept(WakeReason),
+}
+
+impl DescheduleOutcome {
+    /// The wake reason the re-executed transaction should observe.  A
+    /// skipped sleep counts as [`WakeReason::Woken`]: the condition held.
+    pub fn reason(self) -> WakeReason {
+        match self {
+            DescheduleOutcome::SkippedSleep => WakeReason::Woken,
+            DescheduleOutcome::Slept(reason) => reason,
+        }
+    }
 }
 
 /// Publishes `condition` and blocks the calling thread until a committed
 /// writer establishes it (or until the immediate double-check finds it
-/// already established).
+/// already established).  Unbounded form of [`deschedule_until`].
 ///
 /// The caller (the driver loop) must have completely rolled back the
 /// descheduling transaction before calling this, so that the program state
@@ -63,6 +77,38 @@ pub fn deschedule(
     rt: &dyn TmRuntime,
     thread: &Arc<ThreadCtx>,
     condition: WaitCondition,
+) -> DescheduleOutcome {
+    deschedule_until(rt, thread, condition, None)
+}
+
+/// Publishes `condition` and blocks the calling thread until a committed
+/// writer establishes it, the optional `deadline` passes, or another thread
+/// cancels the wait.
+///
+/// The timeout state machine (one transition, three exits):
+///
+/// ```text
+///            ┌──────────── register + arm timer ───────────┐
+///            │                                              ▼
+///  double-check true ──▶ SkippedSleep            asleep (sem.wait_deadline)
+///                                                 │          │          │
+///                                       writer claim   timer/self   cancel
+///                                         Woken         Timeout    Cancelled
+///                                                 └──────────┼──────────┘
+///                                                claim CAS: exactly one wins
+/// ```
+///
+/// Timeout delivery is doubly covered: the system's lazily polled timer
+/// wheel ([`crate::timer::TimerWheel`]) expires the waiter promptly while
+/// other threads are running, and the sleeper's own
+/// [`Semaphore::wait_deadline`] bounds the sleep even on an otherwise idle
+/// system.  Whoever gets there first wins the one [`Waiter::claim`]; the
+/// waiter is signalled at most once per sleep regardless.
+pub fn deschedule_until(
+    rt: &dyn TmRuntime,
+    thread: &Arc<ThreadCtx>,
+    condition: WaitCondition,
+    deadline: Option<Instant>,
 ) -> DescheduleOutcome {
     let system = rt.system();
     TxStats::bump(&thread.stats.descheds);
@@ -74,28 +120,74 @@ pub fn deschedule(
     // condition; any writer whose commit touches one of them scans the
     // covering shard, which is the no-lost-wakeups invariant.
     let stripes = condition.stripes(&system.orecs);
-    let waiter = Waiter::new(thread.id, condition, Arc::clone(&sem));
+    let waiter = Waiter::with_deadline(thread.id, condition, Arc::clone(&sem), deadline);
 
     // Publish first, then double-check.  Any writer that commits after this
     // point will see us in its wakeWaiters scan; any writer that committed
     // before it is covered by the double-check below.
     system.waiters.register(Arc::clone(&waiter), &stripes);
+    // Arm the timer wheel only for deadlines still in the future; an
+    // already-expired deadline resolves below without ever arming.
+    let armed = match deadline {
+        Some(d) if d > Instant::now() => {
+            system.timers.arm(&waiter);
+            true
+        }
+        _ => false,
+    };
 
     let established = rt.exec_bool(thread, &mut |tx| waiter.condition.should_wake(tx));
     if established {
         // Claim our own wake-up so a concurrent writer does not also signal
         // us; if the writer won the race the permit simply goes unused
         // because the semaphore is private to this sleep.
-        waiter.claim_wake();
+        waiter.claim(WakeReason::Woken);
         system.waiters.deregister(&waiter, &stripes);
+        if armed {
+            system.timers.disarm(&waiter);
+        }
         TxStats::bump(&thread.stats.desched_skips);
         return DescheduleOutcome::SkippedSleep;
     }
 
     TxStats::bump(&thread.stats.sleeps);
-    sem.wait();
+    match deadline {
+        None => sem.wait(),
+        Some(d) => {
+            if !sem.wait_deadline(d) {
+                // The deadline passed with no signal: claim the timeout
+                // ourselves.  Losing this claim means a waker (writer, timer
+                // poll, or cancel) got in just before us and its reason
+                // stands; the permit it posted goes unused, which is fine
+                // because the semaphore is private to this sleep.
+                waiter.claim(WakeReason::Timeout);
+            }
+        }
+    }
+    let reason = waiter.wake_reason().unwrap_or(WakeReason::Woken);
     system.waiters.deregister(&waiter, &stripes);
-    DescheduleOutcome::SleptAndWoken
+    if armed {
+        system.timers.disarm(&waiter);
+    }
+    match reason {
+        WakeReason::Woken => {}
+        WakeReason::Timeout => TxStats::bump(&thread.stats.wake_timeouts),
+        WakeReason::Cancelled => TxStats::bump(&thread.stats.wake_cancels),
+    }
+    DescheduleOutcome::Slept(reason)
+}
+
+/// Lazily advances the system's timer wheel, expiring timed waiters whose
+/// deadlines have passed.
+///
+/// Called from the committing-writer wake path (behind the empty-registry
+/// fast path) and from the driver's contention-backoff path; costs one
+/// atomic load when no timer is armed.
+pub fn poll_timers(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>) {
+    let poll = rt.system().timers.poll(Instant::now());
+    if poll.ticks > 0 {
+        TxStats::add(&thread.stats.timer_ticks, poll.ticks);
+    }
 }
 
 /// Conservative `wakeWaiters`: scans every shard of the registry.
@@ -121,6 +213,11 @@ pub fn wake_waiters_matching(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>, wake: 
     if system.waiters.is_empty() {
         return;
     }
+    // Someone is waiting, so this commit also lends a hand to the timed
+    // waiters: advance the lazily driven timer wheel before scanning.  Kept
+    // behind the fast path above so the no-sleeper commit stays one atomic
+    // load.
+    poll_timers(rt, thread);
     if let WakeSet::Stripes(_) = wake {
         TxStats::bump(&thread.stats.wake_targeted);
     }
@@ -278,7 +375,10 @@ mod tests {
         system.heap.store(Addr(20), 7);
         wake_waiters(rt.as_ref(), &writer_thread);
 
-        assert_eq!(sleeper.join().unwrap(), DescheduleOutcome::SleptAndWoken);
+        assert_eq!(
+            sleeper.join().unwrap(),
+            DescheduleOutcome::Slept(WakeReason::Woken)
+        );
         assert_eq!(writer_thread.stats.snapshot().wakeups, 1);
         assert!(system.waiters.is_empty());
     }
@@ -310,7 +410,10 @@ mod tests {
         let stripe = system.orecs.index_for(Addr(21));
         wake_waiters_matching(rt.as_ref(), &writer_thread, &WakeSet::Stripes(vec![stripe]));
 
-        assert_eq!(sleeper.join().unwrap(), DescheduleOutcome::SleptAndWoken);
+        assert_eq!(
+            sleeper.join().unwrap(),
+            DescheduleOutcome::Slept(WakeReason::Woken)
+        );
         let stats = writer_thread.stats.snapshot();
         assert_eq!(stats.wakeups, 1);
         assert_eq!(stats.wake_targeted, 1);
@@ -428,6 +531,167 @@ mod tests {
         system.heap.store(Addr(50), 11);
         wake_waiters_matching(&rt, &writer, &WakeSet::Stripes(vec![0]));
         assert!(!w.is_asleep());
+    }
+
+    #[test]
+    fn timed_deschedule_times_out_without_writer() {
+        let (system, rt) = toy();
+        let th = system.register_thread();
+        system.heap.store(Addr(60), 0);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(25);
+        let outcome = deschedule_until(
+            &rt,
+            &th,
+            WaitCondition::ValuesChanged(vec![(Addr(60), 0)]),
+            Some(deadline),
+        );
+        assert_eq!(outcome, DescheduleOutcome::Slept(WakeReason::Timeout));
+        assert!(system.waiters.is_empty(), "timed-out waiter deregisters");
+        assert!(system.timers.idle(), "timed-out waiter disarms");
+        let stats = th.stats.snapshot();
+        assert_eq!(stats.wake_timeouts, 1);
+        assert_eq!(stats.sleeps, 1);
+    }
+
+    #[test]
+    fn already_expired_deadline_resolves_without_arming() {
+        let (system, rt) = toy();
+        let th = system.register_thread();
+        system.heap.store(Addr(61), 0);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let outcome = deschedule_until(
+            &rt,
+            &th,
+            WaitCondition::ValuesChanged(vec![(Addr(61), 0)]),
+            Some(past),
+        );
+        assert_eq!(outcome, DescheduleOutcome::Slept(WakeReason::Timeout));
+        assert!(system.timers.idle());
+        assert_eq!(th.stats.snapshot().wake_timeouts, 1);
+    }
+
+    #[test]
+    fn timed_deschedule_skips_sleep_when_condition_holds() {
+        let (system, rt) = toy();
+        let th = system.register_thread();
+        system.heap.store(Addr(62), 5);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let outcome = deschedule_until(
+            &rt,
+            &th,
+            WaitCondition::ValuesChanged(vec![(Addr(62), 4)]),
+            Some(deadline),
+        );
+        assert_eq!(outcome, DescheduleOutcome::SkippedSleep);
+        assert_eq!(outcome.reason(), WakeReason::Woken);
+        assert!(system.timers.idle(), "skipped sleep must disarm its timer");
+        assert_eq!(th.stats.snapshot().wake_timeouts, 0);
+    }
+
+    #[test]
+    fn wake_beats_deadline() {
+        let (system, rt) = toy();
+        let waiter_thread = system.register_thread();
+        let writer_thread = system.register_thread();
+        system.heap.store(Addr(63), 0);
+
+        let system2 = Arc::clone(&system);
+        let rt = Arc::new(rt);
+        let rt2 = Arc::clone(&rt);
+        let wt = Arc::clone(&waiter_thread);
+        let sleeper = std::thread::spawn(move || {
+            deschedule_until(
+                rt2.as_ref(),
+                &wt,
+                WaitCondition::ValuesChanged(vec![(Addr(63), 0)]),
+                Some(std::time::Instant::now() + std::time::Duration::from_secs(30)),
+            )
+        });
+        while system2.waiters.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+
+        system.heap.store(Addr(63), 7);
+        wake_waiters(rt.as_ref(), &writer_thread);
+
+        assert_eq!(
+            sleeper.join().unwrap(),
+            DescheduleOutcome::Slept(WakeReason::Woken)
+        );
+        let stats = waiter_thread.stats.snapshot();
+        assert_eq!(stats.wake_timeouts, 0, "the wake won the race");
+        assert!(system.timers.idle(), "woken sleeper disarms its timer");
+    }
+
+    #[test]
+    fn cancelled_sleeper_reports_cancellation() {
+        let (system, rt) = toy();
+        let waiter_thread = system.register_thread();
+        system.heap.store(Addr(64), 0);
+
+        let system2 = Arc::clone(&system);
+        let rt = Arc::new(rt);
+        let rt2 = Arc::clone(&rt);
+        let wt = Arc::clone(&waiter_thread);
+        let tid = waiter_thread.id;
+        let sleeper = std::thread::spawn(move || {
+            deschedule_until(
+                rt2.as_ref(),
+                &wt,
+                WaitCondition::ValuesChanged(vec![(Addr(64), 0)]),
+                Some(std::time::Instant::now() + std::time::Duration::from_secs(30)),
+            )
+        });
+        while system2.waiters.find_by_thread(tid).is_none() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+
+        let w = system.waiters.find_by_thread(tid).expect("sleeper found");
+        assert!(w.claim(WakeReason::Cancelled));
+        w.sem.post();
+
+        assert_eq!(
+            sleeper.join().unwrap(),
+            DescheduleOutcome::Slept(WakeReason::Cancelled)
+        );
+        assert_eq!(waiter_thread.stats.snapshot().wake_cancels, 1);
+        assert!(system.waiters.is_empty());
+        assert!(system.timers.idle());
+    }
+
+    #[test]
+    fn committing_writers_drive_the_timer_wheel() {
+        let (system, rt) = toy();
+        let writer_thread = system.register_thread();
+        system.heap.store(Addr(65), 0);
+
+        // A parked timed waiter whose condition never becomes true: only the
+        // timer wheel can end this wait.  Registered manually so no sleeper
+        // thread races the writer's poll with its own semaphore backstop.
+        let sem = Arc::new(Semaphore::new());
+        let w = Waiter::with_deadline(
+            99,
+            WaitCondition::ValuesChanged(vec![(Addr(65), 0)]),
+            Arc::clone(&sem),
+            Some(std::time::Instant::now() + std::time::Duration::from_millis(10)),
+        );
+        let stripes = register_manually(&system, &w);
+        system.timers.arm(&w);
+
+        // Before the deadline a writer scan leaves the waiter alone (the
+        // value is unchanged, so no condition-based wake either).
+        wake_waiters(&rt, &writer_thread);
+        assert!(w.is_asleep());
+
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        wake_waiters(&rt, &writer_thread);
+        assert_eq!(w.wake_reason(), Some(WakeReason::Timeout));
+        assert_eq!(sem.permits(), 1, "expired waiter signalled exactly once");
+        assert!(writer_thread.stats.snapshot().timer_ticks > 0);
+        system.waiters.deregister(&w, &stripes);
+        assert!(system.timers.idle(), "the poll consumed the wheel entry");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! * the thread registry, statistics and quiescence support ([`thread`],
 //!   [`stats`]),
 //! * the sharded, address-indexed waiter registry and semaphore used by the
-//!   `Deschedule` mechanism ([`waitlist`], [`sem`]),
+//!   `Deschedule` mechanism ([`waitlist`], [`sem`]), plus the lazily driven
+//!   timer wheel behind its timed (`deschedule_until`) variant ([`timer`]),
 //! * typed views over heap words ([`vars::TmVar`], [`vars::TmArray`]).
 //!
 //! The paper's algorithms are implemented on top of these pieces; see the
@@ -34,7 +35,7 @@
 //! [`htm-sim`]: ../htm_sim/index.html
 //! [`condsync`]: ../condsync/index.html
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
@@ -51,13 +52,14 @@ pub mod sem;
 pub mod stats;
 pub mod system;
 pub mod thread;
+pub mod timer;
 pub mod tx;
 pub mod vars;
 pub mod waitlist;
 
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::GlobalClock;
-pub use config::{BackoffConfig, HtmConfig, TmConfig};
+pub use config::{BackoffConfig, HtmConfig, TimerConfig, TmConfig};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
 pub use heap::TmHeap;
@@ -67,6 +69,7 @@ pub use sem::Semaphore;
 pub use stats::{StatsSnapshot, TxStats};
 pub use system::TmSystem;
 pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};
+pub use timer::{TimerPoll, TimerWheel};
 pub use tx::{Tx, TxCommon, TxMode};
 pub use vars::{TmArray, TmValue, TmVar};
-pub use waitlist::{ScanPlan, WaitList, Waiter, WakeSet};
+pub use waitlist::{ScanPlan, WaitList, Waiter, WakeReason, WakeSet};

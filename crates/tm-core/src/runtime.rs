@@ -52,6 +52,30 @@ pub trait TmRuntime: Send + Sync {
 pub trait TmRt: TmRuntime {
     /// Runs `body` as a transaction, re-executing it until it commits, and
     /// returns its result.
+    ///
+    /// The body may be re-executed any number of times (conflict aborts,
+    /// mode switches, wake-ups after a deschedule), so it must be free of
+    /// non-transactional side effects.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tm_core::{TmConfig, TmRt, TmSystem, TmVar};
+    ///
+    /// let system = TmSystem::new(TmConfig::small());
+    /// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+    /// let th = system.register_thread();
+    /// let v = TmVar::<u64>::alloc(&system, 20);
+    ///
+    /// let doubled = rt.atomically(&th, |tx| {
+    ///     let x = v.get(tx)?;
+    ///     v.set(tx, x * 2)?;
+    ///     Ok(x * 2)
+    /// });
+    /// assert_eq!(doubled, 40);
+    /// assert_eq!(v.load_direct(&system), 40);
+    /// ```
     fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
     where
         F: FnMut(&mut dyn Tx) -> TxResult<T>;

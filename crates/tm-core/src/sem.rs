@@ -6,7 +6,7 @@
 //! exactly the required memory.
 
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A counting semaphore built from a mutex and a condition variable.
 #[derive(Debug, Default)]
@@ -50,6 +50,21 @@ impl Semaphore {
         }
         *count -= 1;
         true
+    }
+
+    /// Like [`Semaphore::wait`], but gives up once `deadline` passes.
+    ///
+    /// Returns `true` if a permit was consumed.  This is the sleeping side
+    /// of timed descheduling (`deschedule_until`): the sleeper bounds its
+    /// own block, so timeout delivery never depends on another thread
+    /// polling the timer wheel.  A deadline already in the past degrades to
+    /// [`Semaphore::try_wait`].
+    pub fn wait_deadline(&self, deadline: Instant) -> bool {
+        let now = Instant::now();
+        if deadline <= now {
+            return self.try_wait();
+        }
+        self.wait_timeout(deadline - now)
     }
 
     /// Increments the count and wakes one blocked waiter (the paper's
@@ -112,6 +127,19 @@ mod tests {
         s.post();
         assert!(s.wait_timeout(Duration::from_millis(20)));
         assert_eq!(s.permits(), 0);
+    }
+
+    #[test]
+    fn wait_deadline_expires_and_consumes_like_wait_timeout() {
+        let s = Semaphore::new();
+        assert!(!s.wait_deadline(Instant::now() + Duration::from_millis(10)));
+        s.post();
+        assert!(s.wait_deadline(Instant::now() + Duration::from_millis(10)));
+        assert_eq!(s.permits(), 0);
+        // A deadline already in the past is a non-blocking try_wait.
+        assert!(!s.wait_deadline(Instant::now() - Duration::from_millis(1)));
+        s.post();
+        assert!(s.wait_deadline(Instant::now()));
     }
 
     #[test]

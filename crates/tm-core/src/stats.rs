@@ -96,6 +96,14 @@ stats_fields! {
     /// Writer commits that used a targeted (stripe-filtered) wake scan
     /// instead of the conservative scan-everything path.
     wake_targeted,
+    /// Timed waits that ended because their deadline passed
+    /// (`WakeReason::Timeout`), counted by the sleeper.
+    wake_timeouts,
+    /// Waits ended by an explicit `condsync::cancel`
+    /// (`WakeReason::Cancelled`), counted by the sleeper.
+    wake_cancels,
+    /// Timer-wheel ticks advanced by this thread's lazy polls.
+    timer_ticks,
     /// Times a `Retry` transaction restarted to populate its value log.
     retry_relogs,
     /// Explicit aborts requested by the program (Restart baseline, xabort).

@@ -16,6 +16,7 @@ use crate::heap::TmHeap;
 use crate::orec::OrecTable;
 use crate::stats::TxStats;
 use crate::thread::{ThreadCtx, ThreadId, ThreadRegistry, NOT_IN_TX};
+use crate::timer::TimerWheel;
 use crate::waitlist::WaitList;
 
 /// A complete transactional-memory system: memory, metadata, threads and
@@ -37,6 +38,9 @@ pub struct TmSystem {
     /// Sharded, address-indexed registry of descheduled (sleeping)
     /// transactions, keyed by ownership-record stripe.
     pub waiters: WaitList,
+    /// Hashed timer wheel delivering deadlines to timed waits; driven lazily
+    /// by committing and spinning threads (no background ticker).
+    pub timers: TimerWheel,
 }
 
 impl TmSystem {
@@ -48,6 +52,7 @@ impl TmSystem {
             clock: GlobalClock::new(),
             threads: ThreadRegistry::new(),
             waiters: WaitList::new(config.wake_shards),
+            timers: TimerWheel::new(config.timer),
             config,
         })
     }
@@ -113,6 +118,8 @@ mod tests {
         assert!(s.orecs.len() >= TmConfig::small().orec_count);
         assert_eq!(s.clock.now(), 0);
         assert!(s.waiters.is_empty());
+        assert!(s.timers.idle());
+        assert_eq!(s.timers.slot_count(), TmConfig::small().timer.slots);
     }
 
     #[test]

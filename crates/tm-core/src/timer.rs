@@ -1,0 +1,365 @@
+//! A hashed timer wheel delivering deadlines to descheduled transactions.
+//!
+//! Timed waits (`retry_for` / `await_for` / `wait_pred_for` in `condsync`)
+//! need someone to notice that a sleeper's deadline has passed and wake it
+//! with [`WakeReason::Timeout`].  Spawning a background ticker thread would
+//! burden the common case (the paper's design goal is that condition
+//! synchronization costs nothing while nobody waits), so the wheel is driven
+//! **lazily** by threads that are already running:
+//!
+//! * committing writers poll it from the `wakeWaiters` path — behind the
+//!   existing empty-registry fast path, so the no-sleeper commit still costs
+//!   a single atomic load,
+//! * aborted transactions poll it before backing off (a spinning thread has
+//!   time to spare),
+//! * and the sleeper itself blocks with [`crate::sem::Semaphore::wait_deadline`],
+//!   which is the correctness backstop: even if no other thread ever runs,
+//!   the sleeper wakes itself at its deadline and claims the timeout.
+//!
+//! The wheel therefore only affects *promptness* (a busy system delivers
+//! timeouts without waiting for the sleeper's own semaphore to expire) and
+//! *accounting* (timer ticks show up in [`crate::stats::TxStats`]); it is
+//! never the only thing standing between a sleeper and its deadline.
+//!
+//! # Structure
+//!
+//! Classic hashed wheel: time is divided into coarse ticks
+//! ([`TimerConfig::tick_micros`]); a deadline hashes to slot
+//! `tick(deadline) & mask` over a power-of-two slot array.  [`TimerWheel::poll`]
+//! advances a shared cursor from the last processed tick to the current one
+//! and visits each slot in between (capped at one full lap), expiring
+//! entries whose deadline has passed and discarding entries whose waiter was
+//! already claimed by a writer or a cancel.  Deadlines further than one lap
+//! away simply stay in their slot and are re-examined once per lap, which is
+//! correct because expiry compares the stored [`Waiter::deadline`] instant,
+//! not the slot index.
+//!
+//! Claiming is the same compare-and-swap used by writers
+//! ([`Waiter::claim`]), so a sleeper whose deadline races with a wake-up is
+//! still woken exactly once, with exactly one reason.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::TimerConfig;
+use crate::lock::Mutex;
+use crate::waitlist::{Waiter, WakeReason};
+
+/// What one [`TimerWheel::poll`] accomplished, for statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimerPoll {
+    /// Ticks the cursor advanced (0 when another poller got there first or
+    /// no tick boundary has passed).
+    pub ticks: u64,
+    /// Waiters claimed with [`WakeReason::Timeout`] and signalled.
+    pub expired: u64,
+}
+
+/// The lazily driven hashed timer wheel (see the module docs).
+#[derive(Debug)]
+pub struct TimerWheel {
+    /// Construction instant; ticks count from here.
+    epoch: Instant,
+    /// Microseconds per tick (≥ 1).
+    tick_micros: u64,
+    /// One mutex-protected list of armed waiters per slot.
+    slots: Box<[Mutex<Vec<Arc<Waiter>>>]>,
+    mask: u64,
+    /// Number of currently armed entries; the poll fast path is one load of
+    /// this count.
+    armed: AtomicUsize,
+    /// The last tick fully processed by a poll.
+    cursor: AtomicU64,
+}
+
+impl TimerWheel {
+    /// Builds a wheel from `config` (slot count rounded up to a power of
+    /// two, minimum 2; tick length clamped to at least 1µs).
+    pub fn new(config: TimerConfig) -> Self {
+        let slots = config.slots.next_power_of_two().max(2);
+        TimerWheel {
+            epoch: Instant::now(),
+            tick_micros: config.tick_micros.max(1),
+            slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
+            mask: slots as u64 - 1,
+            armed: AtomicUsize::new(0),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the wheel.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently armed entries.
+    pub fn armed(&self) -> usize {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// Fast check used by pollers: is any timer armed?  One atomic load.
+    #[inline]
+    pub fn idle(&self) -> bool {
+        self.armed.load(Ordering::Acquire) == 0
+    }
+
+    /// The coarse tick an instant falls into.
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.epoch).as_micros() as u64) / self.tick_micros
+    }
+
+    fn slot_for(&self, deadline: Instant) -> &Mutex<Vec<Arc<Waiter>>> {
+        &self.slots[(self.tick_of(deadline) & self.mask) as usize]
+    }
+
+    /// Registers `w` (which must carry a deadline) for expiry delivery.
+    ///
+    /// The caller must have already registered the waiter in the
+    /// [`crate::waitlist::WaitList`] — arming is an optimisation layered on
+    /// top of a published waiter, never a substitute for publication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waiter has no deadline.
+    pub fn arm(&self, w: &Arc<Waiter>) {
+        let deadline = w.deadline.expect("arming a waiter without a deadline");
+        if self.armed.fetch_add(1, Ordering::AcqRel) == 0 {
+            // The wheel was idle, so nothing behind the current tick can be
+            // armed: fast-forward the cursor so the next poll does not walk
+            // a lap of empty slots to catch up.
+            self.cursor
+                .fetch_max(self.tick_of(Instant::now()), Ordering::AcqRel);
+        }
+        self.slot_for(deadline).lock().push(Arc::clone(w));
+    }
+
+    /// Removes `w` from its slot (no-op if it is not armed, e.g. because a
+    /// poll already expired it).  Called by the sleeper after it wakes, so
+    /// stale entries never outlive their sleep.
+    pub fn disarm(&self, w: &Arc<Waiter>) {
+        let Some(deadline) = w.deadline else { return };
+        let mut list = self.slot_for(deadline).lock();
+        let before = list.len();
+        list.retain(|x| !Arc::ptr_eq(x, w));
+        if list.len() != before {
+            self.armed.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Advances the wheel to `now`, claiming and signalling every armed
+    /// waiter whose deadline has passed.
+    ///
+    /// Safe to call from any thread at any time; concurrent polls race on
+    /// the cursor and exactly one advances it per tick range.  The cost is
+    /// one atomic load when no timer is armed.
+    pub fn poll(&self, now: Instant) -> TimerPoll {
+        let mut out = TimerPoll::default();
+        if self.idle() {
+            return out;
+        }
+        let now_tick = self.tick_of(now);
+        let cur = self.cursor.load(Ordering::Acquire);
+        if now_tick <= cur
+            || self
+                .cursor
+                .compare_exchange(cur, now_tick, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+        {
+            return out;
+        }
+        out.ticks = now_tick - cur;
+        // Visiting more than one lap would revisit slots; cap the walk.
+        let span = out.ticks.min(self.slots.len() as u64);
+        for t in (now_tick - span + 1)..=now_tick {
+            let slot = &self.slots[(t & self.mask) as usize];
+            let mut list = slot.lock();
+            if list.is_empty() {
+                continue;
+            }
+            list.retain(|w| {
+                if !w.is_asleep() {
+                    // Already woken or cancelled; drop the stale entry.
+                    self.armed.fetch_sub(1, Ordering::AcqRel);
+                    return false;
+                }
+                match w.deadline {
+                    Some(d) if d <= now => {
+                        if w.claim(WakeReason::Timeout) {
+                            w.sem.post();
+                            out.expired += 1;
+                        }
+                        self.armed.fetch_sub(1, Ordering::AcqRel);
+                        false
+                    }
+                    // Deadline in a later lap of this slot: keep waiting.
+                    _ => true,
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use crate::addr::Addr;
+    use crate::ctl::WaitCondition;
+    use crate::sem::Semaphore;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(TimerConfig {
+            slots: 8,
+            tick_micros: 100,
+        })
+    }
+
+    fn timed_waiter(deadline: Instant) -> Arc<Waiter> {
+        Waiter::with_deadline(
+            0,
+            WaitCondition::ValuesChanged(vec![(Addr(1), 0)]),
+            Arc::new(Semaphore::new()),
+            Some(deadline),
+        )
+    }
+
+    #[test]
+    fn config_rounds_slots_and_clamps_tick() {
+        let w = TimerWheel::new(TimerConfig {
+            slots: 5,
+            tick_micros: 0,
+        });
+        assert_eq!(w.slot_count(), 8);
+        assert_eq!(w.tick_micros, 1);
+        assert!(w.idle());
+    }
+
+    #[test]
+    fn poll_with_nothing_armed_is_a_noop() {
+        let w = wheel();
+        let p = w.poll(Instant::now() + Duration::from_secs(1));
+        assert_eq!(p, TimerPoll::default());
+    }
+
+    #[test]
+    fn expired_deadline_is_claimed_exactly_once() {
+        let w = wheel();
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let timed = timed_waiter(deadline);
+        w.arm(&timed);
+        assert_eq!(w.armed(), 1);
+
+        // Before the deadline nothing fires.
+        let p = w.poll(deadline - Duration::from_millis(1));
+        assert_eq!(p.expired, 0);
+        assert!(timed.is_asleep());
+
+        // At/after the deadline the waiter is claimed and signalled once,
+        // no matter how often the wheel is polled afterwards.
+        let p = w.poll(deadline + Duration::from_millis(1));
+        assert_eq!(p.expired, 1);
+        assert_eq!(timed.wake_reason(), Some(WakeReason::Timeout));
+        assert_eq!(timed.sem.permits(), 1);
+        assert_eq!(w.armed(), 0);
+        for extra in 2..5u64 {
+            let p = w.poll(deadline + Duration::from_millis(extra));
+            assert_eq!(p.expired, 0);
+        }
+        assert_eq!(timed.sem.permits(), 1, "never double-signalled");
+    }
+
+    #[test]
+    fn stale_entries_are_dropped_without_signalling() {
+        let w = wheel();
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let timed = timed_waiter(deadline);
+        w.arm(&timed);
+        // A writer wins the race and claims the waiter first.
+        assert!(timed.claim(WakeReason::Woken));
+        let p = w.poll(deadline + Duration::from_millis(5));
+        assert_eq!(p.expired, 0, "claimed waiters must not be re-signalled");
+        assert_eq!(timed.sem.permits(), 0);
+        assert_eq!(w.armed(), 0, "stale entry cleaned up");
+    }
+
+    #[test]
+    fn disarm_removes_the_entry() {
+        let w = wheel();
+        let timed = timed_waiter(Instant::now() + Duration::from_millis(2));
+        w.arm(&timed);
+        assert_eq!(w.armed(), 1);
+        w.disarm(&timed);
+        assert_eq!(w.armed(), 0);
+        // Disarming twice (or disarming an unarmed waiter) is harmless.
+        w.disarm(&timed);
+        assert_eq!(w.armed(), 0);
+        let p = w.poll(Instant::now() + Duration::from_secs(1));
+        assert_eq!(p.expired, 0);
+    }
+
+    #[test]
+    fn deadlines_beyond_one_lap_wait_for_their_lap() {
+        let w = wheel(); // 8 slots x 100µs = 800µs per lap
+        let start = Instant::now();
+        let far = start + Duration::from_millis(10); // many laps out
+        let timed = timed_waiter(far);
+        w.arm(&timed);
+        // Sweeping a full lap early must not expire it.
+        let p = w.poll(start + Duration::from_millis(1));
+        assert_eq!(p.expired, 0);
+        assert!(timed.is_asleep());
+        assert_eq!(w.armed(), 1, "future-lap entry stays armed");
+        // Once its instant passes, it fires.
+        let p = w.poll(far + Duration::from_millis(1));
+        assert_eq!(p.expired, 1);
+        assert_eq!(timed.wake_reason(), Some(WakeReason::Timeout));
+    }
+
+    #[test]
+    fn concurrent_polls_expire_each_waiter_once() {
+        let w = Arc::new(TimerWheel::new(TimerConfig {
+            slots: 16,
+            tick_micros: 50,
+        }));
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let waiters: Vec<_> = (0..16).map(|_| timed_waiter(deadline)).collect();
+        for timed in &waiters {
+            w.arm(timed);
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                let mut expired = 0;
+                for _ in 0..10 {
+                    expired += w.poll(Instant::now()).expired;
+                    std::thread::yield_now();
+                }
+                expired
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 16, "every waiter expires exactly once in total");
+        for timed in &waiters {
+            assert_eq!(timed.sem.permits(), 1);
+            assert_eq!(timed.wake_reason(), Some(WakeReason::Timeout));
+        }
+        assert_eq!(w.armed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a deadline")]
+    fn arming_an_unbounded_waiter_is_rejected() {
+        let w = wheel();
+        let unbounded = Waiter::new(
+            0,
+            WaitCondition::ValuesChanged(vec![(Addr(1), 0)]),
+            Arc::new(Semaphore::new()),
+        );
+        w.arm(&unbounded);
+    }
+}

@@ -8,11 +8,13 @@
 //! hook needed by transaction-safe condition variables.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::addr::Addr;
 use crate::ctl::{TxCtl, TxResult};
 use crate::system::TmSystem;
 use crate::thread::ThreadCtx;
+use crate::waitlist::WakeReason;
 
 /// The execution mode of the current transaction attempt.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -49,6 +51,19 @@ pub struct TxCommon {
     /// How many times this transaction has been attempted (for backoff and
     /// the HTM fallback policy).
     pub attempts: u32,
+    /// How the transaction's most recent deschedule ended, set by the driver
+    /// loop when it re-executes the body after a sleep.  `None` until the
+    /// transaction deschedules for the first time.  This is the hand-off
+    /// that lets a timed wait observe its own timeout: the body reads it
+    /// through `condsync::wake_reason` / `condsync::timed_out` and decides
+    /// whether to give up instead of waiting again.
+    pub wake_reason: Option<WakeReason>,
+    /// Deadline requested by a timed wait construct (`retry_for` and
+    /// friends) during *this* attempt; the driver reads it when the body
+    /// requests a deschedule and forwards it to `deschedule_until`.  Plain
+    /// (unbounded) constructs reset it to `None`, so each deschedule request
+    /// carries exactly the deadline of the construct that raised it.
+    pub wait_deadline: Option<Instant>,
 }
 
 impl TxCommon {
@@ -59,6 +74,8 @@ impl TxCommon {
             mode,
             waitset: Vec::new(),
             attempts,
+            wake_reason: None,
+            wait_deadline: None,
         }
     }
 

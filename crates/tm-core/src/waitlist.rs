@@ -32,8 +32,9 @@
 //!   a single atomic load of the global count, so in-flight (hardware)
 //!   transactions pay nothing for the mechanism.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::lock::Mutex;
 
@@ -41,41 +42,113 @@ use crate::ctl::WaitCondition;
 use crate::sem::Semaphore;
 use crate::thread::ThreadId;
 
+/// Why a descheduled (sleeping) transaction was re-scheduled.
+///
+/// Exactly one reason is recorded per sleep: the first caller of
+/// [`Waiter::claim`] wins, every later claim fails, and the sleeper reads the
+/// recorded reason after its semaphore wait returns.  The reason is then
+/// handed to the re-executed transaction through
+/// [`crate::tx::TxCommon::wake_reason`], so a timed wait can distinguish
+/// "my condition was established" from "my deadline passed" from "someone
+/// cancelled me".
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum WakeReason {
+    /// A committing writer (or the deschedule double-check) found the wait
+    /// condition established.
+    Woken = 1,
+    /// The waiter's deadline passed before the condition was established
+    /// (delivered by the timer wheel, a committing writer's lazy poll, or
+    /// the sleeper's own semaphore timeout).
+    Timeout = 2,
+    /// Another thread cancelled the wait (`condsync::cancel`).
+    Cancelled = 3,
+}
+
+impl WakeReason {
+    /// A short human-readable label for statistics and tracing.
+    pub fn label(self) -> &'static str {
+        match self {
+            WakeReason::Woken => "woken",
+            WakeReason::Timeout => "timeout",
+            WakeReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// `Waiter::state` value while the waiter still needs to be woken; any other
+/// value is the `WakeReason` discriminant that claimed it.
+const ASLEEP: u8 = 0;
+
 /// A published record of a sleeping (descheduled) transaction.
 #[derive(Debug)]
 pub struct Waiter {
     /// The descheduled thread.
     pub thread: ThreadId,
-    /// True while the thread still needs to be woken.  Cleared exactly once
-    /// by whoever wakes it (waiter itself during the double-check, or a
-    /// committing writer), so a waiter is signalled at most once per sleep.
-    pub asleep: AtomicBool,
+    /// [`ASLEEP`] while the thread still needs to be woken, otherwise the
+    /// discriminant of the [`WakeReason`] that claimed it.  Transitions away
+    /// from [`ASLEEP`] exactly once (compare-and-swap in [`Waiter::claim`]),
+    /// so a waiter is signalled at most once per sleep and the recorded
+    /// reason never changes afterwards.
+    state: AtomicU8,
     /// The condition under which the thread should be re-scheduled.
     pub condition: WaitCondition,
     /// Semaphore the thread blocks on.
     pub sem: Arc<Semaphore>,
+    /// The instant after which the wait should resolve as
+    /// [`WakeReason::Timeout`]; `None` for unbounded waits.
+    pub deadline: Option<Instant>,
 }
 
 impl Waiter {
-    /// Creates a new waiter record (initially marked asleep).
+    /// Creates a new unbounded waiter record (initially marked asleep).
     pub fn new(thread: ThreadId, condition: WaitCondition, sem: Arc<Semaphore>) -> Arc<Self> {
+        Waiter::with_deadline(thread, condition, sem, None)
+    }
+
+    /// Creates a waiter record carrying an optional expiry deadline.
+    pub fn with_deadline(
+        thread: ThreadId,
+        condition: WaitCondition,
+        sem: Arc<Semaphore>,
+        deadline: Option<Instant>,
+    ) -> Arc<Self> {
         Arc::new(Waiter {
             thread,
-            asleep: AtomicBool::new(true),
+            state: AtomicU8::new(ASLEEP),
             condition,
             sem,
+            deadline,
         })
     }
 
-    /// Attempts to claim the right to wake this waiter; returns true for
-    /// exactly one caller.
+    /// Attempts to claim the right to wake this waiter with the given
+    /// reason; returns true for exactly one caller across all reasons.
+    pub fn claim(&self, reason: WakeReason) -> bool {
+        self.state
+            .compare_exchange(ASLEEP, reason as u8, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Attempts to claim the right to wake this waiter as
+    /// [`WakeReason::Woken`]; returns true for exactly one caller.
     pub fn claim_wake(&self) -> bool {
-        self.asleep.swap(false, Ordering::AcqRel)
+        self.claim(WakeReason::Woken)
     }
 
     /// True if the waiter has not yet been claimed for wake-up.
     pub fn is_asleep(&self) -> bool {
-        self.asleep.load(Ordering::Acquire)
+        self.state.load(Ordering::Acquire) == ASLEEP
+    }
+
+    /// The reason this waiter was claimed, or `None` while still asleep.
+    pub fn wake_reason(&self) -> Option<WakeReason> {
+        match self.state.load(Ordering::Acquire) {
+            ASLEEP => None,
+            x if x == WakeReason::Timeout as u8 => Some(WakeReason::Timeout),
+            x if x == WakeReason::Cancelled as u8 => Some(WakeReason::Cancelled),
+            _ => Some(WakeReason::Woken),
+        }
     }
 }
 
@@ -314,6 +387,21 @@ impl WaitList {
     pub fn snapshot(&self) -> Vec<Arc<Waiter>> {
         self.scan(&WakeSet::All).waiters
     }
+
+    /// The still-asleep waiter published by `thread`, if any.
+    ///
+    /// This is the discovery side of the cancellation API
+    /// (`condsync::cancel_thread`): a thread blocked in a deschedule can be
+    /// looked up by its id and claimed with [`WakeReason::Cancelled`].  It
+    /// walks every shard, so it belongs on control paths, not hot paths.
+    pub fn find_by_thread(&self, thread: ThreadId) -> Option<Arc<Waiter>> {
+        if self.is_empty() {
+            return None;
+        }
+        self.snapshot()
+            .into_iter()
+            .find(|w| w.thread == thread && w.is_asleep())
+    }
 }
 
 #[cfg(test)]
@@ -453,9 +541,56 @@ mod tests {
     fn claim_wake_succeeds_exactly_once() {
         let w = dummy_waiter(0);
         assert!(w.is_asleep());
+        assert!(w.wake_reason().is_none());
         assert!(w.claim_wake());
         assert!(!w.claim_wake());
         assert!(!w.is_asleep());
+        assert_eq!(w.wake_reason(), Some(WakeReason::Woken));
+    }
+
+    #[test]
+    fn first_claim_fixes_the_wake_reason() {
+        for reason in [
+            WakeReason::Woken,
+            WakeReason::Timeout,
+            WakeReason::Cancelled,
+        ] {
+            let w = dummy_waiter(0);
+            assert!(w.claim(reason));
+            // Later claims with any reason fail and do not overwrite.
+            assert!(!w.claim(WakeReason::Woken));
+            assert!(!w.claim(WakeReason::Timeout));
+            assert!(!w.claim(WakeReason::Cancelled));
+            assert_eq!(w.wake_reason(), Some(reason));
+        }
+    }
+
+    #[test]
+    fn find_by_thread_returns_only_sleeping_waiters() {
+        let r = WaitList::new(8);
+        assert!(r.find_by_thread(0).is_none());
+        let w = dummy_waiter(7);
+        r.register(Arc::clone(&w), &[3]);
+        assert!(r.find_by_thread(9).is_none());
+        let found = r.find_by_thread(7).expect("registered waiter");
+        assert!(Arc::ptr_eq(&found, &w));
+        // Once claimed, the waiter no longer counts as cancellable.
+        assert!(w.claim(WakeReason::Cancelled));
+        assert!(r.find_by_thread(7).is_none());
+        r.deregister(&w, &[3]);
+    }
+
+    #[test]
+    fn deadline_carrying_waiters_expose_their_deadline() {
+        let soon = Instant::now() + std::time::Duration::from_millis(5);
+        let w = Waiter::with_deadline(
+            0,
+            WaitCondition::ValuesChanged(vec![(Addr(1), 0)]),
+            Arc::new(Semaphore::new()),
+            Some(soon),
+        );
+        assert_eq!(w.deadline, Some(soon));
+        assert!(dummy_waiter(0).deadline.is_none());
     }
 
     #[test]

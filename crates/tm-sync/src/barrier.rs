@@ -10,9 +10,25 @@
 //! for the generation to advance.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use condsync::Mechanism;
 use tm_core::{Addr, ThreadCtx, TmRt, TmSystem, TmVar, Tx, TxResult};
+
+/// How a timed barrier wait ([`TmBarrier::wait_for`]) ended.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BarrierWait {
+    /// This thread was the last arriver and released the phase.
+    Released,
+    /// Another thread released the phase while this one waited.
+    Passed,
+    /// The deadline passed (or the wait was cancelled) before the phase
+    /// ended.  The arrival still counts: the barrier's arrival counter was
+    /// incremented and is *not* rolled back, so the remaining participants
+    /// can still complete the phase — this is the watchdog contract, "stop
+    /// waiting" rather than "un-arrive".
+    TimedOut,
+}
 
 /// A reusable transactional barrier for a fixed number of participants.
 #[derive(Debug, Clone)]
@@ -104,6 +120,71 @@ impl TmBarrier {
             }
         });
         false
+    }
+
+    /// Waits until all participants have arrived, giving up once `timeout`
+    /// elapses: a watchdogged barrier.  See [`BarrierWait`] for the exact
+    /// semantics of each outcome (in particular, a timed-out waiter's
+    /// arrival still counts towards the phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms without timed-wait support (`Pthreads`,
+    /// `TMCondVar`, `Retry-Orig`, `Restart`).
+    pub fn wait_for<R: TmRt + ?Sized>(
+        &self,
+        rt: &R,
+        thread: &Arc<ThreadCtx>,
+        mechanism: Mechanism,
+        timeout: Duration,
+    ) -> BarrierWait {
+        // Phase 1: arrive (identical to the unbounded form).
+        let (last, my_generation) = rt.atomically(thread, |tx| {
+            let generation = self.generation.get(tx)?;
+            let arrived = self.arrived.get_for_update(tx)? + 1;
+            if arrived == self.parties {
+                self.arrived.set(tx, 0)?;
+                self.generation.set(tx, generation + 1)?;
+                Ok((true, generation))
+            } else {
+                self.arrived.set(tx, arrived)?;
+                Ok((false, generation))
+            }
+        });
+        if last {
+            return BarrierWait::Released;
+        }
+        // Phase 2: wait for the generation to advance, bounded by the
+        // deadline.
+        let released = rt.atomically(thread, |tx| {
+            let generation = self.generation.get(tx)?;
+            if generation != my_generation {
+                // This wait resolved (possibly despite a recorded timeout):
+                // consume the reason so a later wait starts fresh.
+                condsync::clear_wake_reason(tx);
+                return Ok(true);
+            }
+            if condsync::wait_interrupted(tx) {
+                condsync::clear_wake_reason(tx);
+                return Ok(false);
+            }
+            match mechanism {
+                Mechanism::Retry => condsync::retry_for(tx, timeout),
+                Mechanism::Await => condsync::await_one_for(tx, self.generation.addr(), timeout),
+                Mechanism::WaitPred => condsync::wait_pred_for(
+                    tx,
+                    pred_generation_advanced,
+                    &[self.generation.addr().0 as u64, my_generation],
+                    timeout,
+                ),
+                other => panic!("{other} does not support timed waits"),
+            }
+        });
+        if released {
+            BarrierWait::Passed
+        } else {
+            BarrierWait::TimedOut
+        }
     }
 }
 

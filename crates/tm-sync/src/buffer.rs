@@ -3,6 +3,7 @@
 //! synchronization mechanism.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use condsync::{Mechanism, TmCondVar};
 use tm_core::{Addr, TmArray, TmSystem, TmVar, Tx, TxResult};
@@ -10,6 +11,32 @@ use tm_core::{Addr, TmArray, TmSystem, TmVar, Tx, TxResult};
 /// The shared state of Algorithm 2: a circular array plus its indices and
 /// element count, all living in the transactional heap, together with the two
 /// condition variables used only by the `TMCondVar` mechanism.
+///
+/// # Examples
+///
+/// A producer and a consumer coordinating through `Retry` — the consumer
+/// sleeps while the buffer is empty and a producer's commit wakes it:
+///
+/// ```
+/// use std::sync::Arc;
+/// use condsync::Mechanism;
+/// use tm_core::{TmConfig, TmRt, TmSystem};
+/// use tm_sync::TmBoundedBuffer;
+///
+/// let system = TmSystem::new(TmConfig::small());
+/// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+/// let buf = TmBoundedBuffer::new(&system, 4);
+///
+/// let (rt2, system2, buf2) = (Arc::clone(&rt), Arc::clone(&system), Arc::clone(&buf));
+/// let consumer = std::thread::spawn(move || {
+///     let th = system2.register_thread();
+///     rt2.atomically(&th, |tx| buf2.consume(Mechanism::Retry, tx))
+/// });
+///
+/// let th = system.register_thread();
+/// rt.atomically(&th, |tx| buf.produce(Mechanism::Retry, tx, 42));
+/// assert_eq!(consumer.join().unwrap(), 42);
+/// ```
 #[derive(Debug)]
 pub struct TmBoundedBuffer {
     cap: usize,
@@ -231,6 +258,90 @@ impl TmBoundedBuffer {
         }
     }
 
+    // ---- Timed variants --------------------------------------------------
+
+    /// `Produce(x)` bounded by `timeout`: returns `Ok(true)` once the
+    /// element is stored, or `Ok(false)` if the buffer stayed full past the
+    /// deadline (or the wait was cancelled) — the element is then *not*
+    /// stored and the transaction commits without effects.
+    ///
+    /// The deadline applies to each wait: a producer woken spuriously
+    /// (buffer full again by re-execution) waits again with a fresh
+    /// timeout.  Only the deschedule-based mechanisms support timed waits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms without timed-wait support (`Pthreads`,
+    /// `TMCondVar`, `Retry-Orig`, `Restart`).
+    pub fn produce_timeout(
+        &self,
+        mechanism: Mechanism,
+        tx: &mut dyn Tx,
+        x: u64,
+        timeout: Duration,
+    ) -> TxResult<bool> {
+        if self.full(tx)? {
+            // Re-check first, then give up: a timeout whose condition has
+            // meanwhile been established still succeeds (same contract as
+            // pthread_cond_timedwait callers re-testing their predicate).
+            if condsync::wait_interrupted(tx) {
+                condsync::clear_wake_reason(tx);
+                return Ok(false);
+            }
+            return match mechanism {
+                Mechanism::Retry => condsync::retry_for(tx, timeout),
+                Mechanism::Await => condsync::await_one_for(tx, self.count_addr(), timeout),
+                Mechanism::WaitPred => condsync::wait_pred_for(
+                    tx,
+                    pred_not_full,
+                    &[self.count.addr().0 as u64, self.cap as u64],
+                    timeout,
+                ),
+                other => panic!("{other} does not support timed waits"),
+            };
+        }
+        // This wait resolved (possibly despite a recorded timeout): consume
+        // the reason so a later wait in the same body starts fresh.
+        condsync::clear_wake_reason(tx);
+        self.put(tx, x)?;
+        Ok(true)
+    }
+
+    /// `Consume()` bounded by `timeout`: returns `Ok(Some(x))` once an
+    /// element is available, or `Ok(None)` if the buffer stayed empty past
+    /// the deadline (or the wait was cancelled).
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms without timed-wait support (`Pthreads`,
+    /// `TMCondVar`, `Retry-Orig`, `Restart`).
+    pub fn consume_timeout(
+        &self,
+        mechanism: Mechanism,
+        tx: &mut dyn Tx,
+        timeout: Duration,
+    ) -> TxResult<Option<u64>> {
+        if self.empty(tx)? {
+            if condsync::wait_interrupted(tx) {
+                condsync::clear_wake_reason(tx);
+                return Ok(None);
+            }
+            return match mechanism {
+                Mechanism::Retry => condsync::retry_for(tx, timeout),
+                Mechanism::Await => condsync::await_one_for(tx, self.count_addr(), timeout),
+                Mechanism::WaitPred => condsync::wait_pred_for(
+                    tx,
+                    pred_not_empty,
+                    &[self.count.addr().0 as u64],
+                    timeout,
+                ),
+                other => panic!("{other} does not support timed waits"),
+            };
+        }
+        condsync::clear_wake_reason(tx);
+        Ok(Some(self.get(tx)?))
+    }
+
     /// The composed `Produce1Consume2` of Algorithm 3 / §2.3: produce one
     /// element and atomically consume two.
     ///
@@ -439,6 +550,115 @@ mod tests {
             buf.produce(mech, &mut tx, 100 + i as u64).unwrap();
         }
         assert_eq!(buf.len_direct(&system), 4);
+    }
+
+    #[test]
+    fn timed_variants_operate_immediately_when_unblocked() {
+        let system = TmSystem::new(TmConfig::small());
+        let buf = TmBoundedBuffer::new(&system, 2);
+        let mut tx = direct_tx(&system);
+        let t = std::time::Duration::from_millis(5);
+        assert!(buf
+            .produce_timeout(Mechanism::Retry, &mut tx, 7, t)
+            .unwrap());
+        assert_eq!(
+            buf.consume_timeout(Mechanism::Await, &mut tx, t).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn timed_variants_request_deadline_carrying_descedules() {
+        let system = TmSystem::new(TmConfig::small());
+        let buf = TmBoundedBuffer::new(&system, 2);
+        let mut tx = direct_tx(&system);
+        let t = std::time::Duration::from_millis(50);
+        // Empty buffer: a timed consume must stash a deadline and request
+        // the same deschedule as its unbounded sibling.
+        assert!(tx.common().wait_deadline.is_none());
+        assert!(matches!(
+            buf.consume_timeout(Mechanism::Retry, &mut tx, t),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::ReadSetValues))
+        ));
+        assert!(tx.common().wait_deadline.is_some());
+
+        // Once the driver reports the wait as interrupted, the re-executed
+        // body gives up instead of waiting again.
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Timeout);
+        assert_eq!(
+            buf.consume_timeout(Mechanism::Retry, &mut tx, t).unwrap(),
+            None
+        );
+        // ...unless the condition has meanwhile been established, in which
+        // case the late success wins over the recorded timeout.
+        buf.put(&mut tx, 9).unwrap();
+        assert_eq!(
+            buf.consume_timeout(Mechanism::Retry, &mut tx, t).unwrap(),
+            Some(9)
+        );
+
+        // A full buffer symmetrically bounds produce.
+        buf.put(&mut tx, 1).unwrap();
+        buf.put(&mut tx, 2).unwrap();
+        tx.common_mut().wake_reason = None;
+        assert!(matches!(
+            buf.produce_timeout(Mechanism::WaitPred, &mut tx, 3, t),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::Pred { .. }))
+        ));
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Cancelled);
+        assert!(!buf
+            .produce_timeout(Mechanism::WaitPred, &mut tx, 3, t)
+            .unwrap());
+    }
+
+    #[test]
+    fn resolved_waits_consume_the_wake_reason() {
+        // Composition: a first timed op that resolves (either way) must not
+        // leave a stale Timeout behind that short-circuits a later,
+        // independent wait in the same transaction body.
+        let system = TmSystem::new(TmConfig::small());
+        let a = TmBoundedBuffer::new(&system, 2);
+        let b = TmBoundedBuffer::new(&system, 2);
+        let mut tx = direct_tx(&system);
+        let t = std::time::Duration::from_millis(50);
+
+        // Op A timed out, but succeeds on re-execution (late success wins)…
+        a.put(&mut tx, 1).unwrap();
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Timeout);
+        assert_eq!(
+            a.consume_timeout(Mechanism::Retry, &mut tx, t).unwrap(),
+            Some(1)
+        );
+        // …so op B on the (empty) second buffer must WAIT, not give up.
+        assert!(matches!(
+            b.consume_timeout(Mechanism::Retry, &mut tx, t),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::ReadSetValues))
+        ));
+
+        // Give-up also consumes the reason.
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Timeout);
+        assert_eq!(
+            b.consume_timeout(Mechanism::Retry, &mut tx, t).unwrap(),
+            None
+        );
+        assert!(tx.common().wake_reason.is_none());
+        assert!(matches!(
+            b.consume_timeout(Mechanism::Retry, &mut tx, t),
+            Err(TxCtl::Deschedule(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support timed waits")]
+    fn timed_variants_reject_non_deschedule_mechanisms() {
+        let system = TmSystem::new(TmConfig::small());
+        let buf = TmBoundedBuffer::new(&system, 2);
+        let mut tx = direct_tx(&system);
+        let _ = buf.consume_timeout(
+            Mechanism::Restart,
+            &mut tx,
+            std::time::Duration::from_millis(1),
+        );
     }
 
     #[test]

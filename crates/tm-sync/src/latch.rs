@@ -9,6 +9,7 @@
 //! completion.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use condsync::Mechanism;
 use tm_core::{Addr, TmSystem, TmVar, Tx, TxResult};
@@ -96,6 +97,41 @@ impl TmLatch {
             Mechanism::Pthreads | Mechanism::TmCondVar => {
                 panic!("lock-based mechanisms wait outside transactions")
             }
+        }
+    }
+
+    /// From inside a transaction: wait for the latch to open, giving up
+    /// after `timeout`.  Returns `Ok(true)` if the latch is (or became)
+    /// open, `Ok(false)` if the deadline passed (or the wait was cancelled)
+    /// with the latch still closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms without timed-wait support (`Pthreads`,
+    /// `TMCondVar`, `Retry-Orig`, `Restart`).
+    pub fn wait_for(
+        &self,
+        mechanism: Mechanism,
+        tx: &mut dyn Tx,
+        timeout: Duration,
+    ) -> TxResult<bool> {
+        if self.is_open(tx)? {
+            // This wait resolved (possibly despite a recorded timeout):
+            // consume the reason so a later wait in the body starts fresh.
+            condsync::clear_wake_reason(tx);
+            return Ok(true);
+        }
+        if condsync::wait_interrupted(tx) {
+            condsync::clear_wake_reason(tx);
+            return Ok(false);
+        }
+        match mechanism {
+            Mechanism::Retry => condsync::retry_for(tx, timeout),
+            Mechanism::Await => condsync::await_one_for(tx, self.addr(), timeout),
+            Mechanism::WaitPred => {
+                condsync::wait_pred_for(tx, pred_latch_open, &[self.addr().0 as u64], timeout)
+            }
+            other => panic!("{other} does not support timed waits"),
         }
     }
 }
@@ -197,6 +233,26 @@ mod tests {
             latch.wait_open(Mechanism::Restart, &mut tx),
             Err(TxCtl::Abort(AbortReason::Explicit(_)))
         ));
+    }
+
+    #[test]
+    fn wait_for_passes_gives_up_or_requests_timed_wait() {
+        let system = TmSystem::new(TmConfig::small());
+        let latch = TmLatch::new(&system, 1);
+        let mut tx = direct_tx(&system);
+        let t = Duration::from_millis(20);
+        // Closed: requests a deadline-carrying deschedule.
+        assert!(matches!(
+            latch.wait_for(Mechanism::Retry, &mut tx, t),
+            Err(TxCtl::Deschedule(WaitSpec::ReadSetValues))
+        ));
+        assert!(tx.common().wait_deadline.is_some());
+        // The driver reported a timeout: give up.
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Timeout);
+        assert!(!latch.wait_for(Mechanism::Await, &mut tx, t).unwrap());
+        // Open latch passes immediately even after a timeout.
+        latch.count_down(&mut tx).unwrap();
+        assert!(latch.wait_for(Mechanism::WaitPred, &mut tx, t).unwrap());
     }
 
     #[test]

@@ -9,8 +9,16 @@
 //!
 //! The remaining structures (counter, queue, stack, barrier) are the building
 //! blocks of the PARSEC-like synthetic kernels in the `tm-workloads` crate.
+//!
+//! The blocking structures also expose **timed** operations built on the
+//! deadline-carrying waits of `condsync`
+//! ([`TmBoundedBuffer::produce_timeout`] / [`TmBoundedBuffer::consume_timeout`],
+//! [`TmQueue::pop_timeout`], [`TmBarrier::wait_for`], [`TmLatch::wait_for`]):
+//! each returns a "gave up" value instead of blocking past its deadline,
+//! which is what lossy consumers, deadline-bounded pipeline stages and
+//! watchdogged barriers are built from.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod barrier;
@@ -23,7 +31,7 @@ pub mod pthread;
 pub mod queue;
 pub mod stack;
 
-pub use barrier::TmBarrier;
+pub use barrier::{BarrierWait, TmBarrier};
 pub use buffer::TmBoundedBuffer;
 pub use cell::TmOnceCell;
 pub use counter::TmCounter;

@@ -5,6 +5,7 @@
 //! pipeline-style PARSEC kernels (dedup, ferret, x264).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use condsync::Mechanism;
 use tm_core::{Addr, TmSystem, TmVar, Tx, TxResult};
@@ -113,6 +114,45 @@ impl TmQueue {
             Mechanism::Pthreads | Mechanism::TmCondVar => {
                 panic!("lock-based mechanisms wait outside transactions")
             }
+        }
+    }
+
+    /// Dequeues, waiting at most `timeout` if the queue is empty: returns
+    /// `Ok(Some(v))` once an element arrives, or `Ok(None)` if the queue
+    /// stayed empty past the deadline (or the wait was cancelled).  This is
+    /// what a lossy pipeline stage uses to skip ahead instead of stalling
+    /// behind a slow upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mechanisms without timed-wait support (`Pthreads`,
+    /// `TMCondVar`, `Retry-Orig`, `Restart`).
+    pub fn pop_timeout(
+        &self,
+        mechanism: Mechanism,
+        tx: &mut dyn Tx,
+        timeout: Duration,
+    ) -> TxResult<Option<u64>> {
+        if let Some(v) = self.try_dequeue(tx)? {
+            // This wait resolved (possibly despite a recorded timeout):
+            // consume the reason so a later wait in the body starts fresh.
+            condsync::clear_wake_reason(tx);
+            return Ok(Some(v));
+        }
+        if condsync::wait_interrupted(tx) {
+            condsync::clear_wake_reason(tx);
+            return Ok(None);
+        }
+        match mechanism {
+            Mechanism::Retry => condsync::retry_for(tx, timeout),
+            Mechanism::Await => condsync::await_one_for(tx, self.len_addr(), timeout),
+            Mechanism::WaitPred => condsync::wait_pred_for(
+                tx,
+                pred_queue_nonempty,
+                &[self.len_addr().0 as u64],
+                timeout,
+            ),
+            other => panic!("{other} does not support timed waits"),
         }
     }
 }
@@ -228,6 +268,28 @@ mod tests {
             q.dequeue_waiting(Mechanism::WaitPred, &mut tx),
             Err(TxCtl::Deschedule(tm_core::WaitSpec::Pred { .. }))
         ));
+    }
+
+    #[test]
+    fn pop_timeout_pops_or_requests_timed_wait() {
+        let system = TmSystem::new(TmConfig::small());
+        let q = TmQueue::new(&system);
+        let mut tx = direct_tx(&system);
+        let t = std::time::Duration::from_millis(20);
+        q.enqueue(&mut tx, 5).unwrap();
+        assert_eq!(
+            q.pop_timeout(Mechanism::Retry, &mut tx, t).unwrap(),
+            Some(5)
+        );
+        // Empty: requests a deadline-carrying deschedule...
+        assert!(matches!(
+            q.pop_timeout(Mechanism::Await, &mut tx, t),
+            Err(TxCtl::Deschedule(tm_core::WaitSpec::Addrs(_)))
+        ));
+        assert!(tx.common().wait_deadline.is_some());
+        // ...and gives up once the driver reports the wait interrupted.
+        tx.common_mut().wake_reason = Some(tm_core::WakeReason::Timeout);
+        assert_eq!(q.pop_timeout(Mechanism::Await, &mut tx, t).unwrap(), None);
     }
 
     #[test]

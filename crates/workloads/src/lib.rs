@@ -11,13 +11,17 @@
 //!   (Figures 2.6–2.8), plus [`loc`], the Table 2.1 lines-of-code
 //!   accounting.
 //!
+//! Beyond the paper, [`timeout`] exercises the timed-wait extension
+//! (`consume_timeout` over a stalling pipeline; lossy consumers that give
+//! up after repeated deadline misses).
+//!
 //! Both families run every combination of the seven mechanisms
 //! ([`condsync::Mechanism`]) and the three runtime configurations
 //! ([`RuntimeKind`]); results are collected into the serializable records of
 //! [`report`], which the `tm-bench` figure binaries render as the same rows
 //! and series the paper plots.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod json;
@@ -26,9 +30,11 @@ pub mod parsec;
 pub mod pc;
 pub mod report;
 pub mod runtime;
+pub mod timeout;
 
 pub use loc::{measured_table, paper_table, LocRow};
 pub use parsec::{KernelParams, KernelResult, ParsecApp, Scale};
 pub use pc::{run_pc, run_pc_trials, PcParams, PcResult};
 pub use report::{DataPoint, Panel, Report, Series};
 pub use runtime::{AnyRuntime, RuntimeKind};
+pub use timeout::{run_timeout_scenario, TimeoutParams, TimeoutResult};

@@ -8,7 +8,7 @@
 //! of workers transforms them into a middle queue, and a second bank of
 //! workers finishes them and folds the result into a shared checksum.
 //!
-//! Per-item work is [`common::compute`], standing in for image segmentation
+//! Per-item work is [`super::common::compute`], standing in for image segmentation
 //! and feature extraction.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

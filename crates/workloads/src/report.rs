@@ -169,7 +169,9 @@ impl Panel {
 
     /// One line per mechanism summarising targeted-wake effectiveness:
     /// waiters whose conditions were evaluated versus registry shards the
-    /// writer never had to visit.  Empty when the panel did no wake work.
+    /// writer never had to visit, plus the timed-wait counters (deadline
+    /// expiries, cancellations, lazy timer-wheel ticks).  Empty when the
+    /// panel did no wake work.
     pub fn render_wake_stats(&self) -> String {
         let mut out = String::new();
         for s in &self.series {
@@ -177,19 +179,26 @@ impl Panel {
                 .points
                 .iter()
                 .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
-            if stats.wake_checks == 0 && stats.wake_shard_scans == 0 && stats.wake_shard_skips == 0
+            if stats.wake_checks == 0
+                && stats.wake_shard_scans == 0
+                && stats.wake_shard_skips == 0
+                && stats.wake_timeouts == 0
+                && stats.wake_cancels == 0
             {
                 continue;
             }
             let _ = writeln!(
                 out,
-                "# wake-path {:>10}: waiters scanned {:>8}  wakeups {:>8}  shards scanned {:>8}  shards skipped {:>10}  targeted commits {:>8}",
+                "# wake-path {:>10}: waiters scanned {:>8}  wakeups {:>8}  shards scanned {:>8}  shards skipped {:>10}  targeted commits {:>8}  timeouts {:>8}  cancels {:>6}  timer ticks {:>8}",
                 s.mechanism.label(),
                 stats.wake_checks,
                 stats.wakeups,
                 stats.wake_shard_scans,
                 stats.wake_shard_skips,
                 stats.wake_targeted,
+                stats.wake_timeouts,
+                stats.wake_cancels,
+                stats.timer_ticks,
             );
         }
         out
@@ -550,16 +559,34 @@ mod tests {
         with_wakes.stats.wake_shard_scans = 5;
         with_wakes.stats.wake_shard_skips = 200;
         with_wakes.stats.wake_targeted = 7;
+        with_wakes.stats.wake_timeouts = 4;
+        with_wakes.stats.wake_cancels = 1;
+        with_wakes.stats.timer_ticks = 99;
         panel.series_mut(Mechanism::Retry).push(with_wakes);
         let text = panel.render();
         assert!(text.contains("wake-path"));
         assert!(text.contains("waiters scanned       12"));
         assert!(text.contains("shards skipped        200"));
         assert!(text.contains("targeted commits        7"));
+        assert!(text.contains("timeouts        4"));
+        assert!(text.contains("cancels      1"));
+        assert!(text.contains("timer ticks       99"));
         assert!(
             !text.contains("Pthreads: waiters"),
             "series without wake work stay out of the wake block"
         );
+    }
+
+    #[test]
+    fn pure_timeout_work_is_enough_to_render_a_wake_line() {
+        // A lossy consumer can time out without any writer ever scanning a
+        // shard; its series must still surface the timeout counters.
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        let mut p = point(4, 1.0);
+        p.stats.wake_timeouts = 6;
+        panel.series_mut(Mechanism::Await).push(p);
+        let text = panel.render_wake_stats();
+        assert!(text.contains("timeouts        6"));
     }
 
     #[test]

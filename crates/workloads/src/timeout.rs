@@ -1,0 +1,368 @@
+//! `timeout_scenarios` — workloads for timed and cancellable waiting.
+//!
+//! The paper's evaluation only exercises unbounded blocking; this family
+//! covers the workload class the timed waits of `condsync` open up:
+//!
+//! * **lossy consumers** — consumers poll a bounded buffer with
+//!   [`TmBoundedBuffer::consume_timeout`] and give up after a run of
+//!   timeouts instead of stalling forever,
+//! * **deadline-bounded pipelines** — producers stall periodically
+//!   (simulating a slow upstream stage), and consumers ride out the stalls
+//!   as timeouts rather than blocked threads.
+//!
+//! One scenario shape covers both: `p` producers push `total_items` into a
+//! bounded buffer, sleeping for [`TimeoutParams::stall`] after every
+//! [`TimeoutParams::stall_every`] items (and once before the first item, so
+//! a consumer-side timeout is observed even on fast machines); `c` consumers
+//! drain the buffer with `consume_timeout(op_timeout)`, counting how often
+//! the deadline fired, and optionally giving up after
+//! [`TimeoutParams::give_up_after`] consecutive timeouts.  Conservation is
+//! checked the same way the producer/consumer benchmark does: the sum of
+//! consumed values must equal the sum of produced values when everything is
+//! drained.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use condsync::Mechanism;
+use tm_core::{StatsSnapshot, TmConfig};
+use tm_sync::TmBoundedBuffer;
+
+use crate::runtime::RuntimeKind;
+
+/// Parameters of one timed-wait scenario.
+#[derive(Copy, Clone, Debug)]
+pub struct TimeoutParams {
+    /// Number of producer threads (0 makes the scenario pure give-up: every
+    /// consumer times out until it abandons the wait).
+    pub producers: usize,
+    /// Number of consumer threads.
+    pub consumers: usize,
+    /// Bounded-buffer capacity.
+    pub buffer_size: usize,
+    /// Total items produced (split across producers, remainder to the
+    /// first ones).
+    pub total_items: u64,
+    /// The condition-synchronization mechanism used for every wait.  Must be
+    /// deschedule-based (`Retry`, `Await` or `WaitPred`): the others have no
+    /// timed variants.
+    pub mechanism: Mechanism,
+    /// Deadline of each individual `consume_timeout` call.
+    pub op_timeout: Duration,
+    /// Producers sleep after every this-many items (0 = only the initial
+    /// stall).
+    pub stall_every: u64,
+    /// How long each producer stall lasts.
+    pub stall: Duration,
+    /// Consecutive timeouts after which a consumer abandons the drain
+    /// (0 = never give up; requires producers > 0 to terminate).
+    pub give_up_after: u32,
+}
+
+impl TimeoutParams {
+    /// A small configuration suitable for unit tests and CI smoke runs.
+    pub fn smoke(mechanism: Mechanism) -> Self {
+        TimeoutParams {
+            producers: 1,
+            consumers: 2,
+            buffer_size: 4,
+            total_items: 64,
+            mechanism,
+            op_timeout: Duration::from_millis(5),
+            stall_every: 16,
+            stall: Duration::from_millis(25),
+            give_up_after: 0,
+        }
+    }
+
+    /// The items producer `i` of `producers` is responsible for (0 when the
+    /// scenario has no producers).
+    pub fn items_for_producer(&self, i: usize) -> u64 {
+        let p = self.producers as u64;
+        if p == 0 {
+            return 0;
+        }
+        let base = self.total_items / p;
+        let extra = u64::from((i as u64) < self.total_items % p);
+        base + extra
+    }
+}
+
+/// Result of one timed-wait scenario run.
+#[derive(Debug, Clone)]
+pub struct TimeoutResult {
+    /// The parameters that produced this result.
+    pub params: TimeoutParams,
+    /// The runtime that executed the transactions.
+    pub runtime: RuntimeKind,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Items actually produced.
+    pub produced: u64,
+    /// Items actually consumed (≤ produced; less when consumers gave up).
+    pub consumed: u64,
+    /// `consume_timeout` calls that returned `None` (deadline fired).
+    pub timeouts: u64,
+    /// Conservation check, meaningful in *every* outcome (including give-up
+    /// runs): the sum of consumed values plus the values left in the buffer
+    /// equals the sum of produced values.
+    pub checksum_ok: bool,
+    /// Aggregated transaction statistics across all threads.
+    pub stats: StatsSnapshot,
+}
+
+/// Runs one timed-wait scenario on `kind`.
+///
+/// # Panics
+///
+/// Panics if the mechanism is not deschedule-based, or if `producers == 0`
+/// while `give_up_after == 0` (the scenario could never terminate).
+pub fn run_timeout_scenario(kind: RuntimeKind, params: TimeoutParams) -> TimeoutResult {
+    assert!(
+        params.mechanism.is_deschedule_based(),
+        "timed waits require a deschedule-based mechanism, got {}",
+        params.mechanism
+    );
+    assert!(
+        params.producers > 0 || params.give_up_after > 0,
+        "no producers and no give-up bound: the consumers would wait forever"
+    );
+    assert!(params.consumers > 0, "need at least one consumer");
+
+    let rt = kind.build(TmConfig::small());
+    let system = Arc::clone(rt.system());
+    let buf = TmBoundedBuffer::new(&system, params.buffer_size.max(2));
+
+    let produced = Arc::new(AtomicU64::new(0));
+    let produced_sum = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let consumed_sum = Arc::new(AtomicU64::new(0));
+    let timeouts = Arc::new(AtomicU64::new(0));
+    // Producers check this so they never block forever on a full buffer
+    // after every consumer has given up.
+    let consumers_active = Arc::new(AtomicU64::new(params.consumers as u64));
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+
+    let mut next_value = 1u64;
+    for i in 0..params.producers {
+        let n = params.items_for_producer(i);
+        let first = next_value;
+        next_value += n;
+        let rt = rt.clone();
+        let system = Arc::clone(&system);
+        let buf = Arc::clone(&buf);
+        let produced = Arc::clone(&produced);
+        let produced_sum = Arc::clone(&produced_sum);
+        let consumers_active = Arc::clone(&consumers_active);
+        handles.push(std::thread::spawn(move || {
+            let th = system.register_thread();
+            // Initial stall: consumers racing ahead of the pipeline see at
+            // least one deadline fire.
+            std::thread::sleep(params.stall);
+            'items: for k in 0..n {
+                if params.stall_every > 0 && k > 0 && k % params.stall_every == 0 {
+                    std::thread::sleep(params.stall);
+                }
+                // Timed produce in a loop: if the buffer stays full and no
+                // consumer is left to drain it, abandon the remaining items
+                // instead of blocking forever.
+                loop {
+                    let stored = rt.atomically(&th, |tx| {
+                        buf.produce_timeout(params.mechanism, tx, first + k, params.op_timeout)
+                    });
+                    if stored {
+                        produced.fetch_add(1, Ordering::AcqRel);
+                        produced_sum.fetch_add(first + k, Ordering::Relaxed);
+                        break;
+                    }
+                    if consumers_active.load(Ordering::Acquire) == 0 {
+                        break 'items;
+                    }
+                }
+            }
+        }));
+    }
+
+    for _ in 0..params.consumers {
+        let rt = rt.clone();
+        let system = Arc::clone(&system);
+        let buf = Arc::clone(&buf);
+        let consumed = Arc::clone(&consumed);
+        let consumed_sum = Arc::clone(&consumed_sum);
+        let timeouts = Arc::clone(&timeouts);
+        let consumers_active = Arc::clone(&consumers_active);
+        handles.push(std::thread::spawn(move || {
+            let th = system.register_thread();
+            let mut consecutive_timeouts = 0u32;
+            // The target is the *requested* total: in a producerless
+            // scenario the items never come and the give-up bound is what
+            // ends the drain.
+            while consumed.load(Ordering::Acquire) < params.total_items {
+                let got = rt.atomically(&th, |tx| {
+                    buf.consume_timeout(params.mechanism, tx, params.op_timeout)
+                });
+                match got {
+                    Some(v) => {
+                        consecutive_timeouts = 0;
+                        consumed.fetch_add(1, Ordering::AcqRel);
+                        consumed_sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                    None => {
+                        timeouts.fetch_add(1, Ordering::Relaxed);
+                        consecutive_timeouts += 1;
+                        if params.give_up_after > 0 && consecutive_timeouts >= params.give_up_after
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            consumers_active.fetch_sub(1, Ordering::AcqRel);
+        }));
+    }
+
+    for h in handles {
+        h.join().expect("scenario thread panicked");
+    }
+    let elapsed = start.elapsed();
+
+    // Conservation: whatever was produced is either consumed or still in the
+    // buffer — in every outcome, including give-up runs.
+    let th = system.register_thread();
+    let mut leftover_sum = 0u64;
+    while let Some(v) = rt.atomically(&th, |tx| {
+        if buf.empty(tx)? {
+            Ok(None)
+        } else {
+            buf.get(tx).map(Some)
+        }
+    }) {
+        leftover_sum += v;
+    }
+
+    TimeoutResult {
+        params,
+        runtime: kind,
+        elapsed,
+        produced: produced.load(Ordering::Acquire),
+        consumed: consumed.load(Ordering::Acquire),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        checksum_ok: consumed_sum.load(Ordering::Relaxed) + leftover_sum
+            == produced_sum.load(Ordering::Relaxed),
+        stats: system.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_drains_and_observes_timeouts_on_every_runtime() {
+        for kind in RuntimeKind::ALL {
+            for mechanism in [Mechanism::Retry, Mechanism::Await, Mechanism::WaitPred] {
+                let r = run_timeout_scenario(kind, TimeoutParams::smoke(mechanism));
+                assert_eq!(r.consumed, r.produced, "{kind}/{mechanism}: not drained");
+                assert!(r.checksum_ok, "{kind}/{mechanism}: checksum");
+                // Every observed `None` required a timeout-ended wait, but a
+                // wait can also time out and still succeed on re-execution
+                // (late success wins), so the runtime's count may be larger.
+                assert!(
+                    r.stats.wake_timeouts >= r.timeouts,
+                    "{kind}/{mechanism}: runtime timeout count ({}) < observed Nones ({})",
+                    r.stats.wake_timeouts,
+                    r.timeouts
+                );
+                assert!(
+                    r.timeouts > 0,
+                    "{kind}/{mechanism}: the initial producer stall must \
+                     surface at least one consumer-side timeout"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn give_up_bound_terminates_a_producerless_scenario() {
+        let params = TimeoutParams {
+            producers: 0,
+            consumers: 2,
+            total_items: 10,
+            give_up_after: 3,
+            op_timeout: Duration::from_millis(5),
+            ..TimeoutParams::smoke(Mechanism::Retry)
+        };
+        let r = run_timeout_scenario(RuntimeKind::EagerStm, params);
+        assert_eq!(r.produced, 0);
+        assert_eq!(r.consumed, 0);
+        assert_eq!(
+            r.timeouts,
+            2 * 3,
+            "each consumer gives up after exactly its bound"
+        );
+        assert!(r.checksum_ok);
+        assert_eq!(r.stats.wake_timeouts, r.timeouts);
+    }
+
+    #[test]
+    fn producers_abandon_when_every_consumer_gives_up() {
+        // Regression: this combination used to deadlock — the consumer gives
+        // up during the producer's long initial stall, and the producer
+        // (previously using an unbounded produce) then blocked forever on
+        // the full buffer with nobody left to drain it.
+        let params = TimeoutParams {
+            producers: 1,
+            consumers: 1,
+            buffer_size: 4,
+            total_items: 64,
+            give_up_after: 2,
+            op_timeout: Duration::from_millis(5),
+            stall: Duration::from_millis(200),
+            ..TimeoutParams::smoke(Mechanism::Retry)
+        };
+        let r = run_timeout_scenario(RuntimeKind::EagerStm, params);
+        assert!(r.checksum_ok, "conservation must hold for abandoned runs");
+        assert!(
+            r.produced <= params.buffer_size as u64 + 1,
+            "producer must abandon soon after the buffer fills (produced {})",
+            r.produced
+        );
+        assert!(r.consumed <= r.produced);
+        assert!(r.timeouts >= 2, "the consumer's give-up path was exercised");
+    }
+
+    #[test]
+    fn producer_split_covers_the_total() {
+        let p = TimeoutParams {
+            producers: 3,
+            total_items: 10,
+            ..TimeoutParams::smoke(Mechanism::Await)
+        };
+        let split: Vec<u64> = (0..3).map(|i| p.items_for_producer(i)).collect();
+        assert_eq!(split.iter().sum::<u64>(), 10);
+        assert_eq!(split, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deschedule-based")]
+    fn non_deschedule_mechanisms_are_rejected() {
+        let _ = run_timeout_scenario(
+            RuntimeKind::EagerStm,
+            TimeoutParams::smoke(Mechanism::Restart),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wait forever")]
+    fn unterminable_configurations_are_rejected() {
+        let params = TimeoutParams {
+            producers: 0,
+            give_up_after: 0,
+            ..TimeoutParams::smoke(Mechanism::Retry)
+        };
+        let _ = run_timeout_scenario(RuntimeKind::EagerStm, params);
+    }
+}

@@ -63,7 +63,7 @@
 //! | [`structures`] (`tm-sync`) | bounded buffer (Fig. 2.2), queue, stack, counter, barrier, hash map, once-cell, latch, Pthreads baseline buffer |
 //! | [`workloads`] (`tm-workloads`) | producer/consumer micro-benchmark, PARSEC-like kernels, Table 2.1 accounting |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 /// The shared substrate (`tm-core`): heap, metadata, traits.
@@ -91,14 +91,16 @@ pub use tm_workloads as workloads;
 /// Everything an application normally needs, importable with one `use`.
 pub mod prelude {
     pub use condsync::{
-        await_addrs, await_one, restart, retry, retry_orig, wait_pred, Mechanism, TmCondVar,
+        await_addrs, await_for, await_one, await_one_for, cancel, cancel_thread, restart, retry,
+        retry_for, retry_orig, timed_out, wait_interrupted, wait_pred, wait_pred_for, wake_reason,
+        was_cancelled, Mechanism, TmCondVar, WakeReason,
     };
     pub use tm_core::{
         Addr, Semaphore, TmArray, TmConfig, TmRt, TmRuntime, TmSystem, TmVar, Tx, TxCtl, TxResult,
     };
     pub use tm_sync::{
-        PthreadBuffer, TmBarrier, TmBoundedBuffer, TmCounter, TmHashMap, TmLatch, TmOnceCell,
-        TmQueue, TmStack,
+        BarrierWait, PthreadBuffer, TmBarrier, TmBoundedBuffer, TmCounter, TmHashMap, TmLatch,
+        TmOnceCell, TmQueue, TmStack,
     };
     pub use tm_workloads::runtime::{AnyRuntime, RuntimeKind};
 }

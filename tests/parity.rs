@@ -140,6 +140,66 @@ fn every_runtime_reports_real_deschedule_traffic() {
 }
 
 #[test]
+fn wake_reason_parity_across_runtimes() {
+    // The same timed scenario must resolve with the same `WakeReason`-level
+    // behaviour everywhere: a wait whose condition is never established ends
+    // in exactly one Timeout; a wait whose condition is established ends as
+    // a plain wake with no timeout recorded.
+    use std::time::Duration;
+
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::small());
+        let system = Arc::clone(rt.system());
+        let flag = TmVar::<u64>::alloc(&system, 0);
+        let th = system.register_thread();
+
+        // Never-established condition with a deadline.
+        let flag2 = flag.clone();
+        let got = rt.atomically(&th, |tx| {
+            let v = flag2.get(tx)?;
+            if v == 0 {
+                if condsync::timed_out(tx) {
+                    return Ok(None);
+                }
+                return condsync::retry_for(tx, Duration::from_millis(25));
+            }
+            Ok(Some(v))
+        });
+        assert_eq!(got, None, "{kind}");
+        let stats = system.stats();
+        assert_eq!(stats.wake_timeouts, 1, "{kind}: exactly one timeout");
+        assert_eq!(stats.wakeups, 0, "{kind}: no condition-based wake");
+
+        // Established condition: the reason must be a plain wake.
+        let flag3 = flag.clone();
+        let (rt2, system2) = (rt.clone(), Arc::clone(&system));
+        let waiter = std::thread::spawn(move || {
+            let th = system2.register_thread();
+            rt2.atomically(&th, |tx| {
+                let v = flag3.get(tx)?;
+                if v == 0 {
+                    if condsync::timed_out(tx) {
+                        return Ok(None);
+                    }
+                    return condsync::retry_for(tx, Duration::from_secs(30));
+                }
+                Ok(Some(v))
+            })
+        });
+        while system.waiters.is_empty() {
+            std::thread::yield_now();
+        }
+        rt.atomically(&th, |tx| flag.set(tx, 8));
+        assert_eq!(waiter.join().unwrap(), Some(8), "{kind}");
+        assert_eq!(
+            system.stats().wake_timeouts,
+            1,
+            "{kind}: the 30s deadline never fires"
+        );
+    }
+}
+
+#[test]
 fn parity_holds_under_repetition() {
     // The scenario is timing-sensitive (waiters may skip the sleep if the
     // writer wins the race); repeat it to cover both interleavings.
