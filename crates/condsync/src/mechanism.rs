@@ -37,6 +37,10 @@ pub const RESTART_ABORT_CODE: u8 = 0xFE;
 /// attempt, which cannot log values at all), it restarts the transaction in
 /// value-logging software mode; once the value log is populated the
 /// transaction is descheduled with a [`WaitSpec::ReadSetValues`] condition.
+/// The value log itself is a pooled, hash-indexed
+/// [`tm_core::access::WriteLog`] in first-value-wins mode
+/// ([`tm_core::TxCommon::waitset`]), so re-reads deduplicate in O(1) and
+/// re-logging attempts recycle the log's capacity.
 ///
 /// Never returns `Ok`; the `T` parameter lets call sites use it in tail
 /// position of any expression type.  For a deadline-bounded variant see

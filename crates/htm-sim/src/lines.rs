@@ -7,6 +7,11 @@
 //! ("requester wins", like an invalidation-based coherence protocol): a new
 //! writer dooms registered readers and any previous writer; a new reader that
 //! finds a foreign writer aborts.
+//!
+//! Transactions track *which* slots they registered in per-attempt
+//! [`tm_core::access::IndexSet`]s (see [`crate::tx`]), so the per-access
+//! "have I already registered this line" test is O(1) and the slot sets are
+//! recycled across attempts; this table only holds the global slot states.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -11,32 +11,75 @@
 
 use std::sync::Arc;
 
+use tm_core::access::{IndexSet, WriteLog};
 use tm_core::driver::CommitOutcome;
 use tm_core::stats::TxStats;
 use tm_core::{
-    AbortReason, Addr, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition, WaitSpec,
+    AbortReason, Addr, ThreadCtx, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
+    WaitSpec,
 };
 
 use crate::lines::{line_stripes, WriteRegistration};
 use crate::runtime::HtmSim;
 
 /// Execution state specific to the attempt flavour.
+///
+/// The slot sets and logs are pooled access-set containers
+/// (`tm_core::access`): slot membership and read-after-write lookups are
+/// O(1), and re-executed attempts recycle capacity through the thread's
+/// `LogPool`.
 #[derive(Debug)]
 enum State {
     Hardware {
         /// Directory slots registered as read.
-        read_slots: Vec<usize>,
+        read_slots: IndexSet,
         /// Directory slots registered as written.
-        write_slots: Vec<usize>,
-        /// Buffered writes.
-        redo: Vec<(Addr, u64)>,
+        write_slots: IndexSet,
+        /// Buffered writes, one entry per address (last value wins).
+        redo: WriteLog,
     },
     Serial {
         /// True while this attempt holds the global serial lock.
         holding: bool,
-        /// Old values of written locations.
-        undo: Vec<(Addr, u64)>,
+        /// Old values of written locations, one entry per address.
+        undo: WriteLog,
     },
+}
+
+impl State {
+    /// Returns the state's containers to `thread`'s pool.  Set-size
+    /// high-water marks are recorded where the logs are cleared
+    /// (rollback/commit), before the sizes are lost.
+    fn recycle(self, thread: &ThreadCtx) {
+        match self {
+            State::Hardware {
+                read_slots,
+                write_slots,
+                redo,
+            } => {
+                thread.put_index_set(read_slots);
+                thread.put_index_set(write_slots);
+                thread.put_write_log(redo);
+            }
+            State::Serial { undo, .. } => thread.put_write_log(undo),
+        }
+    }
+
+    /// Records the attempt's set-size high-water marks (called before the
+    /// logs are cleared).
+    fn note_sizes(&self, thread: &ThreadCtx) {
+        match self {
+            State::Hardware {
+                read_slots, redo, ..
+            } => {
+                TxStats::record_max(&thread.stats.read_set_max, read_slots.len() as u64);
+                TxStats::record_max(&thread.stats.write_set_max, redo.len() as u64);
+            }
+            State::Serial { undo, .. } => {
+                TxStats::record_max(&thread.stats.write_set_max, undo.len() as u64);
+            }
+        }
+    }
 }
 
 /// An in-flight attempt on the HTM simulator.
@@ -59,15 +102,15 @@ impl<'rt> HtmTx<'rt> {
             // A stale doom flag from a previous attempt must not kill this one.
             common.thread.take_doomed();
             State::Hardware {
-                read_slots: Vec::new(),
-                write_slots: Vec::new(),
-                redo: Vec::new(),
+                read_slots: common.thread.take_index_set(),
+                write_slots: common.thread.take_index_set(),
+                redo: common.thread.take_write_log(),
             }
         } else {
             rt.acquire_serial(&common.thread);
             State::Serial {
                 holding: true,
-                undo: Vec::new(),
+                undo: common.thread.take_write_log(),
             }
         };
         HtmTx {
@@ -91,11 +134,7 @@ impl<'rt> HtmTx<'rt> {
         // Substitute the pre-transaction value for locations this (serial)
         // attempt has already written, as Algorithm 5 does with the undo log.
         let logged = match &self.state {
-            State::Serial { undo, .. } => undo
-                .iter()
-                .find(|&&(a, _)| a == addr)
-                .map(|&(_, old)| old)
-                .unwrap_or(observed),
+            State::Serial { undo, .. } => undo.lookup(addr).unwrap_or(observed),
             State::Hardware { .. } => observed,
         };
         self.common.log_retry_read(addr, logged);
@@ -104,6 +143,7 @@ impl<'rt> HtmTx<'rt> {
     /// Rolls the attempt back.  Safe to call more than once.  Serial attempts
     /// release the fallback lock.
     pub fn rollback(&mut self) {
+        self.state.note_sizes(&self.common.thread);
         match &mut self.state {
             State::Hardware {
                 read_slots,
@@ -111,10 +151,10 @@ impl<'rt> HtmTx<'rt> {
                 redo,
             } => {
                 let me = self.common.thread.id;
-                for &slot in read_slots.iter() {
+                for slot in read_slots.iter() {
                     self.rt.lines().clear_reader(slot, me);
                 }
-                for &slot in write_slots.iter() {
+                for slot in write_slots.iter() {
                     self.rt.lines().clear_writer(slot, me);
                 }
                 read_slots.clear();
@@ -123,8 +163,8 @@ impl<'rt> HtmTx<'rt> {
                 self.common.thread.take_doomed();
             }
             State::Serial { holding, undo } => {
-                for &(addr, old) in undo.iter().rev() {
-                    self.rt.system().heap.store(addr, old);
+                for e in undo.iter().rev() {
+                    self.rt.system().heap.store(e.addr, e.val);
                 }
                 undo.clear();
                 if *holding {
@@ -144,6 +184,7 @@ impl<'rt> HtmTx<'rt> {
     /// [`HtmTx::rollback`].
     pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
         let system = Arc::clone(self.rt.system());
+        self.state.note_sizes(&self.common.thread);
         match &mut self.state {
             State::Hardware {
                 read_slots,
@@ -167,8 +208,8 @@ impl<'rt> HtmTx<'rt> {
                 // their lines, and our writer registrations are still in
                 // place, so no new reader can adopt a partial view without
                 // observing the conflict.
-                for &(addr, val) in redo.iter() {
-                    system.heap.store(addr, val);
+                for e in redo.iter() {
+                    system.heap.store(e.addr, e.val);
                 }
                 // Map the committed cache lines back to orec stripes for the
                 // targeted post-commit wake scan (the word-level write set is
@@ -180,7 +221,7 @@ impl<'rt> HtmTx<'rt> {
                 // already complete, so no wakeup is lost.
                 let mut wake_stripes = Vec::new();
                 if was_writer && !system.waiters.is_empty() {
-                    let mut lines: Vec<_> = redo.iter().map(|&(addr, _)| addr.line()).collect();
+                    let mut lines: Vec<_> = redo.iter().map(|e| e.addr.line()).collect();
                     lines.sort_unstable();
                     lines.dedup();
                     for line in lines {
@@ -190,10 +231,10 @@ impl<'rt> HtmTx<'rt> {
                     wake_stripes.dedup();
                 }
                 let me = self.common.thread.id;
-                for &slot in write_slots.iter() {
+                for slot in write_slots.iter() {
                     self.rt.lines().clear_writer(slot, me);
                 }
-                for &slot in read_slots.iter() {
+                for slot in read_slots.iter() {
                     self.rt.lines().clear_reader(slot, me);
                 }
                 read_slots.clear();
@@ -229,17 +270,20 @@ impl<'rt> HtmTx<'rt> {
     pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
         match spec {
             WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
-                let pairs = std::mem::take(&mut self.common.waitset);
+                let pairs = self.common.waitset.drain_pairs();
                 self.rollback();
                 Ok(WaitCondition::ValuesChanged(pairs))
             }
             WaitSpec::Addrs(addrs) => {
+                // Record the set high-water marks now: the undo log is
+                // drained below, before `rollback` can observe its size.
+                self.state.note_sizes(&self.common.thread);
                 // Undo our writes first so the captured snapshot reflects the
                 // pre-transaction state; as the serial-lock holder we are the
                 // only transaction running, so plain loads are consistent.
                 if let State::Serial { undo, .. } = &mut self.state {
-                    for &(addr, old) in undo.iter().rev() {
-                        self.rt.system().heap.store(addr, old);
+                    for e in undo.iter().rev() {
+                        self.rt.system().heap.store(e.addr, e.val);
                     }
                     undo.clear();
                 }
@@ -263,6 +307,15 @@ impl Drop for HtmTx<'_> {
         // Defensive: never leak the serial lock or stale line registrations
         // if a body panics.
         self.rollback();
+        // Recycle the attempt's access sets for the next attempt.
+        let state = std::mem::replace(
+            &mut self.state,
+            State::Serial {
+                holding: false,
+                undo: WriteLog::new(),
+            },
+        );
+        state.recycle(&self.common.thread);
     }
 }
 
@@ -290,7 +343,8 @@ impl Tx for HtmTx<'_> {
         else {
             unreachable!("checked above");
         };
-        if let Some(&(_, v)) = redo.iter().rev().find(|&&(a, _)| a == addr) {
+        // Read-your-writes from the buffered store, O(1) by hash index.
+        if let Some(v) = redo.lookup(addr) {
             return Ok(v);
         }
         let slot = self.rt.lines().slot_for(addr.line());
@@ -301,11 +355,9 @@ impl Tx for HtmTx<'_> {
             self.rt.lines().clear_reader(slot, self.common.thread.id);
             return Err(TxCtl::Abort(AbortReason::HwConflict));
         }
-        if !read_slots.contains(&slot) {
-            read_slots.push(slot);
-            if read_slots.len() > self.rt.system().config.htm.max_read_lines {
-                return Err(TxCtl::Abort(AbortReason::HwCapacity));
-            }
+        if read_slots.insert(slot) && read_slots.len() > self.rt.system().config.htm.max_read_lines
+        {
+            return Err(TxCtl::Abort(AbortReason::HwCapacity));
         }
         Ok(self.rt.system().heap.load(addr))
     }
@@ -342,18 +394,22 @@ impl Tx for HtmTx<'_> {
                         return Err(TxCtl::Abort(AbortReason::HwConflict));
                     }
                 }
-                if !write_slots.contains(&slot) {
-                    write_slots.push(slot);
-                    if write_slots.len() > self.rt.system().config.htm.max_write_lines {
-                        return Err(TxCtl::Abort(AbortReason::HwCapacity));
-                    }
+                if write_slots.insert(slot)
+                    && write_slots.len() > self.rt.system().config.htm.max_write_lines
+                {
+                    return Err(TxCtl::Abort(AbortReason::HwCapacity));
                 }
-                redo.push((addr, val));
+                // Buffer the store.  The HTM never consults ownership
+                // records and nothing reads this log's cover (commit maps
+                // written *lines* to stripes), so the cached index is left
+                // degenerate rather than maintained for nobody.
+                redo.record(addr, val, || 0);
                 Ok(())
             }
             State::Serial { undo, .. } => {
                 let old = self.rt.system().heap.load(addr);
-                undo.push((addr, old));
+                // First write per address keeps the pre-transaction value.
+                undo.record_first(addr, old, || 0);
                 self.rt.system().heap.store(addr, val);
                 Ok(())
             }
@@ -386,20 +442,29 @@ impl Tx for HtmTx<'_> {
                     TxStats::bump(&stats.sw_commits);
                 }
                 block();
-                // Begin the continuation transaction in the same flavour.
+                // Begin the continuation transaction in the same flavour,
+                // recycling the committed attempt's (cleared) containers.
+                let prev = std::mem::replace(
+                    &mut self.state,
+                    State::Serial {
+                        holding: false,
+                        undo: WriteLog::new(),
+                    },
+                );
+                prev.recycle(&self.common.thread);
                 if hardware {
                     self.rt.wait_fallback_clear();
                     self.common.thread.take_doomed();
                     self.state = State::Hardware {
-                        read_slots: Vec::new(),
-                        write_slots: Vec::new(),
-                        redo: Vec::new(),
+                        read_slots: self.common.thread.take_index_set(),
+                        write_slots: self.common.thread.take_index_set(),
+                        redo: self.common.thread.take_write_log(),
                     };
                 } else {
                     self.rt.acquire_serial(&self.common.thread);
                     self.state = State::Serial {
                         holding: true,
-                        undo: Vec::new(),
+                        undo: self.common.thread.take_write_log(),
                     };
                 }
                 Ok(())

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use tm_core::access::{IndexSet, ReadSet, WriteLog};
 use tm_core::driver::CommitOutcome;
 use tm_core::stats::TxStats;
 use tm_core::{
@@ -11,18 +12,26 @@ use tm_core::{
 };
 
 /// An in-flight eager-STM transaction attempt.
+///
+/// The read set, undo log and lock set are pooled access-set containers
+/// (`tm_core::access`): read-after-write old-value lookups and lock-set
+/// membership are O(1), the read set's orec cover stays sorted
+/// incrementally, and a re-executed attempt inherits the previous
+/// attempt's capacity through the thread's `LogPool`.
 #[derive(Debug)]
 pub struct EagerTx {
     common: TxCommon,
     system: Arc<TmSystem>,
     /// Global-clock value sampled at begin (Algorithm 9, `start`).
     start: u64,
-    /// Addresses read by the transaction (Algorithm 8, `reads`).
-    reads: Vec<Addr>,
-    /// Old values of written locations, in write order (Algorithm 8, `undos`).
-    undos: Vec<(Addr, u64)>,
+    /// Addresses read by the transaction (Algorithm 8, `reads`), with their
+    /// orec stripes cached at read time.
+    reads: ReadSet,
+    /// Old values of written locations (Algorithm 8, `undos`): one entry
+    /// per address holding the pre-transaction value.
+    undos: WriteLog,
     /// Ownership-record indices held by this transaction (Algorithm 8, `locks`).
-    locks: Vec<usize>,
+    locks: IndexSet,
     /// Transactional allocations, undone on abort.
     mallocs: Vec<(Addr, usize)>,
     /// Deferred frees, performed at commit.
@@ -35,13 +44,16 @@ impl EagerTx {
     pub fn begin(system: &Arc<TmSystem>, common: TxCommon) -> Self {
         let start = system.clock.now();
         common.thread.enter_tx(start);
+        let reads = common.thread.take_read_set();
+        let undos = common.thread.take_write_log();
+        let locks = common.thread.take_index_set();
         EagerTx {
             common,
             system: Arc::clone(system),
             start,
-            reads: Vec::new(),
-            undos: Vec::new(),
-            locks: Vec::new(),
+            reads,
+            undos,
+            locks,
             mallocs: Vec::new(),
             frees: Vec::new(),
         }
@@ -52,25 +64,11 @@ impl EagerTx {
         self.start
     }
 
-    /// Ownership-record indices covering the read set (used by `Retry-Orig`).
-    pub fn read_orec_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .reads
-            .iter()
-            .map(|&a| self.system.orecs.index_for(a))
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-
-    /// True if every read is still consistent with `start` (used when
-    /// registering with the `Retry-Orig` waiting list, Algorithm 1 line 4).
-    pub fn reads_valid_at(system: &TmSystem, orec_indices: &[usize], start: u64) -> bool {
-        orec_indices.iter().all(|&idx| {
-            let o = system.orecs.load(idx);
-            !o.is_locked() && o.version() <= start
-        })
+    /// Ownership-record indices covering the read set (used by `Retry-Orig`),
+    /// sorted and deduplicated — the read set's own stripe cover, not
+    /// recomputed from the address list.
+    pub fn read_orec_indices(&mut self) -> Vec<usize> {
+        self.reads.orec_cover().to_vec()
     }
 
     fn me(&self) -> usize {
@@ -86,12 +84,7 @@ impl EagerTx {
         if self.common.mode != TxMode::SoftwareRetry {
             return;
         }
-        let logged = self
-            .undos
-            .iter()
-            .find(|&&(a, _)| a == addr)
-            .map(|&(_, old)| old)
-            .unwrap_or(observed);
+        let logged = self.undos.lookup(addr).unwrap_or(observed);
         self.common.log_retry_read(addr, logged);
     }
 
@@ -107,7 +100,7 @@ impl EagerTx {
         if !cur.is_locked() && cur.version() <= self.start {
             let locked = OrecValue::locked(cur.version(), self.me());
             if self.system.orecs.cas(idx, cur, locked) {
-                self.locks.push(idx);
+                self.locks.insert(idx);
                 return Ok(idx);
             }
         }
@@ -118,10 +111,10 @@ impl EagerTx {
     /// at `version + 1`, bumps the clock, undoes allocations, and clears all
     /// logs (Algorithm 11).  Safe to call more than once.
     pub fn rollback(&mut self) {
-        for &(addr, old) in self.undos.iter().rev() {
-            self.system.heap.store(addr, old);
+        for e in self.undos.iter().rev() {
+            self.system.heap.store(e.addr, e.val);
         }
-        for &idx in &self.locks {
+        for idx in self.locks.iter() {
             let cur = self.system.orecs.load(idx);
             self.system
                 .orecs
@@ -140,6 +133,9 @@ impl EagerTx {
     }
 
     fn reset_logs(&mut self) {
+        let stats = &self.common.thread.stats;
+        TxStats::record_max(&stats.read_set_max, self.reads.len() as u64);
+        TxStats::record_max(&stats.write_set_max, self.undos.len() as u64);
         self.reads.clear();
         self.undos.clear();
         self.locks.clear();
@@ -165,8 +161,10 @@ impl EagerTx {
         // Fast path: if no other transaction committed since we started, the
         // read set cannot have been invalidated.
         if end != self.start + 1 {
-            for &addr in &self.reads {
-                let o = self.system.orecs.load_for(addr);
+            for e in self.reads.iter() {
+                // The stripe index was cached when the read was validated,
+                // so validation does not hash the address a second time.
+                let o = self.system.orecs.load(e.stripe);
                 let ok = if o.is_locked() {
                     o.is_locked_by(self.me())
                 } else {
@@ -179,7 +177,7 @@ impl EagerTx {
         }
 
         // The transaction is committed: release locks at the new version.
-        let written = std::mem::take(&mut self.locks);
+        let written = self.locks.take_entries();
         for &idx in &written {
             self.system.orecs.store(idx, OrecValue::unlocked(end));
         }
@@ -201,17 +199,23 @@ impl EagerTx {
     pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
         match spec {
             WaitSpec::ReadSetValues => {
-                let pairs = std::mem::take(&mut self.common.waitset);
+                let pairs = self.common.waitset.drain_pairs();
                 self.rollback();
                 Ok(WaitCondition::ValuesChanged(pairs))
             }
             WaitSpec::Addrs(addrs) => {
+                // Record the write-set high-water mark now: the undo log is
+                // drained below, before `rollback` can observe its size.
+                TxStats::record_max(
+                    &self.common.thread.stats.write_set_max,
+                    self.undos.len() as u64,
+                );
                 // Algorithm 6: undo writes first so memory shows the state
                 // from before the transaction, then read the requested
                 // addresses while still holding our locks, validating each
                 // against the start time so the snapshot is consistent.
-                for &(addr, old) in self.undos.iter().rev() {
-                    self.system.heap.store(addr, old);
+                for e in self.undos.iter().rev() {
+                    self.system.heap.store(e.addr, e.val);
                 }
                 self.undos.clear();
                 let mut pairs = Vec::with_capacity(addrs.len());
@@ -250,6 +254,17 @@ impl EagerTx {
     }
 }
 
+impl Drop for EagerTx {
+    fn drop(&mut self) {
+        // Recycle the attempt's access sets so the next attempt (or the
+        // thread's next transaction) reuses their capacity.
+        let thread = Arc::clone(&self.common.thread);
+        thread.put_read_set(std::mem::take(&mut self.reads));
+        thread.put_write_log(std::mem::take(&mut self.undos));
+        thread.put_index_set(std::mem::take(&mut self.locks));
+    }
+}
+
 impl Tx for EagerTx {
     fn read(&mut self, addr: Addr) -> TxResult<u64> {
         // Algorithm 10, TxRead: atomically read lock–value–lock and accept
@@ -264,7 +279,9 @@ impl Tx for EagerTx {
             return Ok(val);
         }
         if before == after && !before.is_locked() && before.version() <= self.start {
-            self.reads.push(addr);
+            // The stripe computed for this validation is cached in the
+            // entry, so commit-time re-validation never hashes again.
+            self.reads.record(addr, idx);
             self.retry_log(addr, val);
             return Ok(val);
         }
@@ -272,11 +289,14 @@ impl Tx for EagerTx {
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
-        // Algorithm 10, TxWrite: acquire the orec, log the old value, update
-        // in place.
+        // Algorithm 10, TxWrite: acquire the orec, log the old value (first
+        // write per address only — the log is keyed by address), update in
+        // place.  The stripe cover of the write set is the lock set
+        // (`self.locks`), so the undo log's own cover is left degenerate
+        // (constant index) rather than maintained for nobody.
         self.acquire(addr)?;
         let old = self.system.heap.load(addr);
-        self.undos.push((addr, old));
+        self.undos.record_first(addr, old, || 0);
         self.system.heap.store(addr, val);
         Ok(())
     }
@@ -487,7 +507,25 @@ mod tests {
         // A read-after-write must log the value from *before* the write,
         // because the write is undone when the transaction deschedules.
         assert_eq!(tx.read(Addr(12)).unwrap(), 99);
-        assert_eq!(tx.common().waitset, vec![(Addr(12), 50)]);
+        assert_eq!(tx.common().waitset.pairs(), vec![(Addr(12), 50)]);
+        tx.rollback();
+    }
+
+    #[test]
+    fn reexecuted_attempts_reuse_pooled_logs() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let mut tx = EagerTx::begin(&system, TxCommon::new(Arc::clone(&th), TxMode::Software, 0));
+        let _ = tx.read(Addr(1)).unwrap();
+        tx.write(Addr(2), 2).unwrap();
+        tx.rollback();
+        drop(tx);
+        let before = th.stats.snapshot().log_pool_reuses;
+        let mut tx = EagerTx::begin(&system, TxCommon::new(Arc::clone(&th), TxMode::Software, 1));
+        assert!(
+            th.stats.snapshot().log_pool_reuses >= before + 2,
+            "the second attempt must recycle the first attempt's containers"
+        );
         tx.rollback();
     }
 
@@ -496,7 +534,7 @@ mod tests {
         let system = TmSystem::new(TmConfig::small());
         system.heap.store(Addr(20), 5);
         let th = system.register_thread();
-        let mut tx = EagerTx::begin(&system, TxCommon::new(th, TxMode::Software, 0));
+        let mut tx = EagerTx::begin(&system, TxCommon::new(Arc::clone(&th), TxMode::Software, 0));
         assert_eq!(tx.read(Addr(20)).unwrap(), 5);
         tx.write(Addr(20), 6).unwrap();
         let cond = tx
@@ -517,6 +555,12 @@ mod tests {
         assert!(
             !system.orecs.load(idx).is_locked(),
             "locks must be released"
+        );
+        assert_eq!(
+            th.stats.snapshot().write_set_max,
+            1,
+            "the Await deschedule path must record the write-set high-water \
+             mark before draining the undo log"
         );
     }
 

@@ -74,7 +74,7 @@ impl TxEngine for LazyStm {
         let start = tx.start();
         tx.rollback();
         condsync::sleep_until_intersection(&self.orig, thread, read_orecs.clone(), || {
-            LazyTx::reads_valid_at(&self.system, &read_orecs, start)
+            tm_core::access::cover_valid_at(&self.system.orecs, &read_orecs, start)
         });
     }
 

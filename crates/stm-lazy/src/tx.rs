@@ -2,21 +2,30 @@
 
 use std::sync::Arc;
 
+use tm_core::access::{ReadSet, WriteLog};
 use tm_core::driver::CommitOutcome;
+use tm_core::stats::TxStats;
 use tm_core::{
     AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
     WaitSpec,
 };
 
 /// An in-flight lazy-STM transaction attempt.
+///
+/// The read set and redo log are pooled access-set containers
+/// (`tm_core::access`): read-after-write lookups are O(1) instead of a
+/// reverse scan over the redo log, the write set's orec cover is kept
+/// sorted incrementally for commit-time lock acquisition, and re-executed
+/// attempts recycle capacity through the thread's `LogPool`.
 #[derive(Debug)]
 pub struct LazyTx {
     common: TxCommon,
     system: Arc<TmSystem>,
     start: u64,
-    reads: Vec<Addr>,
-    /// Redo log: pending writes, most recent entry per address wins.
-    redo: Vec<(Addr, u64)>,
+    /// Validated reads with their orec stripes cached at read time.
+    reads: ReadSet,
+    /// Redo log: pending writes, one entry per address (last value wins).
+    redo: WriteLog,
     mallocs: Vec<(Addr, usize)>,
     frees: Vec<(Addr, usize)>,
 }
@@ -26,12 +35,14 @@ impl LazyTx {
     pub fn begin(system: &Arc<TmSystem>, common: TxCommon) -> Self {
         let start = system.clock.now();
         common.thread.enter_tx(start);
+        let reads = common.thread.take_read_set();
+        let redo = common.thread.take_write_log();
         LazyTx {
             common,
             system: Arc::clone(system),
             start,
-            reads: Vec::new(),
-            redo: Vec::new(),
+            reads,
+            redo,
             mallocs: Vec::new(),
             frees: Vec::new(),
         }
@@ -42,49 +53,40 @@ impl LazyTx {
         self.start
     }
 
-    /// Ownership-record indices covering the read set (for `Retry-Orig`).
-    pub fn read_orec_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .reads
-            .iter()
-            .map(|&a| self.system.orecs.index_for(a))
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    }
-
-    /// True if every read is still consistent with `start`.
-    pub fn reads_valid_at(system: &TmSystem, orec_indices: &[usize], start: u64) -> bool {
-        orec_indices.iter().all(|&idx| {
-            let o = system.orecs.load(idx);
-            !o.is_locked() && o.version() <= start
-        })
+    /// Ownership-record indices covering the read set (for `Retry-Orig`),
+    /// sorted and deduplicated — the read set's own stripe cover, not
+    /// recomputed from the address list.
+    pub fn read_orec_indices(&mut self) -> Vec<usize> {
+        self.reads.orec_cover().to_vec()
     }
 
     fn me(&self) -> usize {
         self.common.thread.id
     }
 
-    fn redo_lookup(&self, addr: Addr) -> Option<u64> {
-        self.redo
-            .iter()
-            .rev()
-            .find(|&&(a, _)| a == addr)
-            .map(|&(_, v)| v)
-    }
-
-    /// Validated read of the *in-memory* value (ignoring the redo log).
-    fn read_memory(&self, addr: Addr) -> TxResult<u64> {
+    /// Validated read of the *in-memory* value (ignoring the redo log),
+    /// returning the value together with the address's orec stripe so
+    /// callers can cache it instead of hashing again.
+    fn read_memory(&self, addr: Addr) -> TxResult<(u64, usize)> {
         let idx = self.system.orecs.index_for(addr);
         let before = self.system.orecs.load(idx);
         let val = self.system.heap.load(addr);
         let after = self.system.orecs.load(idx);
         if before == after && !before.is_locked() && before.version() <= self.start {
-            Ok(val)
+            Ok((val, idx))
         } else {
             Err(TxCtl::Abort(AbortReason::ReadConflict))
         }
+    }
+
+    fn reset_logs(&mut self) {
+        let stats = &self.common.thread.stats;
+        TxStats::record_max(&stats.read_set_max, self.reads.len() as u64);
+        TxStats::record_max(&stats.write_set_max, self.redo.len() as u64);
+        self.reads.clear();
+        self.redo.clear();
+        self.mallocs.clear();
+        self.frees.clear();
     }
 
     /// Discards the attempt (nothing was written in place).  Safe to call
@@ -93,10 +95,7 @@ impl LazyTx {
         for &(addr, words) in &self.mallocs {
             self.system.heap.dealloc(addr, words);
         }
-        self.reads.clear();
-        self.redo.clear();
-        self.mallocs.clear();
-        self.frees.clear();
+        self.reset_logs();
         self.common.thread.exit_tx();
     }
 
@@ -107,80 +106,73 @@ impl LazyTx {
             for &(addr, words) in &self.frees {
                 self.system.heap.dealloc(addr, words);
             }
-            self.reads.clear();
-            self.mallocs.clear();
-            self.frees.clear();
+            self.reset_logs();
             self.common.thread.exit_tx();
             return Ok(CommitOutcome::read_only());
         }
 
-        // Acquire the ownership records covering the write set.
-        let mut write_orecs: Vec<usize> = self
-            .redo
-            .iter()
-            .map(|&(a, _)| self.system.orecs.index_for(a))
-            .collect();
-        write_orecs.sort_unstable();
-        write_orecs.dedup();
-
-        let mut acquired: Vec<usize> = Vec::with_capacity(write_orecs.len());
-        for &idx in &write_orecs {
-            let cur = self.system.orecs.load(idx);
+        // Acquire the ownership records covering the write set.  The cover
+        // is the redo log's own sorted distinct-stripe list, so on failure
+        // at position `k` the locks we hold are exactly the prefix
+        // `cover[..k]` (this attempt holds no locks before commit).
+        let me = self.me();
+        let start = self.start;
+        let system = &self.system;
+        let write_orecs = self.redo.orec_cover();
+        let release_prefix = |n: usize| {
+            for &a in &write_orecs[..n] {
+                let c = system.orecs.load(a);
+                system.orecs.store(a, OrecValue::unlocked(c.version()));
+            }
+        };
+        for (k, &idx) in write_orecs.iter().enumerate() {
+            let cur = system.orecs.load(idx);
             let ok = if cur.is_locked() {
-                cur.is_locked_by(self.me())
-            } else if cur.version() <= self.start {
-                self.system
+                cur.is_locked_by(me)
+            } else if cur.version() <= start {
+                system
                     .orecs
-                    .cas(idx, cur, OrecValue::locked(cur.version(), self.me()))
+                    .cas(idx, cur, OrecValue::locked(cur.version(), me))
             } else {
                 false
             };
-            if ok {
-                acquired.push(idx);
-            } else {
-                // Release whatever we already took and abort.
-                for &a in &acquired {
-                    let c = self.system.orecs.load(a);
-                    self.system.orecs.store(a, OrecValue::unlocked(c.version()));
-                }
+            if !ok {
+                release_prefix(k);
                 return Err(TxCtl::Abort(AbortReason::WriteConflict));
             }
         }
 
-        let end = self.system.clock.tick();
-        if end != self.start + 1 {
-            for &addr in &self.reads {
-                let o = self.system.orecs.load_for(addr);
+        let end = system.clock.tick();
+        if end != start + 1 {
+            for e in self.reads.iter() {
+                // The stripe index was cached when the read was validated,
+                // so validation does not hash the address a second time.
+                let o = system.orecs.load(e.stripe);
                 let ok = if o.is_locked() {
-                    o.is_locked_by(self.me())
+                    o.is_locked_by(me)
                 } else {
-                    o.version() <= self.start
+                    o.version() <= start
                 };
                 if !ok {
-                    for &a in &acquired {
-                        let c = self.system.orecs.load(a);
-                        self.system.orecs.store(a, OrecValue::unlocked(c.version()));
-                    }
+                    release_prefix(write_orecs.len());
                     return Err(TxCtl::Abort(AbortReason::CommitValidation));
                 }
             }
         }
+        let write_orecs = write_orecs.to_vec();
 
-        // Write back the redo log (earlier entries first so the latest write
-        // to an address wins) and release locks at the commit timestamp.
-        for &(addr, val) in &self.redo {
-            self.system.heap.store(addr, val);
+        // Write back the redo log (one entry per address already holding
+        // the latest value) and release locks at the commit timestamp.
+        for e in self.redo.iter() {
+            self.system.heap.store(e.addr, e.val);
         }
-        for &idx in &acquired {
+        for &idx in &write_orecs {
             self.system.orecs.store(idx, OrecValue::unlocked(end));
         }
         for &(addr, words) in &self.frees {
             self.system.heap.dealloc(addr, words);
         }
-        self.reads.clear();
-        self.redo.clear();
-        self.mallocs.clear();
-        self.frees.clear();
+        self.reset_logs();
         self.common.thread.exit_tx();
         self.system.quiesce(self.me(), end);
         Ok(CommitOutcome::software_writer(write_orecs, end))
@@ -191,7 +183,7 @@ impl LazyTx {
     pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
         match spec {
             WaitSpec::ReadSetValues => {
-                let pairs = std::mem::take(&mut self.common.waitset);
+                let pairs = self.common.waitset.drain_pairs();
                 self.rollback();
                 Ok(WaitCondition::ValuesChanged(pairs))
             }
@@ -203,7 +195,7 @@ impl LazyTx {
                 let mut consistent = true;
                 for addr in addrs {
                     match self.read_memory(addr) {
-                        Ok(v) => pairs.push((addr, v)),
+                        Ok((v, _)) => pairs.push((addr, v)),
                         Err(_) => {
                             consistent = false;
                             break;
@@ -229,21 +221,34 @@ impl LazyTx {
     }
 }
 
+impl Drop for LazyTx {
+    fn drop(&mut self) {
+        // Recycle the attempt's access sets so the next attempt (or the
+        // thread's next transaction) reuses their capacity.
+        let thread = Arc::clone(&self.common.thread);
+        thread.put_read_set(std::mem::take(&mut self.reads));
+        thread.put_write_log(std::mem::take(&mut self.redo));
+    }
+}
+
 impl Tx for LazyTx {
     fn read(&mut self, addr: Addr) -> TxResult<u64> {
-        // Read-your-writes: the redo log takes precedence.
-        if let Some(v) = self.redo_lookup(addr) {
+        // Read-your-writes: the redo log takes precedence (O(1) hash-index
+        // lookup; the old implementation scanned the log backwards).
+        if let Some(v) = self.redo.lookup(addr) {
             if self.common.mode == TxMode::SoftwareRetry {
                 // The Retry value log must hold the value that will be in
                 // memory after the (lazy) transaction is discarded, i.e. the
                 // committed value, not our own pending write.
-                let mem = self.read_memory(addr)?;
+                let (mem, _) = self.read_memory(addr)?;
                 self.common.log_retry_read(addr, mem);
             }
             return Ok(v);
         }
-        let val = self.read_memory(addr)?;
-        self.reads.push(addr);
+        let (val, idx) = self.read_memory(addr)?;
+        // The stripe computed by the validated read is cached in the entry,
+        // so commit-time re-validation never hashes the address again.
+        self.reads.record(addr, idx);
         if self.common.mode == TxMode::SoftwareRetry {
             self.common.log_retry_read(addr, val);
         }
@@ -251,7 +256,10 @@ impl Tx for LazyTx {
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
-        self.redo.push((addr, val));
+        // One redo entry per address (last value wins); the orec stripe is
+        // hashed once, on the first write.
+        let orecs = &self.system.orecs;
+        self.redo.record(addr, val, || orecs.index_for(addr));
         Ok(())
     }
 
@@ -424,7 +432,25 @@ mod tests {
         assert_eq!(tx.read(Addr(12)).unwrap(), 50);
         tx.write(Addr(12), 99).unwrap();
         assert_eq!(tx.read(Addr(12)).unwrap(), 99);
-        assert_eq!(tx.common().waitset, vec![(Addr(12), 50)]);
+        assert_eq!(tx.common().waitset.pairs(), vec![(Addr(12), 50)]);
+        tx.rollback();
+    }
+
+    #[test]
+    fn reexecuted_attempts_reuse_pooled_logs() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let mut tx = LazyTx::begin(&system, TxCommon::new(Arc::clone(&th), TxMode::Software, 0));
+        let _ = tx.read(Addr(1)).unwrap();
+        tx.write(Addr(2), 2).unwrap();
+        tx.rollback();
+        drop(tx);
+        let before = th.stats.snapshot().log_pool_reuses;
+        let mut tx = LazyTx::begin(&system, TxCommon::new(Arc::clone(&th), TxMode::Software, 1));
+        assert!(
+            th.stats.snapshot().log_pool_reuses >= before + 2,
+            "the second attempt must recycle the first attempt's containers"
+        );
         tx.rollback();
     }
 

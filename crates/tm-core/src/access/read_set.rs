@@ -1,0 +1,209 @@
+//! The deduplicating read set with an incrementally maintained orec cover.
+
+use crate::addr::Addr;
+use crate::orec::OrecTable;
+
+use super::index::{Cover, PosMap};
+
+/// One validated read: the address and the ownership-record stripe it
+/// hashed to when the read was performed.
+///
+/// Caching the stripe is what removes the second `index_for` hash from the
+/// validation paths: commit-time validation and deschedule registration
+/// both replay the index computed at read time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// The address that was read.
+    pub addr: Addr,
+    /// The orec stripe index `addr` hashed to at read time.
+    pub stripe: usize,
+}
+
+/// A transaction's read set: deduplicating append, cached stripe indices,
+/// and a cover of the distinct orec stripes read, sorted at most once per
+/// attempt.
+///
+/// The paper's algorithms treat `reads` as an abstract set; the flat-`Vec`
+/// predecessor of this type re-sorted and re-deduplicated the *whole
+/// address list* on every deschedule (`read_orec_indices`) and re-hashed
+/// every address at commit-time validation.  Here stripes accumulate in
+/// O(1) per read and [`ReadSet::orec_cover`] sorts + deduplicates only the
+/// stripes, only when the cover is first consumed.
+///
+/// ```
+/// use tm_core::access::ReadSet;
+/// use tm_core::{Addr, OrecTable};
+///
+/// let orecs = OrecTable::new(256);
+/// let mut reads = ReadSet::new();
+/// for addr in [Addr(3), Addr(90), Addr(3)] {
+///     reads.record(addr, orecs.index_for(addr));
+/// }
+/// assert_eq!(reads.len(), 2, "re-reads deduplicate");
+/// let cover = reads.orec_cover();
+/// assert!(cover.windows(2).all(|w| w[0] < w[1]), "cover is sorted");
+/// assert!(cover.contains(&orecs.index_for(Addr(90))));
+/// ```
+#[derive(Debug, Default)]
+pub struct ReadSet {
+    entries: Vec<ReadEntry>,
+    index: PosMap,
+    cover: Cover,
+}
+
+impl ReadSet {
+    /// An empty read set (no allocation until the first record).
+    pub fn new() -> Self {
+        ReadSet::default()
+    }
+
+    /// Number of distinct addresses read.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been read.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a validated read of `addr` whose orec stripe is `stripe`.
+    ///
+    /// Returns `true` if the address was new; re-reads are deduplicated in
+    /// O(1) instead of growing the set.
+    pub fn record(&mut self, addr: Addr, stripe: usize) -> bool {
+        let entries = &self.entries;
+        if self
+            .index
+            .insert_or_find(entries.len(), addr.0 as u64, |pos| {
+                entries[pos as usize].addr.0 as u64
+            })
+            .is_some()
+        {
+            return false;
+        }
+        self.entries.push(ReadEntry { addr, stripe });
+        self.cover.note(stripe);
+        true
+    }
+
+    /// True if `addr` has been recorded.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let entries = &self.entries;
+        self.index
+            .lookup(addr.0 as u64, |pos| entries[pos as usize].addr == addr)
+            .is_some()
+    }
+
+    /// The recorded reads, in first-read order.
+    pub fn iter(&self) -> impl Iterator<Item = &ReadEntry> {
+        self.entries.iter()
+    }
+
+    /// The distinct orec stripes covering the read set, sorted ascending.
+    ///
+    /// Stripes accumulate in O(1) per fresh address as reads happen; the
+    /// sort + dedup runs at most once per batch of out-of-order inserts,
+    /// here — descheduling (`Retry-Orig` registration) no longer re-derives
+    /// the cover from the full address list.
+    pub fn orec_cover(&mut self) -> &[usize] {
+        self.cover.as_sorted()
+    }
+
+    /// True if every covered stripe is still unlocked and no newer than
+    /// `start` — the read set is consistent with a snapshot at `start`.
+    ///
+    /// This is the one shared implementation of the validity check the
+    /// runtimes previously each hand-rolled (`reads_valid_at`); the
+    /// slice-based [`super::cover_valid_at`] serves callers that only kept
+    /// the cover.
+    pub fn valid_at(&mut self, orecs: &OrecTable, start: u64) -> bool {
+        let cover = self.cover.as_sorted();
+        super::cover_valid_at(orecs, cover, start)
+    }
+
+    /// Allocated capacity (entry vector or hash slab) — the pool recycles a
+    /// container whenever either is worth keeping.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity().max(self.index.capacity())
+    }
+
+    /// Empties the set, keeping all allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.cover.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_deduplicates_and_keeps_order() {
+        let mut rs = ReadSet::new();
+        assert!(rs.record(Addr(5), 1));
+        assert!(rs.record(Addr(9), 3));
+        assert!(!rs.record(Addr(5), 1));
+        assert!(rs.record(Addr(2), 2));
+        let addrs: Vec<Addr> = rs.iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![Addr(5), Addr(9), Addr(2)]);
+        assert_eq!(rs.len(), 3);
+        assert!(rs.contains(Addr(9)));
+        assert!(!rs.contains(Addr(99)));
+    }
+
+    #[test]
+    fn cover_is_sorted_and_distinct() {
+        let mut rs = ReadSet::new();
+        rs.record(Addr(1), 40);
+        rs.record(Addr(2), 7);
+        rs.record(Addr(3), 40);
+        rs.record(Addr(4), 12);
+        assert_eq!(rs.orec_cover(), &[7, 12, 40]);
+    }
+
+    #[test]
+    fn valid_at_checks_lock_and_version() {
+        use crate::orec::OrecValue;
+        let orecs = OrecTable::new(64);
+        let mut rs = ReadSet::new();
+        let addr = Addr(10);
+        let idx = orecs.index_for(addr);
+        rs.record(addr, idx);
+        assert!(rs.valid_at(&orecs, 0));
+        orecs.store(idx, OrecValue::unlocked(5));
+        assert!(!rs.valid_at(&orecs, 4), "newer version invalidates");
+        assert!(rs.valid_at(&orecs, 5));
+        orecs.store(idx, OrecValue::locked(5, 0));
+        assert!(!rs.valid_at(&orecs, 9), "locked stripe invalidates");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_state() {
+        let mut rs = ReadSet::new();
+        for i in 0..500 {
+            rs.record(Addr(i), i % 13);
+        }
+        let cap = rs.capacity();
+        rs.clear();
+        assert!(rs.is_empty());
+        assert!(rs.orec_cover().is_empty());
+        assert_eq!(rs.capacity(), cap);
+        assert!(rs.record(Addr(1), 1), "cleared set accepts old addresses");
+    }
+
+    #[test]
+    fn large_sets_stay_consistent() {
+        let mut rs = ReadSet::new();
+        for i in 0..10_000 {
+            assert!(rs.record(Addr(i), i & 0xFF));
+        }
+        for i in 0..10_000 {
+            assert!(!rs.record(Addr(i), i & 0xFF), "addr {i} must dedup");
+        }
+        assert_eq!(rs.len(), 10_000);
+        assert_eq!(rs.orec_cover().len(), 256);
+    }
+}

@@ -1,0 +1,272 @@
+//! The hash-indexed write log shared by redo, undo and `Retry` value logs.
+
+use crate::addr::Addr;
+
+use super::index::{Cover, PosMap};
+
+/// One logged write: the address, its value, and a caller-defined cached
+/// index.
+///
+/// The lazy STM's redo log stores the orec stripe here (feeding
+/// [`WriteLog::orec_cover`], its commit-time lock-acquisition order).
+/// Logs whose cover nobody reads — the eager undo log (its cover is the
+/// separate lock set), the HTM buffers and the `Retry` value log — pass a
+/// constant index instead, which keeps the cover degenerate (at most one
+/// entry) and so costs nothing to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The written address.
+    pub addr: Addr,
+    /// The logged value: the pending value for a redo log, the displaced
+    /// old value for an undo log, the observed value for a value log.
+    pub val: u64,
+    /// Cached owner-defined index for `addr` (orec stripe where relevant).
+    pub stripe: usize,
+}
+
+/// A transaction's write log: insertion-ordered entries, an open-addressed
+/// hash index giving O(1) per-address lookup, and a cover of the distinct
+/// cached stripes, sorted at most once per attempt when first consumed.
+///
+/// One container serves all three log disciplines:
+///
+/// * **redo** ([`WriteLog::record`]) — write-after-write overwrites the
+///   entry in place, so replaying entries in order applies the final value
+///   of every address exactly once;
+/// * **undo / value log** ([`WriteLog::record_first`]) — the first logged
+///   value per address is kept (the pre-transaction or first-observed
+///   value), so replaying in *reverse* restores pre-transaction state.
+///
+/// The flat-`Vec` predecessors scanned linearly on every read-after-write
+/// (`redo_lookup`, `retry_log`), making large transactions quadratic.
+///
+/// ```
+/// use tm_core::access::WriteLog;
+/// use tm_core::Addr;
+///
+/// let mut redo = WriteLog::new();
+/// redo.record(Addr(7), 1, || 0);
+/// redo.record(Addr(7), 2, || 0); // write-after-write: last value wins
+/// assert_eq!(redo.lookup(Addr(7)), Some(2));
+/// assert_eq!(redo.len(), 1, "one entry per address");
+///
+/// let mut undo = WriteLog::new();
+/// undo.record_first(Addr(7), 10, || 0);
+/// undo.record_first(Addr(7), 99, || 0); // first (pre-tx) value is kept
+/// assert_eq!(undo.lookup(Addr(7)), Some(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct WriteLog {
+    entries: Vec<WriteEntry>,
+    index: PosMap,
+    cover: Cover,
+}
+
+impl WriteLog {
+    /// An empty log (no allocation until the first record).
+    pub fn new() -> Self {
+        WriteLog::default()
+    }
+
+    /// Number of distinct logged addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Position of `addr`'s entry via the shared insert protocol, or `None`
+    /// with a slot reserved for the next push.
+    #[inline]
+    fn find_or_reserve(&mut self, addr: Addr) -> Option<u32> {
+        let entries = &self.entries;
+        self.index
+            .insert_or_find(entries.len(), addr.0 as u64, |pos| {
+                entries[pos as usize].addr.0 as u64
+            })
+    }
+
+    #[inline]
+    fn push_new(&mut self, addr: Addr, val: u64, stripe: usize) {
+        self.entries.push(WriteEntry { addr, val, stripe });
+        self.cover.note(stripe);
+    }
+
+    /// Records a write with redo semantics: a write-after-write overwrites
+    /// the existing entry's value.  `stripe` is only evaluated for fresh
+    /// addresses, so re-writes never re-hash.  Returns `true` if the
+    /// address was new.
+    #[inline]
+    pub fn record(&mut self, addr: Addr, val: u64, stripe: impl FnOnce() -> usize) -> bool {
+        match self.find_or_reserve(addr) {
+            Some(pos) => {
+                self.entries[pos as usize].val = val;
+                false
+            }
+            None => {
+                let stripe = stripe();
+                self.push_new(addr, val, stripe);
+                true
+            }
+        }
+    }
+
+    /// Records a write with undo/value-log semantics: the first logged
+    /// value per address is kept, later records are ignored.  Returns
+    /// `true` if the address was new.
+    #[inline]
+    pub fn record_first(&mut self, addr: Addr, val: u64, stripe: impl FnOnce() -> usize) -> bool {
+        match self.find_or_reserve(addr) {
+            Some(_) => false,
+            None => {
+                let stripe = stripe();
+                self.push_new(addr, val, stripe);
+                true
+            }
+        }
+    }
+
+    /// The logged value for `addr`, if present — O(1), replacing the
+    /// reverse linear scans of the flat logs.
+    #[inline]
+    pub fn lookup(&self, addr: Addr) -> Option<u64> {
+        self.entry(addr).map(|e| e.val)
+    }
+
+    /// The full entry for `addr`, if present.
+    #[inline]
+    pub fn entry(&self, addr: Addr) -> Option<&WriteEntry> {
+        let entries = &self.entries;
+        self.index
+            .lookup(addr.0 as u64, |pos| entries[pos as usize].addr == addr)
+            .map(|pos| &self.entries[pos as usize])
+    }
+
+    /// True if `addr` has been logged.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.entry(addr).is_some()
+    }
+
+    /// The entries in insertion order (first write per address).  Iterate
+    /// forward to replay a redo log, `.rev()` to roll back an undo log.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &WriteEntry> {
+        self.entries.iter()
+    }
+
+    /// The distinct cached stripes of the logged addresses, sorted
+    /// ascending — the commit-time lock-acquisition order for the lazy STM.
+    /// Stripes accumulate in O(1) per fresh address; the sort + dedup runs
+    /// at most once per attempt, here, instead of re-deriving the cover
+    /// from the full address list at every commit.
+    pub fn orec_cover(&mut self) -> &[usize] {
+        self.cover.as_sorted()
+    }
+
+    /// Drains the log into `(addr, value)` pairs in insertion order,
+    /// leaving the log empty but with its capacity intact (the shape
+    /// [`crate::ctl::WaitCondition::ValuesChanged`] wants from the `Retry`
+    /// value log).
+    pub fn drain_pairs(&mut self) -> Vec<(Addr, u64)> {
+        let pairs = self.entries.iter().map(|e| (e.addr, e.val)).collect();
+        self.clear();
+        pairs
+    }
+
+    /// `(addr, value)` pairs in insertion order without consuming the log.
+    pub fn pairs(&self) -> Vec<(Addr, u64)> {
+        self.entries.iter().map(|e| (e.addr, e.val)).collect()
+    }
+
+    /// Allocated capacity (entry vector or hash slab) — the pool recycles a
+    /// container whenever either is worth keeping.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity().max(self.index.capacity())
+    }
+
+    /// Empties the log, keeping all allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.cover.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redo_semantics_last_write_wins_in_place() {
+        let mut log = WriteLog::new();
+        assert!(log.record(Addr(1), 10, || 4));
+        assert!(log.record(Addr(2), 20, || 5));
+        assert!(!log.record(Addr(1), 11, || unreachable!("cached")));
+        assert_eq!(log.lookup(Addr(1)), Some(11));
+        assert_eq!(log.len(), 2);
+        let order: Vec<(Addr, u64)> = log.iter().map(|e| (e.addr, e.val)).collect();
+        assert_eq!(order, vec![(Addr(1), 11), (Addr(2), 20)]);
+    }
+
+    #[test]
+    fn undo_semantics_first_value_is_kept() {
+        let mut log = WriteLog::new();
+        assert!(log.record_first(Addr(1), 10, || 4));
+        assert!(!log.record_first(Addr(1), 99, || unreachable!("cached")));
+        assert_eq!(log.lookup(Addr(1)), Some(10));
+    }
+
+    #[test]
+    fn lookup_misses_cleanly() {
+        let mut log = WriteLog::new();
+        assert_eq!(log.lookup(Addr(3)), None, "empty log");
+        log.record(Addr(1), 1, || 0);
+        assert_eq!(log.lookup(Addr(3)), None);
+        assert!(!log.contains(Addr(3)));
+        assert!(log.contains(Addr(1)));
+    }
+
+    #[test]
+    fn cover_tracks_distinct_stripes_sorted() {
+        let mut log = WriteLog::new();
+        log.record(Addr(1), 0, || 9);
+        log.record(Addr(2), 0, || 2);
+        log.record(Addr(3), 0, || 9);
+        assert_eq!(log.orec_cover(), &[2, 9]);
+    }
+
+    #[test]
+    fn drain_pairs_empties_but_keeps_capacity() {
+        let mut log = WriteLog::new();
+        log.record_first(Addr(8), 80, || 0);
+        log.record_first(Addr(9), 90, || 0);
+        let cap = log.capacity();
+        assert_eq!(log.pairs(), vec![(Addr(8), 80), (Addr(9), 90)]);
+        assert_eq!(log.drain_pairs(), vec![(Addr(8), 80), (Addr(9), 90)]);
+        assert!(log.is_empty());
+        assert_eq!(log.capacity(), cap);
+    }
+
+    #[test]
+    fn entry_exposes_cached_stripe() {
+        let mut log = WriteLog::new();
+        log.record(Addr(5), 50, || 123);
+        let e = log.entry(Addr(5)).unwrap();
+        assert_eq!((e.addr, e.val, e.stripe), (Addr(5), 50, 123));
+    }
+
+    #[test]
+    fn deep_logs_keep_o1_lookup_results() {
+        let mut log = WriteLog::new();
+        for i in 0..10_000 {
+            log.record(Addr(i), i as u64, || i & 0x3F);
+        }
+        for i in (0..10_000).step_by(97) {
+            assert_eq!(log.lookup(Addr(i)), Some(i as u64));
+        }
+        assert_eq!(log.orec_cover().len(), 64);
+    }
+}

@@ -101,7 +101,9 @@ pub type PredFn = fn(&mut dyn Tx, &[u64]) -> TxResult<bool>;
 pub enum WaitSpec {
     /// Wait until some location in the transaction's logged read set changes
     /// value (`Retry`, Algorithm 5).  The value log lives in
-    /// [`crate::tx::TxCommon::waitset`].
+    /// [`crate::tx::TxCommon::waitset`]; the runtime drains it into the
+    /// materialised condition's `(addr, value)` pairs, leaving the pooled
+    /// log's capacity for the re-executed attempt.
     ReadSetValues,
     /// Wait until one of the given addresses changes value (`Await`,
     /// Algorithm 6).  The runtime captures the pre-transaction values of

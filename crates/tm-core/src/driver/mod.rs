@@ -7,6 +7,13 @@
 //! waitset, roll back and hand off to `Deschedule` when a precondition fails,
 //! and run `wakeWaiters` after every writer commit (Algorithm 4).
 //!
+//! Re-execution is also where the access-set pool pays off: every attempt's
+//! logs (read set, write log, lock/line sets, the `Retry` value log in
+//! [`crate::tx::TxCommon::waitset`]) are pooled [`crate::access`] containers
+//! drawn from the thread's [`crate::access::LogPool`], so an aborted
+//! attempt's capacity is handed straight to its re-execution instead of
+//! being reallocated.
+//!
 //! This module owns that orchestration:
 //!
 //! * [`TxEngine`] — the narrow per-runtime interface (begin / commit /

@@ -18,6 +18,9 @@
 //! * the object-safe transaction handle trait ([`tx::Tx`]) plus the common
 //!   per-transaction metadata ([`tx::TxCommon`]) used by `Retry`'s value
 //!   logging,
+//! * the shared access-set layer ([`access`]): hash-indexed read sets,
+//!   write logs and index sets with a per-thread recycling pool, backing
+//!   every runtime's transaction logs,
 //! * control-flow types for aborts and descheduling ([`ctl`]),
 //! * the thread registry, statistics and quiescence support ([`thread`],
 //!   [`stats`]),
@@ -38,6 +41,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod access;
 pub mod addr;
 pub mod backoff;
 pub mod clock;
@@ -57,6 +61,7 @@ pub mod tx;
 pub mod vars;
 pub mod waitlist;
 
+pub use access::{IndexSet, LogPool, ReadEntry, ReadSet, WriteEntry, WriteLog};
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::GlobalClock;
 pub use config::{BackoffConfig, HtmConfig, TimerConfig, TmConfig};

@@ -9,54 +9,71 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! stats_fields {
-    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
-        /// Live (atomic) per-thread counters.
+    (
+        counters { $($(#[$cdoc:meta])* $cname:ident),+ $(,)? }
+        maxima { $($(#[$mdoc:meta])* $mname:ident),+ $(,)? }
+    ) => {
+        /// Live (atomic) per-thread counters, plus high-water marks.
         #[derive(Debug, Default)]
         pub struct TxStats {
-            $($(#[$doc])* pub $name: AtomicU64,)+
+            $($(#[$cdoc])* pub $cname: AtomicU64,)+
+            $($(#[$mdoc])* pub $mname: AtomicU64,)+
         }
 
         /// A point-in-time copy of [`TxStats`], suitable for aggregation and
         /// serialization.
         #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
         pub struct StatsSnapshot {
-            $($(#[$doc])* pub $name: u64,)+
+            $($(#[$cdoc])* pub $cname: u64,)+
+            $($(#[$mdoc])* pub $mname: u64,)+
         }
 
         impl TxStats {
             /// Takes a consistent-enough snapshot of all counters.
             pub fn snapshot(&self) -> StatsSnapshot {
                 StatsSnapshot {
-                    $($name: self.$name.load(Ordering::Relaxed),)+
+                    $($cname: self.$cname.load(Ordering::Relaxed),)+
+                    $($mname: self.$mname.load(Ordering::Relaxed),)+
                 }
             }
 
             /// Resets all counters to zero.
             pub fn reset(&self) {
-                $(self.$name.store(0, Ordering::Relaxed);)+
+                $(self.$cname.store(0, Ordering::Relaxed);)+
+                $(self.$mname.store(0, Ordering::Relaxed);)+
             }
         }
 
         impl StatsSnapshot {
-            /// Element-wise sum of two snapshots.
+            /// Combines two snapshots: event counters add, high-water marks
+            /// take the larger value (a maximum across threads summed would
+            /// overstate every per-transaction peak).
             pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
-                    $($name: self.$name + other.$name,)+
+                    $($cname: self.$cname + other.$cname,)+
+                    $($mname: self.$mname.max(other.$mname),)+
                 }
             }
 
             /// Field names and values in declaration order, for serialization
             /// without a reflection framework.
             pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
-                vec![$((stringify!($name), self.$name)),+]
+                vec![
+                    $((stringify!($cname), self.$cname),)+
+                    $((stringify!($mname), self.$mname),)+
+                ]
             }
 
             /// Sets a counter by field name; returns `false` for unknown
             /// names (forward compatibility when reading old reports).
             pub fn set_by_name(&mut self, name: &str, value: u64) -> bool {
                 match name {
-                    $(stringify!($name) => {
-                        self.$name = value;
+                    $(stringify!($cname) => {
+                        self.$cname = value;
+                        true
+                    })+
+                    $(stringify!($mname) => {
+                        self.$mname = value;
                         true
                     })+
                     _ => false,
@@ -67,6 +84,7 @@ macro_rules! stats_fields {
 }
 
 stats_fields! {
+    counters {
     /// Software-mode transactions committed.
     sw_commits,
     /// Software-mode transaction attempts aborted.
@@ -114,6 +132,20 @@ stats_fields! {
     condvar_signals,
     /// Commit-time quiescence rounds executed for privatization safety.
     quiesce_rounds,
+    /// Access-set containers (read sets, write logs, index sets) handed out
+    /// from the per-thread [`crate::access::LogPool`] with their capacity
+    /// already grown by an earlier attempt, instead of being allocated.
+    log_pool_reuses,
+    }
+    maxima {
+    /// Largest read set any single attempt built: distinct addresses on the
+    /// software STMs, distinct speculative read *lines* on HTM hardware
+    /// attempts (the simulator tracks reads at line granularity, so the HTM
+    /// value is not comparable 1:1 with the STM rows).
+    read_set_max,
+    /// Largest write log (distinct addresses) any single attempt built.
+    write_set_max,
+    }
 }
 
 impl TxStats {
@@ -127,6 +159,12 @@ impl TxStats {
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water mark to `value` if it is larger.
+    #[inline]
+    pub fn record_max(mark: &AtomicU64, value: u64) {
+        mark.fetch_max(value, Ordering::Relaxed);
     }
 }
 
@@ -204,7 +242,50 @@ mod tests {
     fn reset_zeroes_everything() {
         let s = TxStats::default();
         TxStats::bump(&s.descheds);
+        TxStats::record_max(&s.read_set_max, 99);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn record_max_keeps_the_high_water_mark() {
+        let s = TxStats::default();
+        TxStats::record_max(&s.read_set_max, 10);
+        TxStats::record_max(&s.read_set_max, 4);
+        TxStats::record_max(&s.write_set_max, 7);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_set_max, 10);
+        assert_eq!(snap.write_set_max, 7);
+    }
+
+    #[test]
+    fn merge_takes_max_for_high_water_marks() {
+        let a = StatsSnapshot {
+            sw_commits: 1,
+            read_set_max: 100,
+            write_set_max: 2,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            sw_commits: 2,
+            read_set_max: 50,
+            write_set_max: 9,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.sw_commits, 3, "event counters still add");
+        assert_eq!(m.read_set_max, 100);
+        assert_eq!(m.write_set_max, 9);
+    }
+
+    #[test]
+    fn as_pairs_and_set_by_name_cover_high_water_marks() {
+        let mut s = StatsSnapshot::default();
+        assert!(s.set_by_name("read_set_max", 5));
+        assert!(s.set_by_name("log_pool_reuses", 3));
+        assert!(!s.set_by_name("no_such_stat", 1));
+        let pairs = s.as_pairs();
+        assert!(pairs.contains(&("read_set_max", 5)));
+        assert!(pairs.contains(&("log_pool_reuses", 3)));
     }
 }

@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::access::{IndexSet, LogPool, ReadSet, Taken, WriteLog};
 use crate::lock::RwLock;
 
 use crate::sem::Semaphore;
@@ -39,6 +40,10 @@ pub struct ThreadCtx {
     pub doomed: AtomicBool,
     /// Parking semaphore used when the thread is descheduled.
     pub sem: Semaphore,
+    /// Recycler for the thread's access-set containers: a rolled-back
+    /// attempt's read set / write log / index sets go back here and the
+    /// next attempt takes them out with their capacity intact.
+    pub pool: LogPool,
 }
 
 impl ThreadCtx {
@@ -49,7 +54,54 @@ impl ThreadCtx {
             start_time: AtomicU64::new(NOT_IN_TX),
             doomed: AtomicBool::new(false),
             sem: Semaphore::new(),
+            pool: LogPool::new(),
         }
+    }
+
+    fn note_reuse(&self, taken: Taken) {
+        if taken == Taken::Recycled {
+            TxStats::bump(&self.stats.log_pool_reuses);
+        }
+    }
+
+    /// Takes a cleared [`ReadSet`] from the pool, counting the reuse.
+    pub fn take_read_set(&self) -> ReadSet {
+        let (set, taken) = self.pool.take_read_set();
+        self.note_reuse(taken);
+        set
+    }
+
+    /// Returns a read set to the pool, recording the attempt's read-set
+    /// high-water mark.
+    pub fn put_read_set(&self, set: ReadSet) {
+        TxStats::record_max(&self.stats.read_set_max, set.len() as u64);
+        self.pool.put_read_set(set);
+    }
+
+    /// Takes a cleared [`WriteLog`] from the pool, counting the reuse.
+    pub fn take_write_log(&self) -> WriteLog {
+        let (log, taken) = self.pool.take_write_log();
+        self.note_reuse(taken);
+        log
+    }
+
+    /// Returns a write log to the pool, recording the attempt's write-log
+    /// high-water mark.
+    pub fn put_write_log(&self, log: WriteLog) {
+        TxStats::record_max(&self.stats.write_set_max, log.len() as u64);
+        self.pool.put_write_log(log);
+    }
+
+    /// Takes a cleared [`IndexSet`] from the pool, counting the reuse.
+    pub fn take_index_set(&self) -> IndexSet {
+        let (set, taken) = self.pool.take_index_set();
+        self.note_reuse(taken);
+        set
+    }
+
+    /// Returns an index set to the pool.
+    pub fn put_index_set(&self, set: IndexSet) {
+        self.pool.put_index_set(set);
     }
 
     /// Publishes the start time of an in-flight transaction.
@@ -204,6 +256,37 @@ mod tests {
         let mut seen = Vec::new();
         r.for_each_other(me.id, |t| seen.push(t.id));
         assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_round_trip_counts_reuses_and_high_water_marks() {
+        use crate::addr::Addr;
+        let r = ThreadRegistry::new();
+        let t = r.register();
+
+        let mut reads = t.take_read_set();
+        let mut log = t.take_write_log();
+        assert_eq!(
+            t.stats.snapshot().log_pool_reuses,
+            0,
+            "first takes are fresh"
+        );
+        for i in 0..10 {
+            reads.record(Addr(i), i);
+        }
+        log.record(Addr(1), 1, || 0);
+        log.record(Addr(2), 2, || 0);
+        t.put_read_set(reads);
+        t.put_write_log(log);
+
+        let snap = t.stats.snapshot();
+        assert_eq!(snap.read_set_max, 10);
+        assert_eq!(snap.write_set_max, 2);
+
+        let reads = t.take_read_set();
+        let log = t.take_write_log();
+        assert!(reads.is_empty() && log.is_empty());
+        assert_eq!(t.stats.snapshot().log_pool_reuses, 2);
     }
 
     #[test]

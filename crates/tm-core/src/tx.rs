@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::access::WriteLog;
 use crate::addr::Addr;
 use crate::ctl::{TxCtl, TxResult};
 use crate::system::TmSystem;
@@ -46,8 +47,11 @@ pub struct TxCommon {
     /// Execution mode of this attempt.
     pub mode: TxMode,
     /// Value log for `Retry`: populated on every read when
-    /// `mode == SoftwareRetry` (Algorithm 5, `TxRead`).
-    pub waitset: Vec<(Addr, u64)>,
+    /// `mode == SoftwareRetry` (Algorithm 5, `TxRead`).  A pooled
+    /// [`WriteLog`] in first-value-wins mode, so re-reads deduplicate in
+    /// O(1) and the capacity is recycled across attempts; drain it with
+    /// [`WriteLog::drain_pairs`] when materialising the wait condition.
+    pub waitset: WriteLog,
     /// How many times this transaction has been attempted (for backoff and
     /// the HTM fallback policy).
     pub attempts: u32,
@@ -68,11 +72,20 @@ pub struct TxCommon {
 
 impl TxCommon {
     /// Creates attempt metadata for `thread` in `mode`.
+    ///
+    /// The `Retry` value log is taken from the thread's
+    /// [`crate::access::LogPool`] only in value-logging mode; other modes
+    /// never touch it, so they carry an allocation-free empty log.
     pub fn new(thread: Arc<ThreadCtx>, mode: TxMode, attempts: u32) -> Self {
+        let waitset = if mode == TxMode::SoftwareRetry {
+            thread.take_write_log()
+        } else {
+            WriteLog::new()
+        };
         TxCommon {
             thread,
             mode,
-            waitset: Vec::new(),
+            waitset,
             attempts,
             wake_reason: None,
             wait_deadline: None,
@@ -81,14 +94,24 @@ impl TxCommon {
 
     /// Records a read in the `Retry` value log when in retry-logging mode.
     ///
-    /// Deduplicates by address so re-reads do not bloat the waitset; keeping
-    /// the *first* observed value makes the log reflect the state the
-    /// transaction actually observed.
+    /// Deduplicates by address in O(1); keeping the *first* observed value
+    /// makes the log reflect the state the transaction actually observed.
     #[inline]
     pub fn log_retry_read(&mut self, addr: Addr, val: u64) {
-        if self.mode == TxMode::SoftwareRetry && !self.waitset.iter().any(|&(a, _)| a == addr) {
-            self.waitset.push((addr, val));
+        if self.mode == TxMode::SoftwareRetry {
+            self.waitset.record_first(addr, val, || 0);
         }
+    }
+}
+
+impl Drop for TxCommon {
+    fn drop(&mut self) {
+        // Recycle the value log's capacity for the next attempt.  Straight
+        // to the pool: the waitset logs *reads*, so it must not feed the
+        // `write_set_max` high-water mark the way real write logs do.
+        self.thread
+            .pool
+            .put_write_log(std::mem::take(&mut self.waitset));
     }
 }
 
@@ -179,6 +202,20 @@ mod tests {
         c.log_retry_read(Addr(1), 10);
         c.log_retry_read(Addr(2), 20);
         c.log_retry_read(Addr(1), 99);
-        assert_eq!(c.waitset, vec![(Addr(1), 10), (Addr(2), 20)]);
+        assert_eq!(c.waitset.pairs(), vec![(Addr(1), 10), (Addr(2), 20)]);
+    }
+
+    #[test]
+    fn dropped_attempts_recycle_the_value_log() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        {
+            let mut c = TxCommon::new(Arc::clone(&th), TxMode::SoftwareRetry, 0);
+            c.log_retry_read(Addr(1), 10);
+        }
+        // The next retry-mode attempt takes the recycled log back out.
+        let c = TxCommon::new(Arc::clone(&th), TxMode::SoftwareRetry, 1);
+        assert!(c.waitset.is_empty());
+        assert_eq!(th.stats.snapshot().log_pool_reuses, 1);
     }
 }

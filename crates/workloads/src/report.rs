@@ -164,6 +164,7 @@ impl Panel {
             let _ = writeln!(out);
         }
         out.push_str(&self.render_wake_stats());
+        out.push_str(&self.render_access_stats());
         out
     }
 
@@ -199,6 +200,32 @@ impl Panel {
                 stats.wake_timeouts,
                 stats.wake_cancels,
                 stats.timer_ticks,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising access-set behaviour: the largest
+    /// read set and write log any attempt built (high-water marks, max-merged
+    /// across threads) and how many pooled log containers were recycled
+    /// instead of allocated.  Empty when no series recorded either.
+    pub fn render_access_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.read_set_max == 0 && stats.write_set_max == 0 && stats.log_pool_reuses == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# access-set {:>10}: read set max {:>8}  write set max {:>8}  pool reuses {:>10}",
+                s.mechanism.label(),
+                stats.read_set_max,
+                stats.write_set_max,
+                stats.log_pool_reuses,
             );
         }
         out
@@ -574,6 +601,33 @@ mod tests {
         assert!(
             !text.contains("Pthreads: waiters"),
             "series without wake work stay out of the wake block"
+        );
+    }
+
+    #[test]
+    fn access_stats_render_only_when_recorded() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(panel.render_access_stats().is_empty());
+
+        let mut with_sets = point(4, 1.0);
+        with_sets.stats.read_set_max = 16384;
+        with_sets.stats.write_set_max = 512;
+        with_sets.stats.log_pool_reuses = 31;
+        panel.series_mut(Mechanism::Retry).push(with_sets);
+        // A second point with smaller maxima must not shrink the rendered
+        // high-water mark (max-merge, not sum).
+        let mut smaller = point(16, 1.0);
+        smaller.stats.read_set_max = 10;
+        panel.series_mut(Mechanism::Retry).push(smaller);
+        let text = panel.render();
+        assert!(text.contains("access-set"));
+        assert!(text.contains("read set max    16384"));
+        assert!(text.contains("write set max      512"));
+        assert!(text.contains("pool reuses         31"));
+        assert!(
+            !text.contains("Pthreads: read set"),
+            "series without access-set work stay out of the block"
         );
     }
 

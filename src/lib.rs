@@ -55,7 +55,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`core`] (`tm-core`) | word heap, ownership records, clock, thread registry, sharded waiter registry, transaction traits |
+//! | [`core`] (`tm-core`) | word heap, ownership records, clock, thread registry, shared access-set layer, sharded waiter registry, transaction traits |
 //! | [`eager`] (`stm-eager`) | Appendix A undo-log STM (paper: "Eager STM") |
 //! | [`lazy`] (`stm-lazy`) | TL2-style redo-log STM (paper: "Lazy STM") |
 //! | [`htm`] (`htm-sim`) | best-effort hardware-TM simulator (paper: "HTM") |

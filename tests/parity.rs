@@ -200,6 +200,81 @@ fn wake_reason_parity_across_runtimes() {
 }
 
 #[test]
+fn large_transactions_are_identical_across_runtimes() {
+    // A single large transaction — thousands of interleaved reads, writes,
+    // read-after-writes and re-reads over hundreds of addresses — must leave
+    // byte-identical heap state and return the same checksum on every
+    // runtime.  This is the shape the shared access-set layer exists for
+    // (big read sets + deep write logs), so it doubles as an integration
+    // check that the pooled, hash-indexed logs did not change semantics.
+    use tm_core::backoff::XorShift64;
+
+    const ADDRS: usize = 512;
+    const OPS: usize = 6_000;
+    let base = 1024usize;
+
+    let mut outcomes: Vec<(RuntimeKind, u64, Vec<u64>)> = Vec::new();
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::default());
+        let system = Arc::clone(rt.system());
+        let th = system.register_thread();
+        for i in 0..ADDRS {
+            system.heap.store(Addr(base + i), i as u64);
+        }
+        // The schedule is fixed up front so re-executed attempts replay it.
+        let mut rng = XorShift64::new(0xB16_7C5);
+        let ops: Vec<(u64, usize, u64)> = (0..OPS)
+            .map(|_| {
+                (
+                    rng.next() % 3,
+                    (rng.next() % ADDRS as u64) as usize,
+                    rng.next() % 4096,
+                )
+            })
+            .collect();
+
+        let checksum = rt.atomically(&th, |tx| {
+            let mut acc = 0u64;
+            for &(op, i, val) in &ops {
+                let addr = Addr(base + i);
+                match op {
+                    0 => acc = acc.wrapping_add(tx.read(addr)?),
+                    1 => tx.write(addr, val)?,
+                    _ => {
+                        let cur = tx.read(addr)?;
+                        tx.write(addr, cur.wrapping_add(val))?;
+                        acc = acc.wrapping_add(tx.read(addr)?);
+                    }
+                }
+            }
+            Ok(acc)
+        });
+
+        let heap: Vec<u64> = (0..ADDRS)
+            .map(|i| system.heap.load(Addr(base + i)))
+            .collect();
+        let stats = system.stats();
+        assert!(
+            stats.write_set_max > 0 && stats.read_set_max > 0,
+            "{kind}: a large transaction must register set high-water marks \
+             (read {}, write {})",
+            stats.read_set_max,
+            stats.write_set_max
+        );
+        outcomes.push((kind, checksum, heap));
+    }
+
+    let (first_kind, first_sum, first_heap) = &outcomes[0];
+    for (kind, checksum, heap) in &outcomes[1..] {
+        assert_eq!(
+            checksum, first_sum,
+            "{kind} checksum diverged from {first_kind}"
+        );
+        assert_eq!(heap, first_heap, "{kind} heap diverged from {first_kind}");
+    }
+}
+
+#[test]
 fn parity_holds_under_repetition() {
     // The scenario is timing-sensitive (waiters may skip the sleep if the
     // writer wins the race); repeat it to cover both interleavings.
