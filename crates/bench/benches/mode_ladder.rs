@@ -1,0 +1,244 @@
+//! `mode_ladder` — where transactions commit (hardware / software / serial)
+//! as contention rises, across every runtime and contention policy.
+//!
+//! The unified mode-control plane promises two things this bench
+//! demonstrates on the producer/consumer workload:
+//!
+//! * the **hybrid** runtime commits in hardware under low contention and
+//!   degrades to *software* commits — not to the global serial lock — under
+//!   high contention (hardware remains a fast path, the lazy STM the safety
+//!   net, serial the last rung);
+//! * the **contention policies** (`fixed`, `adaptive`, `stubborn`) shift
+//!   that distribution: adaptive/stubborn escalate starving transactions to
+//!   the serial gate, visible in `serial_commits` / `cm_escalations`.
+//!
+//! Contention is swept by scaling the thread count over a tiny buffer
+//! (p1-c1 on a roomy buffer is near-uncontended; p4-c4 on a 2-slot buffer
+//! keeps every thread colliding).
+//!
+//! Output: a plain-text table on stdout plus a JSON report (via
+//! `tm_workloads::json`) written to `$TM_BENCH_JSON` (default
+//! `BENCH_mode_ladder.json`), matching the `wake_scaling` / `set_scaling`
+//! conventions so CI can archive the trajectory.
+//!
+//! Environment:
+//!
+//! | variable            | meaning                                 | default |
+//! |---------------------|-----------------------------------------|---------|
+//! | `TM_BENCH_SMOKE=1`  | tiny item counts for CI smoke runs      | off     |
+//! | `TM_BENCH_ITEMS`    | items produced+consumed per cell        | `8192`  |
+//! | `TM_BENCH_JSON`     | JSON report path                        | `BENCH_mode_ladder.json` |
+
+use condsync::Mechanism;
+use tm_core::{PolicyKind, TmConfig};
+use tm_workloads::json::Value;
+use tm_workloads::pc::{run_pc_configured, PcParams};
+use tm_workloads::runtime::RuntimeKind;
+
+/// One contention level of the sweep: thread counts and buffer size.
+#[derive(Copy, Clone, Debug)]
+struct Level {
+    label: &'static str,
+    producers: usize,
+    consumers: usize,
+    buffer: usize,
+}
+
+const LEVELS: [Level; 3] = [
+    Level {
+        label: "low",
+        producers: 1,
+        consumers: 1,
+        buffer: 64,
+    },
+    Level {
+        label: "mid",
+        producers: 2,
+        consumers: 2,
+        buffer: 8,
+    },
+    Level {
+        label: "high",
+        producers: 4,
+        consumers: 4,
+        buffer: 2,
+    },
+];
+
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Fixed,
+    PolicyKind::ADAPTIVE_DEFAULT,
+    PolicyKind::STUBBORN_DEFAULT,
+];
+
+struct Cell {
+    runtime: RuntimeKind,
+    policy: PolicyKind,
+    level: Level,
+    seconds: f64,
+    hw_commits: u64,
+    sw_commits: u64,
+    serial_commits: u64,
+    mode_switches: u64,
+    cm_escalations: u64,
+    aborts: u64,
+}
+
+fn measure(kind: RuntimeKind, policy: PolicyKind, level: Level, items: u64) -> Cell {
+    let params = PcParams::new(
+        level.producers,
+        level.consumers,
+        level.buffer,
+        items,
+        Mechanism::Retry,
+    );
+    let config = TmConfig {
+        heap_words: params.heap_words(),
+        ..TmConfig::default()
+    }
+    .with_policy(policy);
+    let result = run_pc_configured(kind, &params, config);
+    assert!(result.checksum_ok, "{kind} {policy:?} {level:?}");
+    let s = result.stats;
+    Cell {
+        runtime: kind,
+        policy,
+        level,
+        seconds: result.seconds(),
+        hw_commits: s.hw_commits,
+        sw_commits: s.sw_commits,
+        serial_commits: s.serial_commits,
+        mode_switches: s.mode_switches,
+        cm_escalations: s.cm_escalations,
+        aborts: s.total_aborts(),
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let smoke = env_flag("TM_BENCH_SMOKE");
+    let items: u64 = std::env::var("TM_BENCH_ITEMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 512 } else { 8192 });
+    let json_path =
+        std::env::var("TM_BENCH_JSON").unwrap_or_else(|_| "BENCH_mode_ladder.json".to_string());
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:<9} {:<6} {:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "runtime",
+        "policy",
+        "level",
+        "seconds",
+        "hw_commit",
+        "sw_commit",
+        "serial",
+        "switches",
+        "escalate",
+        "aborts"
+    );
+    for kind in RuntimeKind::ALL {
+        for policy in POLICIES {
+            for level in LEVELS {
+                let cell = measure(kind, policy, level, items);
+                println!(
+                    "{:<10} {:<9} {:<6} {:>9.4} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+                    cell.runtime.label(),
+                    cell.policy.label(),
+                    cell.level.label,
+                    cell.seconds,
+                    cell.hw_commits,
+                    cell.sw_commits,
+                    cell.serial_commits,
+                    cell.mode_switches,
+                    cell.cm_escalations,
+                    cell.aborts,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // The headline claims, checked on every run (smoke included): under low
+    // contention the hybrid commits in hardware; under high contention it
+    // degrades to software commits rather than collapsing onto the serial
+    // gate.
+    for policy in POLICIES {
+        let low = cells
+            .iter()
+            .find(|c| {
+                c.runtime == RuntimeKind::Hybrid && c.policy == policy && c.level.label == "low"
+            })
+            .expect("low cell");
+        let high = cells
+            .iter()
+            .find(|c| {
+                c.runtime == RuntimeKind::Hybrid && c.policy == policy && c.level.label == "high"
+            })
+            .expect("high cell");
+        assert!(
+            low.hw_commits > 0,
+            "hybrid/{}: no hardware commits under low contention",
+            policy.label()
+        );
+        assert!(
+            high.serial_commits < high.sw_commits,
+            "hybrid/{}: high contention collapsed onto the serial gate \
+             (serial {} >= sw {})",
+            policy.label(),
+            high.serial_commits,
+            high.sw_commits
+        );
+        println!(
+            "  -> hybrid/{}: low-contention hw commits {}, high-contention sw {} vs serial {}",
+            policy.label(),
+            low.hw_commits,
+            high.sw_commits,
+            high.serial_commits
+        );
+    }
+
+    let report = Value::obj(vec![
+        ("experiment", Value::Str("mode_ladder".to_string())),
+        (
+            "description",
+            Value::Str(
+                "commit distribution across the Hw/Sw/Serial mode ladder vs contention and policy"
+                    .to_string(),
+            ),
+        ),
+        ("items_per_cell", Value::Num(items as f64)),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("runtime", Value::Str(c.runtime.label().to_string())),
+                            ("policy", Value::Str(c.policy.label().to_string())),
+                            ("level", Value::Str(c.level.label.to_string())),
+                            ("producers", Value::Num(c.level.producers as f64)),
+                            ("consumers", Value::Num(c.level.consumers as f64)),
+                            ("buffer", Value::Num(c.level.buffer as f64)),
+                            ("seconds", Value::Num(c.seconds)),
+                            ("hw_commits", Value::Num(c.hw_commits as f64)),
+                            ("sw_commits", Value::Num(c.sw_commits as f64)),
+                            ("serial_commits", Value::Num(c.serial_commits as f64)),
+                            ("mode_switches", Value::Num(c.mode_switches as f64)),
+                            ("cm_escalations", Value::Num(c.cm_escalations as f64)),
+                            ("aborts", Value::Num(c.aborts as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, report.pretty()).expect("write JSON report");
+    println!("wrote {json_path}");
+}

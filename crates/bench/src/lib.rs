@@ -186,6 +186,8 @@ pub fn bounded_buffer_figure(kind: RuntimeKind, opts: &FigureOptions) -> Report 
         RuntimeKind::EagerStm => "fig2.3",
         RuntimeKind::LazyStm => "fig2.4",
         RuntimeKind::Htm => "fig2.5",
+        // Beyond the paper: the hybrid configuration gets its own report.
+        RuntimeKind::Hybrid => "fig2.5-hybrid",
     };
     let mut report = Report::new(
         experiment,
@@ -225,6 +227,8 @@ pub fn parsec_figure(kind: RuntimeKind, opts: &FigureOptions) -> Report {
         RuntimeKind::EagerStm => "fig2.6",
         RuntimeKind::LazyStm => "fig2.7",
         RuntimeKind::Htm => "fig2.8",
+        // Beyond the paper: the hybrid configuration gets its own report.
+        RuntimeKind::Hybrid => "fig2.8-hybrid",
     };
     let mut report = Report::new(experiment, "PARSEC-like kernels", kind.label());
     report.note("scale", format!("{:?}", opts.scale));

@@ -92,6 +92,28 @@ impl OrigRegistry {
         self.count.store(list.len(), Ordering::Release);
     }
 
+    /// Wakes every registered waiter unconditionally.  Serial commits carry
+    /// no lock set to intersect, so a serial writer must assume any waiter's
+    /// reads may have changed (the waiter revalidates on wake-up, exactly as
+    /// after an intersection hit).
+    ///
+    /// Returns the number of threads woken.
+    pub fn wake_all(&self, thread: &Arc<ThreadCtx>) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut woken = 0;
+        let mut list = self.list.lock();
+        for w in list.drain(..) {
+            TxStats::bump(&thread.stats.wake_checks);
+            w.sem.post();
+            woken += 1;
+            TxStats::bump(&thread.stats.wakeups);
+        }
+        self.count.store(0, Ordering::Release);
+        woken
+    }
+
     /// Wakes every waiter whose read-lock set intersects `written_orecs`
     /// (Algorithm 1, `TxCommit` lines 10–15).  Called by a writer after it
     /// has committed and released its locks.

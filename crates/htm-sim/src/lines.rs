@@ -157,6 +157,33 @@ impl LineTable {
         }
     }
 
+    /// Forcibly claims `slot` for a *software* transaction's commit
+    /// write-back (the hybrid runtime's interlock): installs `tid` as the
+    /// slot's writer unconditionally and returns every other thread
+    /// currently registered on the slot, which the caller must doom.
+    ///
+    /// Unlike [`LineTable::register_writer`] this never fails — a software
+    /// commit has already validated and *will* write this line; any
+    /// speculative occupant loses, exactly as a non-transactional store
+    /// invalidates speculative lines on real hardware.  A displaced
+    /// hardware writer's own `clear_writer` CAS will simply miss.  The
+    /// caller releases the claim with [`LineTable::clear_writer`] after the
+    /// write-back; while it is held, speculative readers and writers of the
+    /// slot observe a foreign writer and abort.
+    pub fn claim_for_writeback(&self, slot: usize, tid: ThreadId) -> Vec<ThreadId> {
+        debug_assert!(tid < MAX_HW_THREADS);
+        let s = &self.slots[slot];
+        let prev = s.writer.swap(tid as u64 + 1, Ordering::SeqCst);
+        let readers = s.readers.load(Ordering::SeqCst);
+        let mut doomed: Vec<ThreadId> = (0..MAX_HW_THREADS)
+            .filter(|&t| t != tid && readers & (1 << t) != 0)
+            .collect();
+        if prev != 0 && prev != tid as u64 + 1 {
+            doomed.push((prev - 1) as ThreadId);
+        }
+        doomed
+    }
+
     /// Removes `tid`'s reader registration from the slot.
     pub fn clear_reader(&self, slot: usize, tid: ThreadId) {
         self.slots[slot]
@@ -287,6 +314,29 @@ mod tests {
                 "word {i} of the line must be covered"
             );
         }
+    }
+
+    #[test]
+    fn claim_for_writeback_displaces_and_dooms_occupants() {
+        let t = LineTable::new(16);
+        let slot = t.slot_for(LineId(11));
+        t.register_reader(slot, 0);
+        t.register_reader(slot, 2);
+        assert!(matches!(
+            t.register_writer(slot, 4),
+            WriteRegistration::Acquired { .. }
+        ));
+        let mut doomed = t.claim_for_writeback(slot, 7);
+        doomed.sort_unstable();
+        assert_eq!(doomed, vec![0, 2, 4]);
+        assert_eq!(t.writer_of(slot), Some(7), "claimant owns the slot");
+        // The displaced hardware writer's own clear misses harmlessly.
+        t.clear_writer(slot, 4);
+        assert_eq!(t.writer_of(slot), Some(7));
+        // Speculative access while claimed sees a foreign writer.
+        assert_eq!(t.register_reader(slot, 1), Some(7));
+        t.clear_writer(slot, 7);
+        assert_eq!(t.writer_of(slot), None);
     }
 
     #[test]

@@ -7,13 +7,10 @@
 //! the engine's mode-policy hooks; the loop that drives it is the shared
 //! [`tm_core::driver::run`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use tm_core::backoff::SpinWait;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::lock::{Mutex, MutexGuard};
-use tm_core::stats::TxStats;
 use tm_core::{
     ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
     WaitCondition, WaitSpec, WakeSet,
@@ -26,19 +23,26 @@ use crate::tx::HtmTx;
 pub struct HtmSim {
     system: Arc<TmSystem>,
     lines: LineTable,
-    /// The serial fallback lock, doubling as the subscription word that
-    /// hardware transactions observe: they refuse to start (and abort) while
-    /// it is held.
-    fallback_flag: AtomicBool,
     /// Serialises hardware commits (doom-check + redo write-back + directory
-    /// clear) against each other and against serial-lock acquisition.
+    /// clear) against each other, against serial-lock acquisition, and —
+    /// through [`HtmSim::commit_barrier`] — against a hybrid runtime's
+    /// software write-backs.
     ///
     /// On real hardware a transactional commit is atomic at the coherence
     /// layer; without this lock the simulator had a window between a
     /// transaction's final doom check and its write-back in which a
     /// conflicting commit (or the serial fallback's direct stores) could
     /// interleave, producing lost updates.
+    ///
+    /// The serial fallback *flag* itself is no longer here: it is the
+    /// system-wide [`tm_core::SerialGate`] on [`TmSystem`], which every
+    /// engine honors.
     commit_mutex: Mutex<()>,
+    /// True when this simulator shares its [`TmSystem`] with a software STM
+    /// (the hybrid runtime): hardware commits then publish themselves to the
+    /// ownership records of their written lines so software validation can
+    /// observe them, and abort instead of stomping locked orecs.
+    orec_coupled: bool,
 }
 
 impl std::fmt::Debug for HtmSim {
@@ -52,12 +56,26 @@ impl std::fmt::Debug for HtmSim {
 impl HtmSim {
     /// Creates a runtime over `system`.
     pub fn new(system: Arc<TmSystem>) -> Arc<Self> {
+        Self::build(system, false)
+    }
+
+    /// Creates a runtime whose hardware commits are *coupled* to the
+    /// system's ownership records, for use as the fast path of a hybrid
+    /// HTM+STM runtime sharing `system` with a software STM: commits
+    /// validate against (and abort on) locked orecs covering their written
+    /// lines, and publish a fresh version to those orecs so software read
+    /// validation observes hardware writes.
+    pub fn new_coupled(system: Arc<TmSystem>) -> Arc<Self> {
+        Self::build(system, true)
+    }
+
+    fn build(system: Arc<TmSystem>, orec_coupled: bool) -> Arc<Self> {
         let lines = LineTable::new(system.config.orec_count);
         Arc::new(HtmSim {
             system,
             lines,
-            fallback_flag: AtomicBool::new(false),
             commit_mutex: Mutex::new(()),
+            orec_coupled,
         })
     }
 
@@ -71,38 +89,33 @@ impl HtmSim {
         &self.system
     }
 
-    /// True while some transaction holds the serial fallback lock.
+    /// True when hardware commits publish to the ownership records
+    /// (hybrid-runtime coupling; see [`HtmSim::new_coupled`]).
+    #[inline]
+    pub fn orec_coupled(&self) -> bool {
+        self.orec_coupled
+    }
+
+    /// True while some transaction holds the serial fallback lock (the
+    /// system-wide [`tm_core::SerialGate`]).
     #[inline]
     pub fn fallback_held(&self) -> bool {
-        self.fallback_flag.load(Ordering::SeqCst)
+        self.system.serial.held()
     }
 
     /// Spins until the fallback lock is free (hardware transactions subscribe
     /// to the lock before starting, as in lock elision).
     pub fn wait_fallback_clear(&self) {
-        let mut spin = SpinWait::new();
-        while self.fallback_held() {
-            spin.pause();
-        }
+        self.system.serial.wait_clear();
     }
 
-    /// Acquires the serial lock and dooms every in-flight hardware
-    /// transaction (their next access or commit will abort, exactly as
-    /// acquiring the fallback lock aborts elided transactions on real
-    /// hardware).
+    /// Acquires the system's serial gate — which dooms every in-flight
+    /// hardware transaction and quiesces in-flight software transactions —
+    /// and then drains the hardware commit barrier.
     pub fn acquire_serial(&self, thread: &Arc<ThreadCtx>) {
-        let mut spin = SpinWait::new();
-        while self
-            .fallback_flag
-            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-            .is_err()
-        {
-            spin.pause();
-        }
-        TxStats::bump(&thread.stats.serial_acquires);
-        self.system.threads.for_each_other(thread.id, |t| t.doom());
+        self.system.serial.acquire(&self.system, thread);
         // Wait out any hardware commit that passed its doom check before the
-        // dooms above landed: once the commit mutex has been acquired and
+        // gate's dooms landed: once the commit mutex has been acquired and
         // released, every in-flight write-back has finished and every later
         // hardware commit will observe its doom flag and abort.  Without
         // this barrier the serial section's direct stores could interleave
@@ -110,14 +123,17 @@ impl HtmSim {
         drop(self.commit_mutex.lock());
     }
 
-    /// Takes the hardware-commit lock (used by [`HtmTx`]'s commit path).
-    pub(crate) fn commit_guard(&self) -> MutexGuard<'_, ()> {
+    /// Takes the hardware-commit lock: every hardware commit's
+    /// doom-check + write-back runs under it, so holding it excludes them.
+    /// Public because a hybrid runtime's software write-back must take the
+    /// same barrier (see `stm_lazy::CommitInterlock`).
+    pub fn commit_barrier(&self) -> MutexGuard<'_, ()> {
         self.commit_mutex.lock()
     }
 
-    /// Releases the serial lock.
+    /// Releases the serial lock (the system gate).
     pub fn release_serial(&self) {
-        self.fallback_flag.store(false, Ordering::SeqCst);
+        self.system.serial.release(&self.system.clock);
     }
 
     /// Delivers a conflict abort to another thread's in-flight hardware

@@ -15,8 +15,8 @@ use tm_core::access::{IndexSet, WriteLog};
 use tm_core::driver::CommitOutcome;
 use tm_core::stats::TxStats;
 use tm_core::{
-    AbortReason, Addr, ThreadCtx, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
-    WaitSpec,
+    AbortReason, Addr, OrecValue, ThreadCtx, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
+    WaitCondition, WaitSpec,
 };
 
 use crate::lines::{line_stripes, WriteRegistration};
@@ -196,13 +196,62 @@ impl<'rt> HtmTx<'rt> {
                 // acquisition (on real hardware the coherence protocol
                 // guarantees this); otherwise two mutually conflicting
                 // transactions can both pass their doom checks and interleave
-                // write-backs, losing updates.
-                let commit_guard = self.rt.commit_guard();
+                // write-backs, losing updates.  A hybrid runtime's software
+                // write-backs take the same barrier (`commit_barrier`).
+                let commit_guard = self.rt.commit_barrier();
                 if self.common.thread.is_doomed() {
                     drop(commit_guard);
                     return Err(TxCtl::Abort(AbortReason::HwConflict));
                 }
                 let was_writer = !redo.is_empty();
+                // The stripe cover of the written cache lines (a superset of
+                // the written words' stripes), needed up front by the orec
+                // coupling and after the write-back by the targeted wake
+                // scan.
+                let written_cover = |redo: &WriteLog| {
+                    let mut lines: Vec<_> = redo.iter().map(|e| e.addr.line()).collect();
+                    lines.sort_unstable();
+                    lines.dedup();
+                    let mut cover = Vec::new();
+                    for line in lines {
+                        line_stripes(&system.orecs, line, &mut cover);
+                    }
+                    cover.sort_unstable();
+                    cover.dedup();
+                    cover
+                };
+                // Hybrid coupling: publish this commit through the software
+                // STM's metadata, with the *same* protocol a software
+                // committer uses.  Every stripe covering a written line is
+                // CAS-acquired (abort on any stripe a software commit
+                // already holds — overlapping data is mid-commit), held
+                // across the write-back, and released at a freshly ticked
+                // clock value after it.  Holding the locks is what makes
+                // the write-back opaque to software readers: a validated
+                // read can never interleave with it, and any transaction
+                // that began before the release observes the new version
+                // and aborts rather than mixing old and new values.  An
+                // acquisition failure releases the acquired prefix at its
+                // original versions and aborts before memory is touched.
+                let mut coupled_cover = Vec::new();
+                if was_writer && self.rt.orec_coupled() {
+                    coupled_cover = written_cover(redo);
+                    let me = self.common.thread.id;
+                    for (k, &idx) in coupled_cover.iter().enumerate() {
+                        let cur = system.orecs.load(idx);
+                        let ok = !cur.is_locked()
+                            && system
+                                .orecs
+                                .cas(idx, cur, OrecValue::locked(cur.version(), me));
+                        if !ok {
+                            for &held in &coupled_cover[..k] {
+                                let c = system.orecs.load(held);
+                                system.orecs.store(held, OrecValue::unlocked(c.version()));
+                            }
+                            return Err(TxCtl::Abort(AbortReason::HwConflict));
+                        }
+                    }
+                }
                 // Write back the buffered stores.  All conflicting in-flight
                 // transactions were doomed when we registered as writer of
                 // their lines, and our writer registrations are still in
@@ -211,6 +260,15 @@ impl<'rt> HtmTx<'rt> {
                 for e in redo.iter() {
                     system.heap.store(e.addr, e.val);
                 }
+                // Release the coupled stripes at a fresh commit timestamp,
+                // making the hardware write-back visible to software read
+                // validation exactly like a software commit's.
+                if !coupled_cover.is_empty() {
+                    let version = system.clock.tick();
+                    for &idx in &coupled_cover {
+                        system.orecs.store(idx, OrecValue::unlocked(version));
+                    }
+                }
                 // Map the committed cache lines back to orec stripes for the
                 // targeted post-commit wake scan (the word-level write set is
                 // architecturally invisible; the line cover is a superset) —
@@ -218,17 +276,11 @@ impl<'rt> HtmTx<'rt> {
                 // no-sleeper case pays one atomic load and nothing else.
                 // A waiter that registers after this check double-checks its
                 // condition after registering, and the write-back above is
-                // already complete, so no wakeup is lost.
-                let mut wake_stripes = Vec::new();
-                if was_writer && !system.waiters.is_empty() {
-                    let mut lines: Vec<_> = redo.iter().map(|e| e.addr.line()).collect();
-                    lines.sort_unstable();
-                    lines.dedup();
-                    for line in lines {
-                        line_stripes(&system.orecs, line, &mut wake_stripes);
-                    }
-                    wake_stripes.sort_unstable();
-                    wake_stripes.dedup();
+                // already complete, so no wakeup is lost.  The coupled path
+                // already computed the cover; reuse it.
+                let mut wake_stripes = coupled_cover;
+                if wake_stripes.is_empty() && was_writer && !system.waiters.is_empty() {
+                    wake_stripes = written_cover(redo);
                 }
                 let me = self.common.thread.id;
                 for slot in write_slots.iter() {
@@ -440,6 +492,9 @@ impl Tx for HtmTx<'_> {
                     TxStats::bump(&stats.hw_commits);
                 } else {
                     TxStats::bump(&stats.sw_commits);
+                }
+                if info.serial {
+                    TxStats::bump(&stats.serial_commits);
                 }
                 block();
                 // Begin the continuation transaction in the same flavour,

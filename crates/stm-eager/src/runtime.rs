@@ -63,6 +63,11 @@ impl TxEngine for EagerStm {
     }
 
     fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        if outcome.serial {
+            // Serial commits write directly with no metadata at all;
+            // conservatively wake every shard.
+            return WakeSet::All;
+        }
         // The lock set *is* the write set's stripe cover: every written
         // address hashed to one of these ownership records when its lock was
         // acquired, so a targeted scan over them cannot lose a wakeup.
@@ -80,7 +85,13 @@ impl TxEngine for EagerStm {
 
     fn after_writer_commit(&self, thread: &Arc<ThreadCtx>, outcome: &CommitOutcome) {
         if !self.orig.is_empty() {
-            self.orig.wake_matching(thread, &outcome.written_orecs);
+            if outcome.serial {
+                // A serial commit has no lock set to intersect: any
+                // Retry-Orig sleeper's reads may have changed.
+                self.orig.wake_all(thread);
+            } else {
+                self.orig.wake_matching(thread, &outcome.written_orecs);
+            }
         }
     }
 }

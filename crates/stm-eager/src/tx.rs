@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use tm_core::access::{IndexSet, ReadSet, WriteLog};
 use tm_core::driver::CommitOutcome;
+use tm_core::serial::{subscribe_begin, SerialAttempt};
 use tm_core::stats::TxStats;
 use tm_core::{
     AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
@@ -36,14 +37,26 @@ pub struct EagerTx {
     mallocs: Vec<(Addr, usize)>,
     /// Deferred frees, performed at commit.
     frees: Vec<(Addr, usize)>,
+    /// `Some` when this attempt runs serially behind the system's
+    /// [`tm_core::SerialGate`] ([`TxMode::Serial`]): all accesses go
+    /// straight to the shared serial attempt, the instrumented logs stay
+    /// empty.
+    serial: Option<SerialAttempt>,
 }
 
 impl EagerTx {
     /// Begins a new attempt: samples the clock and publishes the start time
-    /// for quiescence.
+    /// for quiescence (through the serial gate's subscription protocol), or
+    /// acquires the serial gate for [`TxMode::Serial`] attempts.
     pub fn begin(system: &Arc<TmSystem>, common: TxCommon) -> Self {
-        let start = system.clock.now();
-        common.thread.enter_tx(start);
+        let (serial, start) = if common.mode == TxMode::Serial {
+            (
+                Some(SerialAttempt::begin(system, &common.thread)),
+                system.clock.now(),
+            )
+        } else {
+            (None, subscribe_begin(system, &common.thread))
+        };
         let reads = common.thread.take_read_set();
         let undos = common.thread.take_write_log();
         let locks = common.thread.take_index_set();
@@ -56,6 +69,7 @@ impl EagerTx {
             locks,
             mallocs: Vec::new(),
             frees: Vec::new(),
+            serial,
         }
     }
 
@@ -109,8 +123,13 @@ impl EagerTx {
 
     /// Rolls the attempt back: undoes writes in reverse order, releases locks
     /// at `version + 1`, bumps the clock, undoes allocations, and clears all
-    /// logs (Algorithm 11).  Safe to call more than once.
+    /// logs (Algorithm 11).  Serial attempts undo their direct writes and
+    /// release the gate.  Safe to call more than once.
     pub fn rollback(&mut self) {
+        if let Some(serial) = &mut self.serial {
+            serial.rollback();
+            return;
+        }
         for e in self.undos.iter().rev() {
             self.system.heap.store(e.addr, e.val);
         }
@@ -146,6 +165,9 @@ impl EagerTx {
     /// Attempts to commit (Algorithm 9, `TxCommit`).  On failure the caller
     /// must invoke [`EagerTx::rollback`].
     pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
+        if let Some(serial) = &mut self.serial {
+            return Ok(serial.commit());
+        }
         // Read-only fast path: every read was validated at the time it
         // happened, so nothing further is required.
         if self.locks.is_empty() {
@@ -197,6 +219,9 @@ impl EagerTx {
     /// the condition could not be captured consistently, in which case the
     /// driver simply re-executes the transaction.
     pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        if let Some(serial) = &mut self.serial {
+            return serial.rollback_for_deschedule(spec, &mut self.common);
+        }
         match spec {
             WaitSpec::ReadSetValues => {
                 let pairs = self.common.waitset.drain_pairs();
@@ -267,6 +292,12 @@ impl Drop for EagerTx {
 
 impl Tx for EagerTx {
     fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Serial attempts read directly: the gate holder runs alone.  Their
+        // reads are never value-logged — a serial `Retry` relogs in
+        // SoftwareRetry mode (see the driver's ReadSetValues dispatch).
+        if let Some(serial) = &self.serial {
+            return Ok(serial.read(addr));
+        }
         // Algorithm 10, TxRead: atomically read lock–value–lock and accept
         // only if the snapshot is consistent and not too new.
         let idx = self.system.orecs.index_for(addr);
@@ -289,6 +320,10 @@ impl Tx for EagerTx {
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        if let Some(serial) = &mut self.serial {
+            serial.write(addr, val);
+            return Ok(());
+        }
         // Algorithm 10, TxWrite: acquire the orec, log the old value (first
         // write per address only — the log is keyed by address), update in
         // place.  The stripe cover of the write set is the lock set
@@ -302,6 +337,9 @@ impl Tx for EagerTx {
     }
 
     fn read_for_write(&mut self, addr: Addr) -> TxResult<u64> {
+        if self.serial.is_some() {
+            return self.read(addr);
+        }
         // "Read for write" (§2.2.4): acquire the lock immediately and do not
         // add the address to the read set — it is protected by the lock.
         self.acquire(addr)?;
@@ -311,6 +349,11 @@ impl Tx for EagerTx {
     }
 
     fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        if let Some(serial) = &mut self.serial {
+            return serial
+                .alloc(words)
+                .ok_or(TxCtl::Abort(AbortReason::OutOfMemory));
+        }
         match self.system.heap.alloc(words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
@@ -321,6 +364,10 @@ impl Tx for EagerTx {
     }
 
     fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+        if let Some(serial) = &mut self.serial {
+            serial.free(addr, words);
+            return Ok(());
+        }
         self.frees.push((addr, words));
         Ok(())
     }
@@ -329,14 +376,28 @@ impl Tx for EagerTx {
         // Used only by transaction-safe condition variables: commit the work
         // so far (breaking atomicity), run the blocking section outside any
         // transaction, then begin a fresh transaction for the remainder.
+        if self.serial.is_some() {
+            let outcome = self.try_commit()?;
+            // Same accounting rule as the non-serial branch below — only
+            // writer segments count — plus the serial_commits ⊆ sw_commits
+            // invariant the stats docs establish.
+            if outcome.was_writer {
+                TxStats::bump(&self.common.thread.stats.sw_commits);
+                TxStats::bump(&self.common.thread.stats.serial_commits);
+            }
+            block();
+            // Continue in the same (serial) flavour: re-acquire the gate.
+            self.serial = Some(SerialAttempt::begin(&self.system, &self.common.thread));
+            self.start = self.system.clock.now();
+            return Ok(());
+        }
         match self.try_commit() {
             Ok(info) => {
                 if info.was_writer {
                     TxStats::bump(&self.common.thread.stats.sw_commits);
                 }
                 block();
-                self.start = self.system.clock.now();
-                self.common.thread.enter_tx(self.start);
+                self.start = subscribe_begin(&self.system, &self.common.thread);
                 Ok(())
             }
             Err(ctl) => Err(ctl),

@@ -22,4 +22,4 @@ pub mod runtime;
 pub mod tx;
 
 pub use runtime::LazyStm;
-pub use tx::LazyTx;
+pub use tx::{CommitInterlock, LazyTx};

@@ -63,6 +63,11 @@ impl TxEngine for LazyStm {
     }
 
     fn committed_stripes(&self, outcome: &CommitOutcome) -> WakeSet {
+        if outcome.serial {
+            // Serial commits write directly with no metadata at all;
+            // conservatively wake every shard.
+            return WakeSet::All;
+        }
         // Commit-time lock acquisition covered every redo-log address with
         // one of these ownership records, so they are a complete stripe
         // cover of the write set.
@@ -80,7 +85,13 @@ impl TxEngine for LazyStm {
 
     fn after_writer_commit(&self, thread: &Arc<ThreadCtx>, outcome: &CommitOutcome) {
         if !self.orig.is_empty() {
-            self.orig.wake_matching(thread, &outcome.written_orecs);
+            if outcome.serial {
+                // A serial commit has no lock set to intersect: any
+                // Retry-Orig sleeper's reads may have changed.
+                self.orig.wake_all(thread);
+            } else {
+                self.orig.wake_matching(thread, &outcome.written_orecs);
+            }
         }
     }
 }

@@ -2,13 +2,41 @@
 
 use std::sync::Arc;
 
-use tm_core::access::{ReadSet, WriteLog};
+use tm_core::access::{ReadSet, WriteEntry, WriteLog};
 use tm_core::driver::CommitOutcome;
+use tm_core::serial::{subscribe_begin, SerialAttempt};
 use tm_core::stats::TxStats;
 use tm_core::{
-    AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
-    WaitSpec,
+    AbortReason, Addr, OrecValue, ThreadId, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
+    WaitCondition, WaitSpec,
 };
+
+/// Hook a hybrid runtime installs around the redo-log write-back so that
+/// software commits and (simulated) hardware commits exclude each other.
+///
+/// [`CommitInterlock::commit_section`] must (1) take whatever barrier also
+/// serialises hardware commits, (2) run `validate` (the read-set check —
+/// before any hardware state is disturbed, so a doomed validation costs
+/// nobody else anything), and if it passes (3) claim/doom the hardware
+/// state covering `write_entries` so no speculative reader can observe a
+/// partial write-back, (4) run `writeback` (the write-back and lock
+/// release), and (5) release its claims.  The plain lazy runtime installs
+/// no interlock and runs the two phases back to back.
+pub trait CommitInterlock: Send + Sync + std::fmt::Debug {
+    /// Runs a commit's validate and write-back + unlock phases under mutual
+    /// exclusion with hardware commits.  `writer` is the committing thread,
+    /// `write_entries` the redo-log entries about to be written back
+    /// (borrowed straight from the log — the commit path allocates
+    /// nothing); returns `validate`'s verdict (false = validation failed,
+    /// nothing written, no hardware transaction disturbed).
+    fn commit_section(
+        &self,
+        writer: ThreadId,
+        write_entries: &[WriteEntry],
+        validate: &mut dyn FnMut() -> bool,
+        writeback: &mut dyn FnMut(),
+    ) -> bool;
+}
 
 /// An in-flight lazy-STM transaction attempt.
 ///
@@ -28,13 +56,39 @@ pub struct LazyTx {
     redo: WriteLog,
     mallocs: Vec<(Addr, usize)>,
     frees: Vec<(Addr, usize)>,
+    /// `Some` when this attempt runs serially behind the system's
+    /// [`tm_core::SerialGate`] ([`TxMode::Serial`]): all accesses go
+    /// straight to the shared serial attempt, the instrumented logs stay
+    /// empty.
+    serial: Option<SerialAttempt>,
+    /// Hybrid-runtime hook serialising the commit write-back against
+    /// hardware commits; `None` for the plain lazy runtime.
+    interlock: Option<Arc<dyn CommitInterlock>>,
 }
 
 impl LazyTx {
-    /// Begins a new attempt.
+    /// Begins a new attempt (no hybrid interlock).
     pub fn begin(system: &Arc<TmSystem>, common: TxCommon) -> Self {
-        let start = system.clock.now();
-        common.thread.enter_tx(start);
+        Self::begin_with(system, common, None)
+    }
+
+    /// Begins a new attempt, optionally installing a hybrid-runtime commit
+    /// interlock.  Serial-mode attempts acquire the system's serial gate;
+    /// instrumented attempts publish their start time through the gate's
+    /// subscription protocol so a serial acquirer can quiesce them.
+    pub fn begin_with(
+        system: &Arc<TmSystem>,
+        common: TxCommon,
+        interlock: Option<Arc<dyn CommitInterlock>>,
+    ) -> Self {
+        let (serial, start) = if common.mode == TxMode::Serial {
+            (
+                Some(SerialAttempt::begin(system, &common.thread)),
+                system.clock.now(),
+            )
+        } else {
+            (None, subscribe_begin(system, &common.thread))
+        };
         let reads = common.thread.take_read_set();
         let redo = common.thread.take_write_log();
         LazyTx {
@@ -45,6 +99,8 @@ impl LazyTx {
             redo,
             mallocs: Vec::new(),
             frees: Vec::new(),
+            serial,
+            interlock,
         }
     }
 
@@ -89,9 +145,13 @@ impl LazyTx {
         self.frees.clear();
     }
 
-    /// Discards the attempt (nothing was written in place).  Safe to call
-    /// more than once.
+    /// Discards the attempt (nothing was written in place; serial attempts
+    /// undo their direct writes).  Safe to call more than once.
     pub fn rollback(&mut self) {
+        if let Some(serial) = &mut self.serial {
+            serial.rollback();
+            return;
+        }
         for &(addr, words) in &self.mallocs {
             self.system.heap.dealloc(addr, words);
         }
@@ -102,6 +162,9 @@ impl LazyTx {
     /// Attempts to commit.  On failure the caller must invoke
     /// [`LazyTx::rollback`].
     pub fn try_commit(&mut self) -> Result<CommitOutcome, TxCtl> {
+        if let Some(serial) = &mut self.serial {
+            return Ok(serial.commit());
+        }
         if self.redo.is_empty() {
             for &(addr, words) in &self.frees {
                 self.system.heap.dealloc(addr, words);
@@ -112,13 +175,15 @@ impl LazyTx {
         }
 
         // Acquire the ownership records covering the write set.  The cover
-        // is the redo log's own sorted distinct-stripe list, so on failure
-        // at position `k` the locks we hold are exactly the prefix
-        // `cover[..k]` (this attempt holds no locks before commit).
+        // is the redo log's own sorted distinct-stripe list (borrowed, not
+        // copied — the abort path stays allocation-free), so on failure at
+        // position `k` the locks we hold are exactly the prefix `cover[..k]`
+        // (this attempt holds no locks before commit).
         let me = self.me();
         let start = self.start;
         let system = &self.system;
-        let write_orecs = self.redo.orec_cover();
+        let interlock = self.interlock.as_ref();
+        let (entries, write_orecs) = self.redo.entries_with_cover();
         let release_prefix = |n: usize| {
             for &a in &write_orecs[..n] {
                 let c = system.orecs.load(a);
@@ -143,32 +208,62 @@ impl LazyTx {
         }
 
         let end = system.clock.tick();
-        if end != start + 1 {
-            for e in self.reads.iter() {
-                // The stripe index was cached when the read was validated,
-                // so validation does not hash the address a second time.
-                let o = system.orecs.load(e.stripe);
-                let ok = if o.is_locked() {
-                    o.is_locked_by(me)
-                } else {
-                    o.version() <= start
-                };
-                if !ok {
-                    release_prefix(write_orecs.len());
-                    return Err(TxCtl::Abort(AbortReason::CommitValidation));
+        // With a hybrid interlock installed, hardware commits publish to the
+        // orecs under their own clock ticks, so the nothing-committed-since-
+        // start fast path is no longer a proof of validity: validate always.
+        // Validation and write-back then run inside the interlock's
+        // `commit_section`, mutually exclusive with hardware commits — a
+        // hardware commit serialises entirely before (its orec releases fail
+        // our validation) or entirely after (it observes our locked orecs /
+        // doomed lines) this section.
+        let must_validate = end != start + 1 || interlock.is_some();
+        let reads = &self.reads;
+        let mut validate = || -> bool {
+            if must_validate {
+                for e in reads.iter() {
+                    // The stripe index was cached when the read was
+                    // validated, so validation does not hash the address a
+                    // second time.
+                    let o = system.orecs.load(e.stripe);
+                    let ok = if o.is_locked() {
+                        o.is_locked_by(me)
+                    } else {
+                        o.version() <= start
+                    };
+                    if !ok {
+                        return false;
+                    }
                 }
             }
-        }
-        let write_orecs = write_orecs.to_vec();
-
+            true
+        };
         // Write back the redo log (one entry per address already holding
         // the latest value) and release locks at the commit timestamp.
-        for e in self.redo.iter() {
-            self.system.heap.store(e.addr, e.val);
+        let mut writeback = || {
+            for e in entries {
+                system.heap.store(e.addr, e.val);
+            }
+            for &idx in write_orecs {
+                system.orecs.store(idx, OrecValue::unlocked(end));
+            }
+        };
+        let committed = match interlock {
+            Some(interlock) => interlock.commit_section(me, entries, &mut validate, &mut writeback),
+            None => {
+                let ok = validate();
+                if ok {
+                    writeback();
+                }
+                ok
+            }
+        };
+        if !committed {
+            release_prefix(write_orecs.len());
+            return Err(TxCtl::Abort(AbortReason::CommitValidation));
         }
-        for &idx in &write_orecs {
-            self.system.orecs.store(idx, OrecValue::unlocked(end));
-        }
+
+        // Success path only: copy the cover out for the outcome.
+        let write_orecs = write_orecs.to_vec();
         for &(addr, words) in &self.frees {
             self.system.heap.dealloc(addr, words);
         }
@@ -181,6 +276,9 @@ impl LazyTx {
     /// Rolls back and materialises the wait condition for a deschedule
     /// request.
     pub fn rollback_for_deschedule(&mut self, spec: WaitSpec) -> Result<WaitCondition, TxCtl> {
+        if let Some(serial) = &mut self.serial {
+            return serial.rollback_for_deschedule(spec, &mut self.common);
+        }
         match spec {
             WaitSpec::ReadSetValues => {
                 let pairs = self.common.waitset.drain_pairs();
@@ -233,6 +331,12 @@ impl Drop for LazyTx {
 
 impl Tx for LazyTx {
     fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Serial attempts read directly: the gate holder runs alone.  Their
+        // reads are never value-logged — a serial `Retry` relogs in
+        // SoftwareRetry mode (see the driver's ReadSetValues dispatch).
+        if let Some(serial) = &self.serial {
+            return Ok(serial.read(addr));
+        }
         // Read-your-writes: the redo log takes precedence (O(1) hash-index
         // lookup; the old implementation scanned the log backwards).
         if let Some(v) = self.redo.lookup(addr) {
@@ -256,6 +360,10 @@ impl Tx for LazyTx {
     }
 
     fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        if let Some(serial) = &mut self.serial {
+            serial.write(addr, val);
+            return Ok(());
+        }
         // One redo entry per address (last value wins); the orec stripe is
         // hashed once, on the first write.
         let orecs = &self.system.orecs;
@@ -271,6 +379,11 @@ impl Tx for LazyTx {
     }
 
     fn alloc(&mut self, words: usize) -> TxResult<Addr> {
+        if let Some(serial) = &mut self.serial {
+            return serial
+                .alloc(words)
+                .ok_or(TxCtl::Abort(AbortReason::OutOfMemory));
+        }
         match self.system.heap.alloc(words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
@@ -281,19 +394,37 @@ impl Tx for LazyTx {
     }
 
     fn free(&mut self, addr: Addr, words: usize) -> TxResult<()> {
+        if let Some(serial) = &mut self.serial {
+            serial.free(addr, words);
+            return Ok(());
+        }
         self.frees.push((addr, words));
         Ok(())
     }
 
     fn commit_and_reopen(&mut self, block: &mut dyn FnMut()) -> TxResult<()> {
+        if self.serial.is_some() {
+            let outcome = self.try_commit()?;
+            // Same accounting rule as the non-serial branch below — only
+            // writer segments count — plus the serial_commits ⊆ sw_commits
+            // invariant the stats docs establish.
+            if outcome.was_writer {
+                TxStats::bump(&self.common.thread.stats.sw_commits);
+                TxStats::bump(&self.common.thread.stats.serial_commits);
+            }
+            block();
+            // Continue in the same (serial) flavour: re-acquire the gate.
+            self.serial = Some(SerialAttempt::begin(&self.system, &self.common.thread));
+            self.start = self.system.clock.now();
+            return Ok(());
+        }
         match self.try_commit() {
             Ok(info) => {
                 if info.was_writer {
-                    tm_core::stats::TxStats::bump(&self.common.thread.stats.sw_commits);
+                    TxStats::bump(&self.common.thread.stats.sw_commits);
                 }
                 block();
-                self.start = self.system.clock.now();
-                self.common.thread.enter_tx(self.start);
+                self.start = subscribe_begin(&self.system, &self.common.thread);
                 Ok(())
             }
             Err(ctl) => Err(ctl),

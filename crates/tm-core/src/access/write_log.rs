@@ -166,6 +166,15 @@ impl WriteLog {
         self.cover.as_sorted()
     }
 
+    /// The entries (insertion order) together with the sorted distinct-
+    /// stripe cover, from a single borrow: commit paths need to hold both
+    /// at once — acquire/release locks over the cover while writing the
+    /// entries back — without copying the cover out of the log.
+    pub fn entries_with_cover(&mut self) -> (&[WriteEntry], &[usize]) {
+        let cover = self.cover.as_sorted();
+        (&self.entries, cover)
+    }
+
     /// Drains the log into `(addr, value)` pairs in insertion order,
     /// leaving the log empty but with its capacity intact (the shape
     /// [`crate::ctl::WaitCondition::ValuesChanged`] wants from the `Retry`

@@ -1,5 +1,7 @@
 //! Configuration for a transactional-memory system instance.
 
+use crate::policy::PolicyKind;
+
 /// Configuration of the simulated best-effort HTM (see the `htm-sim` crate).
 ///
 /// The defaults approximate Intel TSX on a Haswell-class part as used in the
@@ -100,6 +102,11 @@ pub struct TmConfig {
     pub backoff: BackoffConfig,
     /// Timer-wheel parameters for timed waits.
     pub timer: TimerConfig,
+    /// Which stock contention-management policy the system installs (see
+    /// [`crate::policy`]); decides backoff versus mode escalation after
+    /// aborts.  Custom policies go through
+    /// [`crate::system::TmSystem::with_policy`] instead.
+    pub policy: PolicyKind,
 }
 
 impl Default for TmConfig {
@@ -112,6 +119,7 @@ impl Default for TmConfig {
             htm: HtmConfig::default(),
             backoff: BackoffConfig::default(),
             timer: TimerConfig::default(),
+            policy: PolicyKind::Fixed,
         }
     }
 }
@@ -130,6 +138,7 @@ impl TmConfig {
                 slots: 64,
                 ..TimerConfig::default()
             },
+            policy: PolicyKind::Fixed,
         }
     }
 
@@ -169,6 +178,12 @@ impl TmConfig {
         self.timer = timer;
         self
     }
+
+    /// Overrides the contention-management policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -204,8 +219,10 @@ mod tests {
             .with_timer(TimerConfig {
                 slots: 16,
                 tick_micros: 250,
-            });
+            })
+            .with_policy(PolicyKind::ADAPTIVE_DEFAULT);
         assert!(!c.quiescence);
+        assert_eq!(c.policy, PolicyKind::ADAPTIVE_DEFAULT);
         assert_eq!(c.heap_words, 100);
         assert_eq!(c.wake_shards, 8);
         assert_eq!(c.backoff.max_exp, 1);

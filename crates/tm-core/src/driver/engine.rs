@@ -29,6 +29,11 @@ pub struct CommitOutcome {
     pub was_writer: bool,
     /// True if the attempt committed in (simulated) hardware.
     pub hardware: bool,
+    /// True if the attempt committed while holding the system's
+    /// [`crate::serial::SerialGate`].  Serial commits carry no write-set
+    /// metadata, so engines answer [`TxEngine::committed_stripes`] with the
+    /// conservative scan-everything set for them.
+    pub serial: bool,
     /// Ownership-record stripe indices covering the commit's write set: the
     /// lock set for software commits, the stripes of the written cache lines
     /// (a superset of the written words' stripes) for hardware commits.
@@ -50,6 +55,7 @@ impl CommitOutcome {
         CommitOutcome {
             was_writer: true,
             hardware: false,
+            serial: false,
             written_orecs,
             commit_time,
         }
@@ -63,16 +69,19 @@ impl CommitOutcome {
         CommitOutcome {
             was_writer,
             hardware: true,
+            serial: false,
             written_orecs: line_stripes,
             commit_time: 0,
         }
     }
 
-    /// A serial-mode commit (software-visible, but lock-free metadata).
+    /// A serial-mode commit (software-visible, but no metadata at all: the
+    /// wake path must scan conservatively).
     pub fn serial(was_writer: bool) -> Self {
         CommitOutcome {
             was_writer,
             hardware: false,
+            serial: true,
             written_orecs: Vec::new(),
             commit_time: 0,
         }
@@ -149,11 +158,26 @@ pub trait TxEngine: TmRuntime + Sized {
         TxMode::Software
     }
 
-    /// The mode to re-execute in after a `SwitchToSoftware` / `BecomeSerial`
-    /// request in `current` mode.  Software engines just re-execute; the HTM
-    /// simulator escalates to the serial fallback.
+    /// The mode to re-execute in after a `SwitchToSoftware` request (or a
+    /// hardware attempt that needs software facilities, e.g. escape actions
+    /// for descheduling) in `current` mode.  Software engines just
+    /// re-execute; the HTM simulator escalates to the serial fallback; the
+    /// hybrid runtime drops from hardware to its instrumented STM path.
     fn mode_for_software_switch(&self, current: TxMode) -> TxMode {
         current
+    }
+
+    /// One rung up this engine's mode ladder from `current`, taken when the
+    /// contention policy requests escalation
+    /// ([`crate::policy::CmAction::escalate`]).
+    ///
+    /// The default — and every software engine's answer — is the
+    /// guaranteed-progress [`TxMode::Serial`] path behind the system's
+    /// [`crate::serial::SerialGate`]; the hybrid runtime interposes its
+    /// software STM rung first (hardware → software → serial).
+    fn escalated_mode(&self, current: TxMode) -> TxMode {
+        let _ = current;
+        TxMode::Serial
     }
 
     /// The waiter-registry shards a committed writer must scan: the stripes

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use crate::backoff::Backoff;
 use crate::ctl::{AbortReason, TxCtl, TxResult, WaitSpec};
+use crate::policy::{CmEvent, CmHistory};
 use crate::stats::TxStats;
 use crate::thread::ThreadCtx;
 use crate::tx::{Tx, TxCommon, TxMode};
@@ -38,8 +39,19 @@ use super::wake;
 /// only need to differ across concurrently running transactions.
 static BACKOFF_SEED: AtomicU64 = AtomicU64::new(1);
 
+/// Moves the transaction to `next` mode, counting the change (the
+/// `mode_switches` statistic tracks every attempt-to-attempt mode change:
+/// ladder escalations, relogs, and post-wake resets alike).
+fn switch_mode(mode: &mut TxMode, next: TxMode, thread: &ThreadCtx) {
+    if *mode != next {
+        TxStats::bump(&thread.stats.mode_switches);
+        *mode = next;
+    }
+}
+
 /// Runs `body` as a transaction on `engine` until it commits, handling
-/// re-execution, mode switching, descheduling and post-commit wake-ups.
+/// re-execution, mode switching, contention management, descheduling and
+/// post-commit wake-ups.
 pub fn run<E, T, F>(engine: &E, thread: &Arc<ThreadCtx>, mut body: F) -> T
 where
     E: TxEngine,
@@ -50,7 +62,9 @@ where
         .wrapping_add(thread.id as u64);
     let mut backoff = Backoff::new(engine.system().config.backoff, seed);
     let mut mode = engine.initial_mode();
-    let mut hw_failures: u32 = 0;
+    // Abort history for the contention policy, reset when a deschedule ends
+    // the contention episode (and by policies when they escalate).
+    let mut history = CmHistory::default();
     let mut attempts: u32 = 0;
     // How the most recent deschedule of this transaction ended.  Handed to
     // every subsequent attempt through `TxCommon::wake_reason`, so a timed
@@ -76,6 +90,9 @@ where
                         TxStats::bump(&thread.stats.hw_commits);
                     } else {
                         TxStats::bump(&thread.stats.sw_commits);
+                    }
+                    if outcome.serial {
+                        TxStats::bump(&thread.stats.serial_commits);
                     }
                     if outcome.was_writer {
                         // Post-commit wake-ups: the paper's value-based
@@ -110,77 +127,94 @@ where
                 drop(tx);
                 if hardware_attempt {
                     TxStats::bump(&thread.stats.hw_aborts);
-                    if let AbortReason::Explicit(_) = reason {
-                        // Program-requested restarts (the Restart baseline)
-                        // stay speculative; only genuine conflict/capacity
-                        // failures count towards the fallback budget.
-                        TxStats::bump(&thread.stats.explicit_aborts);
-                    } else {
-                        hw_failures += 1;
-                        // GCC libitm policy: after a bounded number of
-                        // speculative failures, suspend concurrency and run
-                        // serially so the transaction is guaranteed to finish.
-                        if hw_failures >= engine.system().config.htm.max_attempts {
-                            mode = TxMode::Serial;
-                        }
-                    }
                 } else {
                     TxStats::bump(&thread.stats.sw_aborts);
-                    if let AbortReason::Explicit(_) = reason {
-                        TxStats::bump(&thread.stats.explicit_aborts);
-                    }
                 }
-                if reason.is_contention() {
-                    // A thread about to spin has time to spare: advance the
-                    // lazily driven timer wheel so timed waiters are expired
-                    // promptly even when no writer is committing.  One
-                    // atomic load when no timer is armed.
-                    wake::poll_timers(engine, thread);
-                    // Jittered exponential backoff (capped via
-                    // `BackoffConfig`): the one wait policy for every
-                    // contention-class abort, rather than ad-hoc spinning.
-                    backoff.abort_and_wait();
+                if let AbortReason::Explicit(_) = reason {
+                    // Program-requested restarts (the Restart baseline) are
+                    // control flow, not contention: re-execute immediately
+                    // and feed nothing to the policy.
+                    TxStats::bump(&thread.stats.explicit_aborts);
+                } else {
+                    // Everything else is the contention manager's call:
+                    // back off, re-execute immediately, or climb one rung
+                    // of the engine's mode ladder (hardware → software →
+                    // serial) so the transaction is guaranteed to finish.
+                    let event = CmEvent {
+                        reason,
+                        hardware: hardware_attempt,
+                        mode,
+                        hw_budget: engine.system().config.htm.max_attempts,
+                    };
+                    history.note(&event);
+                    let action = engine.system().policy().on_abort(&mut history, &event);
+                    if action.escalate {
+                        TxStats::bump(&thread.stats.cm_escalations);
+                        let next = engine.escalated_mode(mode);
+                        switch_mode(&mut mode, next, thread);
+                    }
+                    if action.backoff {
+                        // A thread about to spin has time to spare: advance
+                        // the lazily driven timer wheel so timed waiters are
+                        // expired promptly even when no writer is
+                        // committing.  One atomic load when no timer is
+                        // armed.
+                        wake::poll_timers(engine, thread);
+                        // Jittered exponential backoff (capped via
+                        // `BackoffConfig`): the one wait policy for every
+                        // contention-class abort, rather than ad-hoc
+                        // spinning.
+                        backoff.abort_and_wait();
+                    }
                 }
             }
             TxCtl::Deschedule(spec) if hardware_attempt => {
                 // No escape actions in hardware: abort and re-execute in a
                 // software mode, value-logging if the request was a Retry
-                // (§2.2.3).
+                // (§2.2.3).  Which software mode exists is the engine's
+                // call: the pure HTM simulator only has the serial
+                // fallback, the hybrid runtime has a real STM path.
                 engine.rollback(&mut tx);
                 drop(tx);
                 TxStats::bump(&thread.stats.hw_aborts);
-                mode = match spec {
+                let next = match spec {
                     WaitSpec::ReadSetValues | WaitSpec::OrigReadLocks => {
                         TxStats::bump(&thread.stats.retry_relogs);
                         TxMode::SoftwareRetry
                     }
-                    _ => TxMode::Serial,
+                    _ => engine.mode_for_software_switch(mode),
                 };
+                switch_mode(&mut mode, next, thread);
             }
             TxCtl::Deschedule(WaitSpec::ReadSetValues) if mode != TxMode::SoftwareRetry => {
                 // Retry was called before the value log existed: restart in
                 // value-logging mode (Algorithm 5, lines 2–5).  This also
-                // covers the first attempt after waking up.
+                // covers the first attempt after waking up, and serial
+                // attempts (whose direct reads are never value-logged).
                 engine.rollback(&mut tx);
                 drop(tx);
                 TxStats::bump(&thread.stats.retry_relogs);
-                mode = TxMode::SoftwareRetry;
+                switch_mode(&mut mode, TxMode::SoftwareRetry, thread);
             }
-            TxCtl::Deschedule(WaitSpec::OrigReadLocks) if engine.supports_orig_retry() => {
+            TxCtl::Deschedule(WaitSpec::OrigReadLocks)
+                if engine.supports_orig_retry() && mode != TxMode::Serial =>
+            {
                 engine.deschedule_orig(thread, &mut tx);
                 drop(tx);
                 // The Retry-Orig baseline has no deadline support; its
                 // sleeps always end as plain wake-ups.
                 pending_wake = Some(WakeReason::Woken);
-                mode = TxMode::Software;
+                switch_mode(&mut mode, TxMode::Software, thread);
             }
             TxCtl::Deschedule(WaitSpec::OrigReadLocks) if mode != TxMode::SoftwareRetry => {
-                // Engines without lock metadata approximate Retry-Orig with
-                // the value-based mechanism: relog, then deschedule below.
+                // Engines without lock metadata — and serial attempts,
+                // which hold no read locks to publish — approximate
+                // Retry-Orig with the value-based mechanism: relog, then
+                // deschedule below.
                 engine.rollback(&mut tx);
                 drop(tx);
                 TxStats::bump(&thread.stats.retry_relogs);
-                mode = TxMode::SoftwareRetry;
+                switch_mode(&mut mode, TxMode::SoftwareRetry, thread);
             }
             TxCtl::Deschedule(spec) => {
                 // The deadline (if any) was stashed in the attempt metadata
@@ -204,15 +238,25 @@ where
                 // After waking, restart plainly; Retry will re-request value
                 // logging if it trips again (the paper resets `is_retry` the
                 // same way).  The sleep also ended whatever contention burst
-                // the attempt saw, so the backoff window starts over.
-                mode = engine.mode_after_wake();
-                hw_failures = 0;
+                // the attempt saw, so the backoff window and the policy's
+                // abort history start over.
+                switch_mode(&mut mode, engine.mode_after_wake(), thread);
+                history.reset();
                 backoff.reset();
             }
-            TxCtl::SwitchToSoftware | TxCtl::BecomeSerial => {
+            TxCtl::SwitchToSoftware => {
                 engine.rollback(&mut tx);
                 drop(tx);
-                mode = engine.mode_for_software_switch(mode);
+                let next = engine.mode_for_software_switch(mode);
+                switch_mode(&mut mode, next, thread);
+            }
+            TxCtl::BecomeSerial => {
+                // Irrevocability on request: every engine honors the
+                // system-wide serial gate, so this works identically on the
+                // STMs, the HTM simulator and the hybrid runtime.
+                engine.rollback(&mut tx);
+                drop(tx);
+                switch_mode(&mut mode, TxMode::Serial, thread);
             }
         }
     }

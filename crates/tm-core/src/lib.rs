@@ -21,6 +21,9 @@
 //! * the shared access-set layer ([`access`]): hash-indexed read sets,
 //!   write logs and index sets with a per-thread recycling pool, backing
 //!   every runtime's transaction logs,
+//! * the mode-control plane: the system-wide serial/irrevocable gate and
+//!   shared serial attempt ([`serial`]) plus the pluggable contention-
+//!   management policies that drive backoff and mode escalation ([`policy`]),
 //! * control-flow types for aborts and descheduling ([`ctl`]),
 //! * the thread registry, statistics and quiescence support ([`thread`],
 //!   [`stats`]),
@@ -51,8 +54,10 @@ pub mod driver;
 pub mod heap;
 pub mod lock;
 pub mod orec;
+pub mod policy;
 pub mod runtime;
 pub mod sem;
+pub mod serial;
 pub mod stats;
 pub mod system;
 pub mod thread;
@@ -69,8 +74,10 @@ pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
 pub use heap::TmHeap;
 pub use orec::{OrecTable, OrecValue};
+pub use policy::{CmAction, CmEvent, CmHistory, ContentionManager, PolicyKind};
 pub use runtime::{TmRt, TmRuntime};
 pub use sem::Semaphore;
+pub use serial::{subscribe_begin, SerialAttempt, SerialGate};
 pub use stats::{StatsSnapshot, TxStats};
 pub use system::TmSystem;
 pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};

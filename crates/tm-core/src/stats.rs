@@ -95,6 +95,15 @@ stats_fields! {
     hw_aborts,
     /// Times the serial fallback / irrevocable lock was acquired.
     serial_acquires,
+    /// Transactions that committed while holding the serial gate (counted in
+    /// addition to `sw_commits`, which serial commits also increment).
+    serial_commits,
+    /// Attempts re-executed in a different mode than the previous attempt
+    /// (hardware → software, software → serial, relogs, post-wake resets).
+    mode_switches,
+    /// Escalations requested by the contention-management policy
+    /// (see `tm_core::policy`).
+    cm_escalations,
     /// Times a transaction descheduled itself (Retry/Await/WaitPred slept).
     descheds,
     /// Times the Deschedule double-check found the condition already

@@ -14,6 +14,8 @@ use crate::clock::GlobalClock;
 use crate::config::TmConfig;
 use crate::heap::TmHeap;
 use crate::orec::OrecTable;
+use crate::policy::ContentionManager;
+use crate::serial::SerialGate;
 use crate::stats::TxStats;
 use crate::thread::{ThreadCtx, ThreadId, ThreadRegistry, NOT_IN_TX};
 use crate::timer::TimerWheel;
@@ -41,11 +43,25 @@ pub struct TmSystem {
     /// Hashed timer wheel delivering deadlines to timed waits; driven lazily
     /// by committing and spinning threads (no background ticker).
     pub timers: TimerWheel,
+    /// The system-wide serial/irrevocable gate every engine honors (the
+    /// HTM fallback lock, lifted out of the simulator; see
+    /// [`crate::serial`]).
+    pub serial: SerialGate,
+    /// The installed contention-management policy (see [`crate::policy`]).
+    policy: Box<dyn ContentionManager>,
 }
 
 impl TmSystem {
-    /// Builds a system from `config`.
+    /// Builds a system from `config`, installing the stock contention
+    /// manager named by [`TmConfig::policy`].
     pub fn new(config: TmConfig) -> Arc<Self> {
+        let policy = config.policy.build();
+        Self::with_policy(config, policy)
+    }
+
+    /// Builds a system with a caller-supplied (possibly custom) contention
+    /// manager, overriding [`TmConfig::policy`].
+    pub fn with_policy(config: TmConfig, policy: Box<dyn ContentionManager>) -> Arc<Self> {
         Arc::new(TmSystem {
             heap: TmHeap::new(config.heap_words),
             orecs: OrecTable::new(config.orec_count),
@@ -53,8 +69,16 @@ impl TmSystem {
             threads: ThreadRegistry::new(),
             waiters: WaitList::new(config.wake_shards),
             timers: TimerWheel::new(config.timer),
+            serial: SerialGate::new(),
+            policy,
             config,
         })
+    }
+
+    /// The installed contention-management policy.
+    #[inline]
+    pub fn policy(&self) -> &dyn ContentionManager {
+        self.policy.as_ref()
     }
 
     /// Convenience constructor with default configuration.
@@ -120,6 +144,25 @@ mod tests {
         assert!(s.waiters.is_empty());
         assert!(s.timers.idle());
         assert_eq!(s.timers.slot_count(), TmConfig::small().timer.slots);
+        assert!(!s.serial.held());
+        assert_eq!(s.policy().name(), "fixed");
+    }
+
+    #[test]
+    fn custom_policy_overrides_the_config_kind() {
+        use crate::policy::{CmAction, CmEvent, CmHistory, ContentionManager};
+        #[derive(Debug)]
+        struct AlwaysEscalate;
+        impl ContentionManager for AlwaysEscalate {
+            fn name(&self) -> &'static str {
+                "always-escalate"
+            }
+            fn on_abort(&self, _h: &mut CmHistory, _e: &CmEvent) -> CmAction {
+                CmAction::ESCALATE
+            }
+        }
+        let s = TmSystem::with_policy(TmConfig::small(), Box::new(AlwaysEscalate));
+        assert_eq!(s.policy().name(), "always-escalate");
     }
 
     #[test]

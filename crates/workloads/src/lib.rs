@@ -33,8 +33,20 @@ pub mod runtime;
 pub mod timeout;
 
 pub use loc::{measured_table, paper_table, LocRow};
+
+/// The `TM_STRESS_ITERS` soak multiplier, shared by the seeded race suites:
+/// the scheduled CI `stress` job sets it to 10 so interleaving-sensitive
+/// tests run at 10× their PR-gate iteration counts.  Unset, unparsable or
+/// zero values all mean 1× (the normal gate).
+pub fn stress_iters() -> u64 {
+    std::env::var("TM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
 pub use parsec::{KernelParams, KernelResult, ParsecApp, Scale};
-pub use pc::{run_pc, run_pc_trials, PcParams, PcResult};
+pub use pc::{run_pc, run_pc_configured, run_pc_trials, PcParams, PcResult};
 pub use report::{DataPoint, Panel, Report, Series};
 pub use runtime::{AnyRuntime, RuntimeKind};
 pub use timeout::{run_timeout_scenario, TimeoutParams, TimeoutResult};

@@ -90,6 +90,14 @@ impl PcParams {
     pub fn panel_label(&self) -> String {
         format!("p{}-c{}", self.producers, self.consumers)
     }
+
+    /// Heap words needed for this trial: the buffer plus slack for the
+    /// condition-variable generation words.  [`run_pc`] uses it to size the
+    /// system; callers building their own [`TmConfig`] (the `mode_ladder`
+    /// bench) should too, so the formulas cannot diverge.
+    pub fn heap_words(&self) -> usize {
+        (self.buffer_size + 64).next_power_of_two().max(1 << 12)
+    }
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -133,11 +141,27 @@ impl PcResult {
     }
 }
 
-/// Runs one trial: `params.mechanism` on `runtime_kind`.
+/// Runs one trial: `params.mechanism` on `runtime_kind`, with the default
+/// system configuration (heap sized to the buffer, `Fixed` policy).
 ///
 /// For [`Mechanism::Pthreads`] the runtime kind is irrelevant (no
 /// transactions run) and the lock-based buffer is used instead.
 pub fn run_pc(runtime_kind: RuntimeKind, params: &PcParams) -> PcResult {
+    let config = TmConfig {
+        heap_words: params.heap_words(),
+        ..TmConfig::default()
+    };
+    run_pc_configured(runtime_kind, params, config)
+}
+
+/// Runs one trial with a caller-supplied system configuration (used by the
+/// `mode_ladder` bench to sweep contention-management policies).  The heap
+/// must be large enough for the buffer; [`run_pc`] sizes it automatically.
+pub fn run_pc_configured(
+    runtime_kind: RuntimeKind,
+    params: &PcParams,
+    config: TmConfig,
+) -> PcResult {
     if params.mechanism == Mechanism::Pthreads {
         return run_pc_pthreads(params);
     }
@@ -146,13 +170,6 @@ pub fn run_pc(runtime_kind: RuntimeKind, params: &PcParams) -> PcResult {
         "Retry-Orig needs STM lock metadata and cannot run on the HTM configuration"
     );
 
-    // Size the heap to comfortably hold the buffer plus slack for the
-    // condition-variable generation words.
-    let heap_words = (params.buffer_size + 64).next_power_of_two().max(1 << 12);
-    let config = TmConfig {
-        heap_words,
-        ..TmConfig::default()
-    };
     let rt = runtime_kind.build(config);
     let system = Arc::clone(rt.system());
     let buffer = TmBoundedBuffer::new(&system, params.buffer_size);

@@ -165,6 +165,7 @@ impl Panel {
         }
         out.push_str(&self.render_wake_stats());
         out.push_str(&self.render_access_stats());
+        out.push_str(&self.render_mode_stats());
         out
     }
 
@@ -200,6 +201,40 @@ impl Panel {
                 stats.wake_timeouts,
                 stats.wake_cancels,
                 stats.timer_ticks,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising the mode ladder and contention
+    /// policy: commits per rung (hardware / software / serial), mode
+    /// switches, policy escalations, and the program-requested explicit
+    /// aborts that the `Restart` baseline is built on (previously invisible
+    /// in reports).  Empty when no series did any of that work.
+    pub fn render_mode_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.serial_commits == 0
+                && stats.mode_switches == 0
+                && stats.cm_escalations == 0
+                && stats.explicit_aborts == 0
+            {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# mode-ladder {:>10}: hw commits {:>8}  sw commits {:>8}  serial commits {:>8}  mode switches {:>8}  cm escalations {:>8}  explicit aborts {:>8}",
+                s.mechanism.label(),
+                stats.hw_commits,
+                stats.sw_commits,
+                stats.serial_commits,
+                stats.mode_switches,
+                stats.cm_escalations,
+                stats.explicit_aborts,
             );
         }
         out
@@ -628,6 +663,44 @@ mod tests {
         assert!(
             !text.contains("Pthreads: read set"),
             "series without access-set work stay out of the block"
+        );
+    }
+
+    #[test]
+    fn mode_stats_render_only_when_the_ladder_was_used() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        let mut plain = point(4, 1.0);
+        plain.stats.sw_commits = 100;
+        panel.series_mut(Mechanism::Await).push(plain);
+        assert!(
+            panel.render_mode_stats().is_empty(),
+            "plain software commits alone do not make a mode-ladder line"
+        );
+
+        // The Restart baseline's explicit aborts must surface even with no
+        // serial work at all (they used to be invisible in reports).
+        let mut restarts = point(4, 1.0);
+        restarts.stats.sw_commits = 10;
+        restarts.stats.explicit_aborts = 55;
+        panel.series_mut(Mechanism::Restart).push(restarts);
+
+        let mut laddered = point(4, 1.0);
+        laddered.stats.hw_commits = 7;
+        laddered.stats.sw_commits = 3;
+        laddered.stats.serial_commits = 2;
+        laddered.stats.mode_switches = 9;
+        laddered.stats.cm_escalations = 4;
+        panel.series_mut(Mechanism::Retry).push(laddered);
+
+        let text = panel.render();
+        assert!(text.contains("mode-ladder"));
+        assert!(text.contains("explicit aborts       55"));
+        assert!(text.contains("serial commits        2"));
+        assert!(text.contains("cm escalations        4"));
+        assert!(text.contains("mode switches        9"));
+        assert!(
+            !text.contains("mode-ladder      Await"),
+            "series without ladder work stay out of the block"
         );
     }
 

@@ -2,9 +2,10 @@
 //!
 //! The paper evaluates every workload under three transactional-memory
 //! configurations — **Eager STM**, **Lazy STM** and **HTM** — plus the
-//! non-transactional `Pthreads` baseline.  Workload drivers are written once
-//! against [`AnyRuntime`], an enum-dispatch wrapper over the three runtime
-//! crates, and are parameterized by [`RuntimeKind`].
+//! non-transactional `Pthreads` baseline; this reproduction adds a fourth,
+//! **Hybrid** (HTM fast path over a lazy-STM software path).  Workload
+//! drivers are written once against [`AnyRuntime`], an enum-dispatch wrapper
+//! over the runtime crates, and are parameterized by [`RuntimeKind`].
 
 use std::fmt;
 use std::str::FromStr;
@@ -14,11 +15,13 @@ use htm_sim::HtmSim;
 use stm_eager::EagerStm;
 use stm_lazy::LazyStm;
 use tm_core::{ThreadCtx, TmConfig, TmRt, TmRuntime, TmSystem, Tx, TxResult};
+use tm_hybrid::HybridTm;
 
 /// Which transactional-memory implementation provides the transactions.
 ///
-/// Mirrors the three configurations of §2.4: the default GCC "ml-wt" eager
-/// STM, a TL2-like lazy STM, and TSX-style best-effort HTM.
+/// Mirrors the three configurations of §2.4 — the default GCC "ml-wt" eager
+/// STM, a TL2-like lazy STM, and TSX-style best-effort HTM — plus the
+/// beyond-paper hybrid HTM+STM configuration.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum RuntimeKind {
     /// Undo-log, encounter-time-locking STM (Appendix A; paper "Eager STM").
@@ -27,15 +30,20 @@ pub enum RuntimeKind {
     LazyStm,
     /// Best-effort hardware TM simulator (paper "HTM").
     Htm,
+    /// Hybrid HTM+STM: hardware fast path, lazy-STM software fallback,
+    /// serial gate as the last rung (beyond the paper; `tm-hybrid`).
+    Hybrid,
 }
 
 impl RuntimeKind {
-    /// All three runtime configurations, in the order the paper presents
-    /// them (Figures 2.3/2.6 eager, 2.4/2.7 lazy, 2.5/2.8 HTM).
-    pub const ALL: [RuntimeKind; 3] = [
+    /// All runtime configurations: the paper's three, in the order the paper
+    /// presents them (Figures 2.3/2.6 eager, 2.4/2.7 lazy, 2.5/2.8 HTM),
+    /// followed by the hybrid extension.
+    pub const ALL: [RuntimeKind; 4] = [
         RuntimeKind::EagerStm,
         RuntimeKind::LazyStm,
         RuntimeKind::Htm,
+        RuntimeKind::Hybrid,
     ];
 
     /// The label used in figure captions and harness output.
@@ -44,11 +52,18 @@ impl RuntimeKind {
             RuntimeKind::EagerStm => "eager-stm",
             RuntimeKind::LazyStm => "lazy-stm",
             RuntimeKind::Htm => "htm",
+            RuntimeKind::Hybrid => "hybrid",
         }
     }
 
-    /// True if the `Retry-Orig` baseline can run on this configuration
-    /// (it needs STM lock metadata, so it is excluded from the HTM figures).
+    /// True if the `Retry-Orig` baseline can run on this configuration.
+    ///
+    /// `Retry-Orig` publishes the ownership records covering the waiter's
+    /// read set, so it needs STM lock metadata: the pure HTM configuration
+    /// is excluded (as in the paper's figures).  The hybrid configuration
+    /// *is* supported — its software path is a full lazy STM, and the driver
+    /// routes every `Retry-Orig` sleep through it (hardware attempts first
+    /// re-execute in software, exactly as they do for value-based `Retry`).
     pub fn supports_retry_orig(self) -> bool {
         !matches!(self, RuntimeKind::Htm)
     }
@@ -65,6 +80,7 @@ impl RuntimeKind {
             RuntimeKind::EagerStm => AnyRuntime::Eager(EagerStm::new(system)),
             RuntimeKind::LazyStm => AnyRuntime::Lazy(LazyStm::new(system)),
             RuntimeKind::Htm => AnyRuntime::Htm(HtmSim::new(system)),
+            RuntimeKind::Hybrid => AnyRuntime::Hybrid(HybridTm::new(system)),
         }
     }
 }
@@ -84,6 +100,7 @@ impl FromStr for RuntimeKind {
             "eager" | "eagerstm" | "mlwt" => RuntimeKind::EagerStm,
             "lazy" | "lazystm" | "tl2" => RuntimeKind::LazyStm,
             "htm" | "tsx" | "hardware" => RuntimeKind::Htm,
+            "hybrid" | "hytm" | "hybridtm" => RuntimeKind::Hybrid,
             _ => return Err(format!("unknown runtime kind: {s}")),
         })
     }
@@ -102,6 +119,8 @@ pub enum AnyRuntime {
     Lazy(Arc<LazyStm>),
     /// The HTM simulator.
     Htm(Arc<HtmSim>),
+    /// The hybrid HTM+STM runtime.
+    Hybrid(Arc<HybridTm>),
 }
 
 impl AnyRuntime {
@@ -111,6 +130,7 @@ impl AnyRuntime {
             AnyRuntime::Eager(_) => RuntimeKind::EagerStm,
             AnyRuntime::Lazy(_) => RuntimeKind::LazyStm,
             AnyRuntime::Htm(_) => RuntimeKind::Htm,
+            AnyRuntime::Hybrid(_) => RuntimeKind::Hybrid,
         }
     }
 
@@ -120,6 +140,7 @@ impl AnyRuntime {
             AnyRuntime::Eager(rt) => TmRuntime::system(rt.as_ref()),
             AnyRuntime::Lazy(rt) => TmRuntime::system(rt.as_ref()),
             AnyRuntime::Htm(rt) => TmRuntime::system(rt.as_ref()),
+            AnyRuntime::Hybrid(rt) => TmRuntime::system(rt.as_ref()),
         }
     }
 
@@ -132,6 +153,7 @@ impl AnyRuntime {
             AnyRuntime::Eager(rt) => rt.atomically(thread, body),
             AnyRuntime::Lazy(rt) => rt.atomically(thread, body),
             AnyRuntime::Htm(rt) => rt.atomically(thread, body),
+            AnyRuntime::Hybrid(rt) => rt.atomically(thread, body),
         }
     }
 
@@ -141,6 +163,7 @@ impl AnyRuntime {
             AnyRuntime::Eager(rt) => rt.as_ref(),
             AnyRuntime::Lazy(rt) => rt.as_ref(),
             AnyRuntime::Htm(rt) => rt.as_ref(),
+            AnyRuntime::Hybrid(rt) => rt.as_ref(),
         }
     }
 }
@@ -155,6 +178,7 @@ impl TmRuntime for AnyRuntime {
             AnyRuntime::Eager(rt) => rt.name(),
             AnyRuntime::Lazy(rt) => rt.name(),
             AnyRuntime::Htm(rt) => rt.name(),
+            AnyRuntime::Hybrid(rt) => rt.name(),
         }
     }
 
@@ -167,6 +191,7 @@ impl TmRuntime for AnyRuntime {
             AnyRuntime::Eager(rt) => rt.exec_u64(thread, body),
             AnyRuntime::Lazy(rt) => rt.exec_u64(thread, body),
             AnyRuntime::Htm(rt) => rt.exec_u64(thread, body),
+            AnyRuntime::Hybrid(rt) => rt.exec_u64(thread, body),
         }
     }
 
@@ -179,6 +204,7 @@ impl TmRuntime for AnyRuntime {
             AnyRuntime::Eager(rt) => rt.exec_bool(thread, body),
             AnyRuntime::Lazy(rt) => rt.exec_bool(thread, body),
             AnyRuntime::Htm(rt) => rt.exec_bool(thread, body),
+            AnyRuntime::Hybrid(rt) => rt.exec_bool(thread, body),
         }
     }
 }
@@ -204,14 +230,22 @@ mod tests {
         }
         assert_eq!("TL2".parse::<RuntimeKind>().unwrap(), RuntimeKind::LazyStm);
         assert_eq!("tsx".parse::<RuntimeKind>().unwrap(), RuntimeKind::Htm);
+        assert_eq!("HyTM".parse::<RuntimeKind>().unwrap(), RuntimeKind::Hybrid);
         assert!("vax".parse::<RuntimeKind>().is_err());
     }
 
     #[test]
-    fn retry_orig_support_matches_paper_figures() {
+    fn retry_orig_support_matches_lock_metadata_availability() {
         assert!(RuntimeKind::EagerStm.supports_retry_orig());
         assert!(RuntimeKind::LazyStm.supports_retry_orig());
-        assert!(!RuntimeKind::Htm.supports_retry_orig());
+        assert!(
+            !RuntimeKind::Htm.supports_retry_orig(),
+            "pure HTM has no lock metadata (as in the paper's figures)"
+        );
+        assert!(
+            RuntimeKind::Hybrid.supports_retry_orig(),
+            "the hybrid's software path has lock metadata, so Retry-Orig runs there"
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! | [`eager`] (`stm-eager`) | Appendix A undo-log STM (paper: "Eager STM") |
 //! | [`lazy`] (`stm-lazy`) | TL2-style redo-log STM (paper: "Lazy STM") |
 //! | [`htm`] (`htm-sim`) | best-effort hardware-TM simulator (paper: "HTM") |
+//! | [`hybrid`] (`tm-hybrid`) | hybrid HTM+STM runtime: hardware fast path over the lazy STM (beyond the paper) |
 //! | [`sync`] (`condsync`) | **the contribution**: Deschedule, Retry, Await, WaitPred, plus TMCondVar / Retry-Orig / Restart baselines |
 //! | [`structures`] (`tm-sync`) | bounded buffer (Fig. 2.2), queue, stack, counter, barrier, hash map, once-cell, latch, Pthreads baseline buffer |
 //! | [`workloads`] (`tm-workloads`) | producer/consumer micro-benchmark, PARSEC-like kernels, Table 2.1 accounting |
@@ -77,6 +78,10 @@ pub use stm_lazy as lazy;
 
 /// The best-effort hardware-TM simulator (`htm-sim`).
 pub use htm_sim as htm;
+
+/// The hybrid HTM+STM runtime (`tm-hybrid`): hardware fast path, lazy-STM
+/// software fallback, serial gate as the last rung.
+pub use tm_hybrid as hybrid;
 
 /// The condition-synchronization mechanisms (`condsync`) — the paper's
 /// contribution.

@@ -277,8 +277,11 @@ fn large_transactions_are_identical_across_runtimes() {
 #[test]
 fn parity_holds_under_repetition() {
     // The scenario is timing-sensitive (waiters may skip the sleep if the
-    // writer wins the race); repeat it to cover both interleavings.
-    for round in 0..3 {
+    // writer wins the race); repeat it to cover both interleavings.  Scaled
+    // by the `TM_STRESS_ITERS` multiplier (the scheduled CI `stress` job
+    // sets it to 10 for soak coverage without slowing the PR gate).
+    let rounds = 3 * tm_repro::workloads::stress_iters();
+    for round in 0..rounds {
         for kind in RuntimeKind::ALL {
             let result = run_scenario(kind);
             assert_eq!(result.final_count, 3, "{kind} round {round}");

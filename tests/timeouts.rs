@@ -143,8 +143,11 @@ fn cancel_vs_commit_race_wakes_exactly_once() {
     // wins, the consumer must return exactly once, and the outcome must be
     // consistent: a produced-and-consumed element, or a cancellation with
     // the element still in (or never entering) the buffer.
+    // Scaled by the `TM_STRESS_ITERS` multiplier (the scheduled CI `stress`
+    // job sets it to 10 to soak this race without slowing the PR gate).
+    let rounds = 10 * tm_repro::workloads::stress_iters();
     for kind in RuntimeKind::ALL {
-        for round in 0..10 {
+        for round in 0..rounds {
             let rt = kind.build(TmConfig::small());
             let system = Arc::clone(rt.system());
             let buf = TmBoundedBuffer::new(&system, 4);

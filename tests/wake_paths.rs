@@ -29,6 +29,13 @@ use tm_repro::workloads::runtime::RuntimeKind;
 /// Consecutive iterations per runtime (the acceptance bar for this PR).
 const ITERATIONS: u64 = 50;
 
+/// Iteration count scaled by the `TM_STRESS_ITERS` multiplier (the
+/// scheduled CI `stress` job sets it to 10 for soak coverage without
+/// slowing the PR gate).
+fn iterations() -> u64 {
+    ITERATIONS * tm_repro::workloads::stress_iters()
+}
+
 /// Waits until `n` waiters are registered, with a liveness deadline so a
 /// lost registration fails loudly instead of hanging the suite.
 fn wait_for_sleepers(system: &TmSystem, n: usize) {
@@ -177,7 +184,7 @@ fn stress_iteration(kind: RuntimeKind, rng: &mut XorShift64) {
 #[test]
 fn stress_no_lost_wakeups_eager() {
     let mut rng = XorShift64::new(0xEA6E_0001);
-    for _ in 0..ITERATIONS {
+    for _ in 0..iterations() {
         stress_iteration(RuntimeKind::EagerStm, &mut rng);
     }
 }
@@ -185,7 +192,7 @@ fn stress_no_lost_wakeups_eager() {
 #[test]
 fn stress_no_lost_wakeups_lazy() {
     let mut rng = XorShift64::new(0x1A2_0002);
-    for _ in 0..ITERATIONS {
+    for _ in 0..iterations() {
         stress_iteration(RuntimeKind::LazyStm, &mut rng);
     }
 }
@@ -193,8 +200,16 @@ fn stress_no_lost_wakeups_lazy() {
 #[test]
 fn stress_no_lost_wakeups_htm() {
     let mut rng = XorShift64::new(0x547_0003);
-    for _ in 0..ITERATIONS {
+    for _ in 0..iterations() {
         stress_iteration(RuntimeKind::Htm, &mut rng);
+    }
+}
+
+#[test]
+fn stress_no_lost_wakeups_hybrid() {
+    let mut rng = XorShift64::new(0x8B1D_0004);
+    for _ in 0..iterations() {
+        stress_iteration(RuntimeKind::Hybrid, &mut rng);
     }
 }
 
@@ -311,4 +326,9 @@ fn disjoint_writer_scans_nothing_lazy() {
 #[test]
 fn disjoint_writer_scans_nothing_htm() {
     disjoint_writer_scans_nothing(RuntimeKind::Htm);
+}
+
+#[test]
+fn disjoint_writer_scans_nothing_hybrid() {
+    disjoint_writer_scans_nothing(RuntimeKind::Hybrid);
 }
