@@ -1,0 +1,298 @@
+//! `thread_scaling` — commit throughput and abort rate versus thread count,
+//! across every runtime and both clock-plane modes.
+//!
+//! The decentralized clock plane promises that an *uncontended* commit never
+//! writes shared state: under lazy GV5 a committing writer reuses `now()+1`
+//! as its stamp (counted in `clock_reuse`) and the shared counter is only
+//! CAS-advanced when validation actually observes a too-new version
+//! (`clock_cas`), while quiescence scans the per-thread epoch table instead
+//! of snapshotting a locked registry (`quiesce_scans`).  This bench drives
+//! the claim with the worst case for a centralized clock: every thread
+//! committing small writer transactions over *disjoint* data, so the GV1
+//! counter line is the only thing they share.
+//!
+//! Each cell spawns `threads` workers; each worker increments its own
+//! private block of transactional counters `iters` times.  The sweep runs
+//! all four runtimes under both `ClockMode::Gv1` (centralized baseline) and
+//! `ClockMode::LazyGv5` (decentralized default) and records throughput,
+//! aborts, and the clock-plane counters.  On every lazy cell the bench
+//! asserts the headline property: **shared-line CAS count strictly below the
+//! commit count** (i.e. `clock_cas` per commit < 1 on the uncontended
+//! sweep).
+//!
+//! Output: a plain-text table on stdout plus a JSON report (via
+//! `tm_workloads::json`) written to `$TM_BENCH_JSON` (default
+//! `BENCH_thread_scaling.json`), matching the `mode_ladder` / `wake_scaling`
+//! conventions so CI can archive the trajectory.
+//!
+//! Environment:
+//!
+//! | variable            | meaning                                  | default |
+//! |---------------------|------------------------------------------|---------|
+//! | `TM_BENCH_SMOKE=1`  | tiny sweep + iteration counts for CI     | off     |
+//! | `TM_BENCH_ITERS`    | transactions per worker per cell         | `20000` |
+//! | `TM_BENCH_REPEATS`  | runs per cell (fastest kept)             | `3` (smoke `1`) |
+//! | `TM_BENCH_JSON`     | JSON report path                         | `BENCH_thread_scaling.json` |
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use tm_core::{ClockMode, TmConfig, TmVar};
+use tm_workloads::json::Value;
+use tm_workloads::runtime::RuntimeKind;
+
+/// Disjoint counters each worker increments per transaction: enough to make
+/// the transaction non-trivial (a few reads + writes) without contention.
+const VARS_PER_THREAD: usize = 4;
+
+const MODES: [ClockMode; 2] = [ClockMode::Gv1, ClockMode::LazyGv5];
+
+struct Cell {
+    runtime: RuntimeKind,
+    mode: ClockMode,
+    threads: usize,
+    seconds: f64,
+    commits: u64,
+    aborts: u64,
+    clock_cas: u64,
+    clock_reuse: u64,
+    quiesce_scans: u64,
+}
+
+impl Cell {
+    fn throughput(&self) -> f64 {
+        self.commits as f64 / self.seconds
+    }
+
+    fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+
+    fn cas_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.clock_cas as f64 / self.commits as f64
+        }
+    }
+}
+
+fn measure(kind: RuntimeKind, mode: ClockMode, threads: usize, iters: u64) -> Cell {
+    let config = TmConfig::default()
+        .with_heap_words(1 << 12)
+        .with_clock(mode);
+    let rt = kind.build(config);
+    let system = Arc::clone(rt.system());
+    // One private block of counters per worker: disjoint addresses, so the
+    // only shared mutable state is the runtime's own metadata.
+    let blocks: Vec<Vec<TmVar<u64>>> = (0..threads)
+        .map(|_| {
+            (0..VARS_PER_THREAD)
+                .map(|_| TmVar::alloc(&system, 0))
+                .collect()
+        })
+        .collect();
+    let barrier = Barrier::new(threads + 1);
+    let mut start = None;
+    std::thread::scope(|s| {
+        for block in &blocks {
+            let rt = rt.clone();
+            let system = Arc::clone(&system);
+            let barrier = &barrier;
+            s.spawn(move || {
+                let th = system.register_thread();
+                barrier.wait();
+                for _ in 0..iters {
+                    rt.atomically(&th, |tx| {
+                        for v in block {
+                            let x = v.get(tx)?;
+                            v.set(tx, x + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        // Start the stopwatch *before* releasing the barrier: on a loaded
+        // (or single-core) host the workers can otherwise run to completion
+        // before this thread is rescheduled to read the clock.  Scope exit
+        // joins every worker; the elapsed time is read after it.
+        start = Some(Instant::now());
+        barrier.wait();
+    });
+    let seconds = start.expect("barrier passed").elapsed().as_secs_f64();
+    for block in &blocks {
+        for v in block {
+            assert_eq!(
+                v.load_direct(&system),
+                iters,
+                "{kind} {mode:?} lost updates"
+            );
+        }
+    }
+    let stats = system.stats();
+    Cell {
+        runtime: kind,
+        mode,
+        threads,
+        seconds,
+        commits: stats.hw_commits + stats.sw_commits + stats.serial_commits,
+        aborts: stats.total_aborts(),
+        clock_cas: stats.clock_cas,
+        clock_reuse: stats.clock_reuse,
+        quiesce_scans: stats.quiesce_scans,
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let smoke = env_flag("TM_BENCH_SMOKE");
+    let iters: u64 = std::env::var("TM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1000 } else { 20000 });
+    let repeats: usize = std::env::var("TM_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let json_path =
+        std::env::var("TM_BENCH_JSON").unwrap_or_else(|_| "BENCH_thread_scaling.json".to_string());
+    let sweep: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:<9} {:>7} {:>9} {:>11} {:>9} {:>10} {:>11} {:>12} {:>8}",
+        "runtime",
+        "clock",
+        "threads",
+        "seconds",
+        "commits/s",
+        "aborts",
+        "clock_cas",
+        "clock_reuse",
+        "quiesce_scan",
+        "cas/cmt"
+    );
+    for kind in RuntimeKind::ALL {
+        for mode in MODES {
+            for &threads in sweep {
+                // Best-of-N: each repeat runs on a fresh system; keep the
+                // fastest to damp scheduler noise on loaded hosts.
+                let cell = (0..repeats)
+                    .map(|_| measure(kind, mode, threads, iters))
+                    .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                    .expect("at least one repeat");
+                println!(
+                    "{:<10} {:<9} {:>7} {:>9.4} {:>11.0} {:>9} {:>10} {:>11} {:>12} {:>8.4}",
+                    cell.runtime.label(),
+                    cell.mode.label(),
+                    cell.threads,
+                    cell.seconds,
+                    cell.throughput(),
+                    cell.aborts,
+                    cell.clock_cas,
+                    cell.clock_reuse,
+                    cell.quiesce_scans,
+                    cell.cas_per_commit(),
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Headline claims, checked on every run (smoke included): on the
+    // uncontended sweep the lazy clock (a) stamps commits by reuse, and
+    // (b) writes the shared counter line strictly less than once per commit.
+    for cell in cells.iter().filter(|c| c.mode == ClockMode::LazyGv5) {
+        // Pure HTM commits through the simulated cache protocol and never
+        // touches the clock plane at all; every other runtime must have
+        // stamped its commits by reuse.
+        if cell.runtime != RuntimeKind::Htm {
+            assert!(
+                cell.clock_reuse > 0,
+                "{}/{}t: lazy mode produced no reuse stamps",
+                cell.runtime.label(),
+                cell.threads
+            );
+        }
+        assert!(
+            cell.clock_cas < cell.commits,
+            "{}/{}t: clock_cas {} >= commits {} — shared-line writes did not drop",
+            cell.runtime.label(),
+            cell.threads,
+            cell.clock_cas,
+            cell.commits
+        );
+    }
+    for (kind, threads) in [
+        (RuntimeKind::EagerStm, sweep[sweep.len() - 1]),
+        (RuntimeKind::LazyStm, sweep[sweep.len() - 1]),
+    ] {
+        let gv1 = cells
+            .iter()
+            .find(|c| c.runtime == kind && c.mode == ClockMode::Gv1 && c.threads == threads)
+            .expect("gv1 cell");
+        let lazy = cells
+            .iter()
+            .find(|c| c.runtime == kind && c.mode == ClockMode::LazyGv5 && c.threads == threads)
+            .expect("lazy cell");
+        println!(
+            "  -> {} @ {}t: lazy {:.0} commits/s vs gv1 {:.0} ({:+.1}%), lazy cas/commit {:.4}",
+            kind.label(),
+            threads,
+            lazy.throughput(),
+            gv1.throughput(),
+            (lazy.throughput() / gv1.throughput() - 1.0) * 100.0,
+            lazy.cas_per_commit(),
+        );
+    }
+
+    let report = Value::obj(vec![
+        ("experiment", Value::Str("thread_scaling".to_string())),
+        (
+            "description",
+            Value::Str(
+                "commit throughput and abort rate vs thread count, gv1 vs lazy-gv5 clock plane"
+                    .to_string(),
+            ),
+        ),
+        ("iters_per_thread", Value::Num(iters as f64)),
+        ("vars_per_thread", Value::Num(VARS_PER_THREAD as f64)),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("runtime", Value::Str(c.runtime.label().to_string())),
+                            ("clock", Value::Str(c.mode.label().to_string())),
+                            ("threads", Value::Num(c.threads as f64)),
+                            ("seconds", Value::Num(c.seconds)),
+                            ("commits", Value::Num(c.commits as f64)),
+                            ("throughput", Value::Num(c.throughput())),
+                            ("aborts", Value::Num(c.aborts as f64)),
+                            ("abort_rate", Value::Num(c.abort_rate())),
+                            ("clock_cas", Value::Num(c.clock_cas as f64)),
+                            ("clock_reuse", Value::Num(c.clock_reuse as f64)),
+                            ("quiesce_scans", Value::Num(c.quiesce_scans as f64)),
+                            ("cas_per_commit", Value::Num(c.cas_per_commit())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, report.pretty()).expect("write JSON report");
+    println!("wrote {json_path}");
+}

@@ -262,12 +262,16 @@ impl<'rt> HtmTx<'rt> {
                 }
                 // Release the coupled stripes at a fresh commit timestamp,
                 // making the hardware write-back visible to software read
-                // validation exactly like a software commit's.
+                // validation exactly like a software commit's.  The stamp is
+                // taken while the whole CAS cover is held (the ordering the
+                // lazy clock plane's soundness requires), and the epoch is
+                // published only after every stripe is released.
                 if !coupled_cover.is_empty() {
-                    let version = system.clock.tick();
+                    let stamp = system.clock.commit_stamp(&self.common.thread.stats);
                     for &idx in &coupled_cover {
-                        system.orecs.store(idx, OrecValue::unlocked(version));
+                        system.orecs.store(idx, OrecValue::unlocked(stamp.ts));
                     }
+                    self.common.thread.publish_epoch(stamp.ts);
                 }
                 // Map the committed cache lines back to orec stripes for the
                 // targeted post-commit wake scan (the word-level write set is

@@ -111,11 +111,20 @@ impl EagerTx {
         if cur.is_locked_by(self.me()) {
             return Ok(idx);
         }
-        if !cur.is_locked() && cur.version() <= self.start {
-            let locked = OrecValue::locked(cur.version(), self.me());
-            if self.system.orecs.cas(idx, cur, locked) {
-                self.locks.insert(idx);
-                return Ok(idx);
+        if !cur.is_locked() {
+            if cur.version() <= self.start {
+                let locked = OrecValue::locked(cur.version(), self.me());
+                if self.system.orecs.cas(idx, cur, locked) {
+                    self.locks.insert(idx);
+                    return Ok(idx);
+                }
+            } else {
+                // Too new: fold the version into the clock so the retry
+                // begins current even before the committer publishes its
+                // epoch (lazy clock plane; no-op under GV1).
+                self.system
+                    .clock
+                    .note_stale(cur.version(), &self.common.thread.stats);
             }
         }
         Err(TxCtl::Abort(AbortReason::WriteConflict))
@@ -140,9 +149,11 @@ impl EagerTx {
                 .store(idx, OrecValue::unlocked(cur.version() + 1));
         }
         if !self.locks.is_empty() {
-            // Blind increment so the bumped lock versions stay legal with
-            // respect to the global clock (Algorithm 11, line 5).
-            self.system.clock.tick();
+            // Keep the bumped lock versions legal with respect to the clock
+            // (Algorithm 11, line 5): a blind tick under GV1; in lazy mode
+            // the inflated versions are covered by `note_stale` on the
+            // reader side instead, so the shared line stays untouched.
+            self.system.clock.rollback_bump(&self.common.thread.stats);
         }
         for &(addr, words) in &self.mallocs {
             self.system.heap.dealloc(addr, words);
@@ -179,18 +190,28 @@ impl EagerTx {
             return Ok(CommitOutcome::read_only());
         }
 
-        let end = self.system.clock.tick();
+        // Stamped after the lock phase: every orec this commit will touch is
+        // already held, which is what makes a non-unique (lazy) stamp sound.
+        let stamp = self.system.clock.commit_stamp(&self.common.thread.stats);
+        let end = stamp.ts;
         // Fast path: if no other transaction committed since we started, the
-        // read set cannot have been invalidated.
-        if end != self.start + 1 {
+        // read set cannot have been invalidated.  Requires a *unique* stamp —
+        // a lazy stamp may be shared with a concurrent committer, so lazy
+        // commits always validate.
+        if !stamp.unique || end != self.start + 1 {
             for e in self.reads.iter() {
                 // The stripe index was cached when the read was validated,
                 // so validation does not hash the address a second time.
                 let o = self.system.orecs.load(e.stripe);
                 let ok = if o.is_locked() {
                     o.is_locked_by(self.me())
+                } else if o.version() <= self.start {
+                    true
                 } else {
-                    o.version() <= self.start
+                    self.system
+                        .clock
+                        .note_stale(o.version(), &self.common.thread.stats);
+                    false
                 };
                 if !ok {
                     return Err(TxCtl::Abort(AbortReason::CommitValidation));
@@ -208,9 +229,13 @@ impl EagerTx {
             self.system.heap.dealloc(addr, words);
         }
         self.reset_logs();
+        // Publish the commit epoch only now that every lock is released and
+        // the write-back is visible; later begins start at or above `end`,
+        // which also bounds the quiescence wait below.
+        self.common.thread.publish_epoch(end);
         self.common.thread.exit_tx();
         // Privatization-safety quiescence (Algorithm 9, line 20).
-        self.system.quiesce(self.me(), end);
+        self.system.quiesce(&self.common.thread, end);
         Ok(CommitOutcome::software_writer(written, end))
     }
 
@@ -309,12 +334,17 @@ impl Tx for EagerTx {
             self.retry_log(addr, val);
             return Ok(val);
         }
-        if before == after && !before.is_locked() && before.version() <= self.start {
-            // The stripe computed for this validation is cached in the
-            // entry, so commit-time re-validation never hashes again.
-            self.reads.record(addr, idx);
-            self.retry_log(addr, val);
-            return Ok(val);
+        if before == after && !before.is_locked() {
+            if before.version() <= self.start {
+                // The stripe computed for this validation is cached in the
+                // entry, so commit-time re-validation never hashes again.
+                self.reads.record(addr, idx);
+                self.retry_log(addr, val);
+                return Ok(val);
+            }
+            self.system
+                .clock
+                .note_stale(before.version(), &self.common.thread.stats);
         }
         Err(TxCtl::Abort(AbortReason::ReadConflict))
     }

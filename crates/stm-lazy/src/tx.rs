@@ -128,11 +128,18 @@ impl LazyTx {
         let before = self.system.orecs.load(idx);
         let val = self.system.heap.load(addr);
         let after = self.system.orecs.load(idx);
-        if before == after && !before.is_locked() && before.version() <= self.start {
-            Ok((val, idx))
-        } else {
-            Err(TxCtl::Abort(AbortReason::ReadConflict))
+        if before == after && !before.is_locked() {
+            if before.version() <= self.start {
+                return Ok((val, idx));
+            }
+            // Too new: fold the version into the clock so the retry begins
+            // current even before the committer publishes its epoch (lazy
+            // clock plane; no-op under GV1).
+            self.system
+                .clock
+                .note_stale(before.version(), &self.common.thread.stats);
         }
+        Err(TxCtl::Abort(AbortReason::ReadConflict))
     }
 
     fn reset_logs(&mut self) {
@@ -190,6 +197,7 @@ impl LazyTx {
                 system.orecs.store(a, OrecValue::unlocked(c.version()));
             }
         };
+        let stats = &self.common.thread.stats;
         for (k, &idx) in write_orecs.iter().enumerate() {
             let cur = system.orecs.load(idx);
             let ok = if cur.is_locked() {
@@ -199,6 +207,7 @@ impl LazyTx {
                     .orecs
                     .cas(idx, cur, OrecValue::locked(cur.version(), me))
             } else {
+                system.clock.note_stale(cur.version(), stats);
                 false
             };
             if !ok {
@@ -207,16 +216,22 @@ impl LazyTx {
             }
         }
 
-        let end = system.clock.tick();
-        // With a hybrid interlock installed, hardware commits publish to the
-        // orecs under their own clock ticks, so the nothing-committed-since-
-        // start fast path is no longer a proof of validity: validate always.
+        // Stamped after the whole cover is held, which is what makes a
+        // non-unique (lazy) stamp sound: any reader that began before this
+        // point sees our locks, any later reader sees `end > rv`.
+        let stamp = system.clock.commit_stamp(stats);
+        let end = stamp.ts;
+        // The nothing-committed-since-start fast path needs a *unique*
+        // stamp (GV1): a lazy stamp may be shared with a concurrent
+        // committer.  With a hybrid interlock installed, hardware commits
+        // publish to the orecs under their own clock ticks, so the fast
+        // path is no longer a proof of validity either: validate always.
         // Validation and write-back then run inside the interlock's
         // `commit_section`, mutually exclusive with hardware commits — a
         // hardware commit serialises entirely before (its orec releases fail
         // our validation) or entirely after (it observes our locked orecs /
         // doomed lines) this section.
-        let must_validate = end != start + 1 || interlock.is_some();
+        let must_validate = !stamp.unique || end != start + 1 || interlock.is_some();
         let reads = &self.reads;
         let mut validate = || -> bool {
             if must_validate {
@@ -227,8 +242,11 @@ impl LazyTx {
                     let o = system.orecs.load(e.stripe);
                     let ok = if o.is_locked() {
                         o.is_locked_by(me)
+                    } else if o.version() <= start {
+                        true
                     } else {
-                        o.version() <= start
+                        system.clock.note_stale(o.version(), stats);
+                        false
                     };
                     if !ok {
                         return false;
@@ -268,8 +286,12 @@ impl LazyTx {
             self.system.heap.dealloc(addr, words);
         }
         self.reset_logs();
+        // Publish the commit epoch only now that the write-back is visible
+        // and every lock is released; later begins start at or above `end`,
+        // which also bounds the quiescence wait below.
+        self.common.thread.publish_epoch(end);
         self.common.thread.exit_tx();
-        self.system.quiesce(self.me(), end);
+        self.system.quiesce(&self.common.thread, end);
         Ok(CommitOutcome::software_writer(write_orecs, end))
     }
 

@@ -1,5 +1,6 @@
 //! Configuration for a transactional-memory system instance.
 
+use crate::clock::ClockMode;
 use crate::policy::PolicyKind;
 
 /// Configuration of the simulated best-effort HTM (see the `htm-sim` crate).
@@ -107,6 +108,15 @@ pub struct TmConfig {
     /// aborts.  Custom policies go through
     /// [`crate::system::TmSystem::with_policy`] instead.
     pub policy: PolicyKind,
+    /// How the version clock advances (see [`crate::clock::ClockPlane`]).
+    /// The decentralized lazy scheme is the production default;
+    /// [`ClockMode::Gv1`] is the deterministic single-counter baseline that
+    /// [`TmConfig::small`] selects for unit tests.
+    pub clock: ClockMode,
+    /// Capacity of the per-thread epoch table — the maximum number of
+    /// threads that may register with the system.  Fixed at construction so
+    /// epoch slots never move and scans stay lock-free.
+    pub max_threads: usize,
 }
 
 impl Default for TmConfig {
@@ -120,12 +130,15 @@ impl Default for TmConfig {
             backoff: BackoffConfig::default(),
             timer: TimerConfig::default(),
             policy: PolicyKind::Fixed,
+            clock: ClockMode::LazyGv5,
+            max_threads: 1024,
         }
     }
 }
 
 impl TmConfig {
-    /// A small configuration for unit tests (fast to allocate).
+    /// A small configuration for unit tests (fast to allocate, and on the
+    /// deterministic GV1 clock so commit timestamps are unique and exact).
     pub fn small() -> Self {
         TmConfig {
             heap_words: 1 << 12,
@@ -139,6 +152,8 @@ impl TmConfig {
                 ..TimerConfig::default()
             },
             policy: PolicyKind::Fixed,
+            clock: ClockMode::Gv1,
+            max_threads: 64,
         }
     }
 
@@ -184,6 +199,18 @@ impl TmConfig {
         self.policy = policy;
         self
     }
+
+    /// Overrides the clock-advancement scheme.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Overrides the epoch-table capacity (maximum registered threads).
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +224,13 @@ mod tests {
         assert!(c.orec_count.is_power_of_two() || c.orec_count > 0);
         assert!(c.quiescence);
         assert_eq!(c.htm.max_attempts, 2);
+        assert_eq!(c.clock, ClockMode::LazyGv5, "lazy clock is the default");
+        assert!(c.max_threads >= 64);
+        assert_eq!(
+            TmConfig::small().clock,
+            ClockMode::Gv1,
+            "tests get the deterministic clock"
+        );
     }
 
     #[test]
@@ -220,8 +254,12 @@ mod tests {
                 slots: 16,
                 tick_micros: 250,
             })
-            .with_policy(PolicyKind::ADAPTIVE_DEFAULT);
+            .with_policy(PolicyKind::ADAPTIVE_DEFAULT)
+            .with_clock(ClockMode::LazyGv5)
+            .with_max_threads(8);
         assert!(!c.quiescence);
+        assert_eq!(c.clock, ClockMode::LazyGv5);
+        assert_eq!(c.max_threads, 8);
         assert_eq!(c.policy, PolicyKind::ADAPTIVE_DEFAULT);
         assert_eq!(c.heap_words, 100);
         assert_eq!(c.wake_shards, 8);

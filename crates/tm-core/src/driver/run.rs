@@ -21,7 +21,6 @@
 //! future runtime (e.g. a hybrid HTM/STM path) picks up the paper's whole
 //! condition-synchronization protocol by implementing the engine trait.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::backoff::Backoff;
@@ -34,10 +33,6 @@ use crate::waitlist::WakeReason;
 
 use super::engine::TxEngine;
 use super::wake;
-
-/// Global seed sequence for per-transaction backoff randomisation; seeds
-/// only need to differ across concurrently running transactions.
-static BACKOFF_SEED: AtomicU64 = AtomicU64::new(1);
 
 /// Moves the transaction to `next` mode, counting the change (the
 /// `mode_switches` statistic tracks every attempt-to-attempt mode change:
@@ -57,9 +52,11 @@ where
     E: TxEngine,
     F: FnMut(&mut dyn Tx) -> TxResult<T>,
 {
-    let seed = BACKOFF_SEED
-        .fetch_add(0x9E37_79B9, Ordering::Relaxed)
-        .wrapping_add(thread.id as u64);
+    // Backoff jitter comes from the thread's private RNG (seeded from its
+    // id): no shared seed line, and each thread's jitter sequence is
+    // deterministic.  Seeds only need to differ across concurrently running
+    // transactions.
+    let seed = thread.next_backoff_seed();
     let mut backoff = Backoff::new(engine.system().config.backoff, seed);
     let mut mode = engine.initial_mode();
     // Abort history for the contention policy, reset when a deschedule ends

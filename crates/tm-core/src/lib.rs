@@ -13,8 +13,11 @@
 //! * a word-addressable transactional heap ([`heap::TmHeap`]) with a simple
 //!   allocator, standing in for the raw C memory the paper instruments,
 //! * a table of ownership records ([`orec::OrecTable`]) hashed from addresses,
-//!   exactly as in the paper's Appendix A,
-//! * the global version clock ([`clock::GlobalClock`]),
+//!   exactly as in the paper's Appendix A (entries cache-line padded),
+//! * the version clock plane ([`clock::ClockPlane`]): the GV1 shared counter
+//!   and the decentralized lazy-GV5 scheme over the per-thread epoch table
+//!   ([`epoch::EpochTable`]), plus the cache-line padding primitive both are
+//!   built from ([`pad::CachePadded`]),
 //! * the object-safe transaction handle trait ([`tx::Tx`]) plus the common
 //!   per-transaction metadata ([`tx::TxCommon`]) used by `Retry`'s value
 //!   logging,
@@ -51,9 +54,11 @@ pub mod clock;
 pub mod config;
 pub mod ctl;
 pub mod driver;
+pub mod epoch;
 pub mod heap;
 pub mod lock;
 pub mod orec;
+pub mod pad;
 pub mod policy;
 pub mod runtime;
 pub mod sem;
@@ -68,12 +73,14 @@ pub mod waitlist;
 
 pub use access::{IndexSet, LogPool, ReadEntry, ReadSet, WriteEntry, WriteLog};
 pub use addr::{Addr, LineId, LINE_WORDS};
-pub use clock::GlobalClock;
+pub use clock::{ClockMode, ClockPlane, CommitStamp, GlobalClock};
 pub use config::{BackoffConfig, HtmConfig, TimerConfig, TmConfig};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
+pub use epoch::{EpochSlot, EpochTable};
 pub use heap::TmHeap;
 pub use orec::{OrecTable, OrecValue};
+pub use pad::{CachePadded, CACHE_LINE_BYTES};
 pub use policy::{CmAction, CmEvent, CmHistory, ContentionManager, PolicyKind};
 pub use runtime::{TmRt, TmRuntime};
 pub use sem::Semaphore;

@@ -19,6 +19,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::addr::{Addr, LineId, LINE_WORDS};
+use crate::pad::CachePadded;
 use crate::thread::ThreadId;
 
 const LOCK_BIT: u64 = 1;
@@ -95,9 +96,15 @@ impl OrecValue {
 }
 
 /// The global table of ownership records, indexed by a hash of the address.
+///
+/// Entries are cache-line padded: a stripe's lock word is CAS-hammered by
+/// every writer that hashes onto it, and without padding eight stripes share
+/// one line, so transactions on completely disjoint data still ping-pong
+/// that line between cores ("false conflicts at the coherence level", as
+/// opposed to the hash-collision kind).
 #[derive(Debug)]
 pub struct OrecTable {
-    orecs: Box<[AtomicU64]>,
+    orecs: Box<[CachePadded<AtomicU64>]>,
     mask: usize,
 }
 
@@ -106,7 +113,9 @@ impl OrecTable {
     /// two so indexing can use a mask.
     pub fn new(size: usize) -> Self {
         let size = size.next_power_of_two().max(2);
-        let orecs = (0..size).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let orecs = (0..size)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect::<Vec<_>>();
         OrecTable {
             orecs: orecs.into_boxed_slice(),
             mask: size - 1,
@@ -255,6 +264,16 @@ mod tests {
         t.store(idx, OrecValue::unlocked(42));
         assert_eq!(t.load(idx).version(), 42);
         assert!(!t.load(idx).is_locked());
+    }
+
+    #[test]
+    fn table_entries_do_not_share_cache_lines() {
+        use crate::pad::CACHE_LINE_BYTES;
+        let t = OrecTable::new(4);
+        let base = t.orecs.as_ptr() as usize;
+        assert_eq!(base % CACHE_LINE_BYTES, 0);
+        let stride = std::mem::size_of::<CachePadded<AtomicU64>>();
+        assert!(stride >= CACHE_LINE_BYTES);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Cache-line padding for contended per-core state.
+//!
+//! A single `AtomicU64` that two cores write concurrently costs a coherence
+//! round-trip per write even when the *logical* data is disjoint, as long as
+//! the two words share a cache line ("false sharing").  [`CachePadded`]
+//! rounds a value's size and alignment up to one cache line so adjacent
+//! array elements — orec stripes, waiter-registry shard heads, per-thread
+//! epoch slots, statistics counters — can never share a line.
+//!
+//! The padding constant follows the hardware: 64 bytes on x86-64 and most
+//! other targets, 128 bytes on aarch64 (Apple silicon and several ARM server
+//! parts prefetch line *pairs*, so 128-byte spacing is what actually stops
+//! the ping-pong there).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// The padding granularity in bytes on this target.
+#[cfg(target_arch = "aarch64")]
+pub const CACHE_LINE_BYTES: usize = 128;
+/// The padding granularity in bytes on this target.
+#[cfg(not(target_arch = "aarch64"))]
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A `T` padded and aligned to a full cache line.
+///
+/// Dereferences to `T`, so wrapping an atomic in `CachePadded` changes the
+/// memory layout and nothing else: `&padded.fetch_add(..)` and friends keep
+/// working through auto-deref.
+#[cfg_attr(target_arch = "aarch64", repr(align(128)))]
+#[cfg_attr(not(target_arch = "aarch64"), repr(align(64)))]
+#[derive(Default)]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a line-sized, line-aligned cell.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the inner value: the padding is a layout detail and only
+        // adds noise to `TmSystem`/`TxStats` debug dumps.
+        self.value.fmt(f)
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn alignment_and_size_are_a_full_line() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), CACHE_LINE_BYTES);
+        assert_eq!(std::mem::size_of::<CachePadded<u8>>(), CACHE_LINE_BYTES);
+        assert_eq!(
+            std::mem::align_of::<CachePadded<AtomicU64>>(),
+            CACHE_LINE_BYTES
+        );
+        // A value larger than one line still rounds up to whole lines.
+        assert_eq!(
+            std::mem::size_of::<CachePadded<[u8; 100]>>() % CACHE_LINE_BYTES,
+            0
+        );
+    }
+
+    #[test]
+    fn array_elements_never_share_a_line() {
+        let arr: [CachePadded<AtomicU64>; 4] = Default::default();
+        for pair in arr.windows(2) {
+            let a = &*pair[0] as *const AtomicU64 as usize;
+            let b = &*pair[1] as *const AtomicU64 as usize;
+            assert!(b - a >= CACHE_LINE_BYTES);
+            assert_eq!(a % CACHE_LINE_BYTES, 0, "each element is line-aligned");
+        }
+    }
+
+    #[test]
+    fn deref_passes_through() {
+        let c = CachePadded::new(AtomicU64::new(7));
+        c.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+        assert_eq!(CachePadded::new(5u64).into_inner(), 5);
+        let mut m = CachePadded::new(3u64);
+        *m += 1;
+        assert_eq!(*m, 4);
+    }
+}

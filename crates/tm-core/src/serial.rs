@@ -110,12 +110,17 @@ impl SerialGate {
         // software engines' begin paths).
         fence(Ordering::SeqCst);
         system.threads.for_each_other(thread.id, |t| t.doom());
-        for t in system.threads.snapshot() {
-            if t.id == thread.id {
+        // Quiesce over the padded epoch table: lock-free, allocation-free,
+        // one isolated line per thread polled (same plane privatization
+        // quiescence scans).
+        let epochs = system.threads.epochs();
+        for id in 0..epochs.len() {
+            if id == thread.id {
                 continue;
             }
+            let slot = epochs.slot(id);
             let mut spin = SpinWait::new();
-            while t.published_start() != NOT_IN_TX {
+            while slot.start() != NOT_IN_TX {
                 spin.pause();
             }
         }

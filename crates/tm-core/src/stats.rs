@@ -8,16 +8,26 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::pad::CachePadded;
+
 macro_rules! stats_fields {
     (
         counters { $($(#[$cdoc:meta])* $cname:ident),+ $(,)? }
         maxima { $($(#[$mdoc:meta])* $mname:ident),+ $(,)? }
     ) => {
         /// Live (atomic) per-thread counters, plus high-water marks.
+        ///
+        /// Counters sit on commit/abort hot paths, so each one is padded to
+        /// its own cache line: a thread banging on `sw_commits` must never
+        /// invalidate the line a harness thread is reading `sleeps` from,
+        /// and — because the padding also aligns the whole struct — two
+        /// threads' contexts can't end up sharing a line through allocator
+        /// adjacency.  `CachePadded` derefs to the inner atomic, so call
+        /// sites are unchanged.
         #[derive(Debug, Default)]
         pub struct TxStats {
-            $($(#[$cdoc])* pub $cname: AtomicU64,)+
-            $($(#[$mdoc])* pub $mname: AtomicU64,)+
+            $($(#[$cdoc])* pub $cname: CachePadded<AtomicU64>,)+
+            $($(#[$mdoc])* pub $mname: CachePadded<AtomicU64>,)+
         }
 
         /// A point-in-time copy of [`TxStats`], suitable for aggregation and
@@ -141,6 +151,18 @@ stats_fields! {
     condvar_signals,
     /// Commit-time quiescence rounds executed for privatization safety.
     quiesce_rounds,
+    /// Epoch-table slots examined by quiescence scans (commit-time
+    /// privatization waits); pairs with `quiesce_rounds` to show how much
+    /// commit-path polling the decentralized table absorbs.
+    quiesce_scans,
+    /// Shared clock-line read-modify-writes: every GV1 commit tick, plus
+    /// the lazy plane's conflict-path CAS-advances (`note_stale`) and
+    /// eager-rollback bumps.  The number the decentralized clock drives
+    /// toward zero.
+    clock_cas,
+    /// Writer commits that reused `now() + 1` as their timestamp without
+    /// writing the shared clock line (lazy plane only).
+    clock_reuse,
     /// Access-set containers (read sets, write logs, index sets) handed out
     /// from the per-thread [`crate::access::LogPool`] with their capacity
     /// already grown by an earlier attempt, instead of being allocated.
@@ -296,5 +318,32 @@ mod tests {
         let pairs = s.as_pairs();
         assert!(pairs.contains(&("read_set_max", 5)));
         assert!(pairs.contains(&("log_pool_reuses", 3)));
+    }
+
+    #[test]
+    fn clock_counters_round_trip() {
+        let s = TxStats::default();
+        TxStats::bump(&s.clock_cas);
+        TxStats::bump(&s.clock_reuse);
+        TxStats::add(&s.quiesce_scans, 3);
+        let snap = s.snapshot();
+        assert_eq!(
+            (snap.clock_cas, snap.clock_reuse, snap.quiesce_scans),
+            (1, 1, 3)
+        );
+        let pairs = snap.as_pairs();
+        assert!(pairs.contains(&("clock_cas", 1)));
+        assert!(pairs.contains(&("clock_reuse", 1)));
+        assert!(pairs.contains(&("quiesce_scans", 3)));
+    }
+
+    #[test]
+    fn hot_counters_live_on_distinct_cache_lines() {
+        use crate::pad::CACHE_LINE_BYTES;
+        let s = TxStats::default();
+        let commits = &*s.sw_commits as *const AtomicU64 as usize;
+        let aborts = &*s.sw_aborts as *const AtomicU64 as usize;
+        assert!(commits.abs_diff(aborts) >= CACHE_LINE_BYTES);
+        assert_eq!(commits % CACHE_LINE_BYTES, 0);
     }
 }

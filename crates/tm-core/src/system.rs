@@ -12,12 +12,13 @@ use std::sync::Arc;
 use crate::backoff::SpinWait;
 use crate::clock::GlobalClock;
 use crate::config::TmConfig;
+use crate::epoch::EpochTable;
 use crate::heap::TmHeap;
 use crate::orec::OrecTable;
 use crate::policy::ContentionManager;
 use crate::serial::SerialGate;
 use crate::stats::TxStats;
-use crate::thread::{ThreadCtx, ThreadId, ThreadRegistry, NOT_IN_TX};
+use crate::thread::{ThreadCtx, ThreadRegistry, NOT_IN_TX};
 use crate::timer::TimerWheel;
 use crate::waitlist::WaitList;
 
@@ -29,11 +30,15 @@ pub struct TmSystem {
     pub config: TmConfig,
     /// The word-addressable transactional heap.
     pub heap: TmHeap,
+    /// Per-thread epoch table: one padded slot per registered thread with
+    /// the published start time (quiescence) and last commit epoch (lazy
+    /// clock).  Shared by [`TmSystem::clock`] and [`TmSystem::threads`].
+    pub epochs: Arc<EpochTable>,
     /// Ownership records (software runtimes only; hardware transactions do
     /// not touch them, which is the crux of the paper's compatibility
     /// argument).
     pub orecs: OrecTable,
-    /// The global version clock.
+    /// The version clock plane (shared counter + lazy epoch scan).
     pub clock: GlobalClock,
     /// Registry of worker threads.
     pub threads: ThreadRegistry,
@@ -62,15 +67,17 @@ impl TmSystem {
     /// Builds a system with a caller-supplied (possibly custom) contention
     /// manager, overriding [`TmConfig::policy`].
     pub fn with_policy(config: TmConfig, policy: Box<dyn ContentionManager>) -> Arc<Self> {
+        let epochs = Arc::new(EpochTable::new(config.max_threads));
         Arc::new(TmSystem {
             heap: TmHeap::new(config.heap_words),
             orecs: OrecTable::new(config.orec_count),
-            clock: GlobalClock::new(),
-            threads: ThreadRegistry::new(),
+            clock: GlobalClock::for_system(config.clock, Arc::clone(&epochs)),
+            threads: ThreadRegistry::with_epochs(Arc::clone(&epochs)),
             waiters: WaitList::new(config.wake_shards),
             timers: TimerWheel::new(config.timer),
             serial: SerialGate::new(),
             policy,
+            epochs,
             config,
         })
     }
@@ -95,20 +102,28 @@ impl TmSystem {
     /// after committing at `commit_time`, wait until no other thread is still
     /// executing a transaction that started before that time.
     ///
+    /// Runs as a lock-free scan over the padded epoch table — no registry
+    /// lock, no snapshot allocation, one isolated cache line per thread
+    /// polled.  Writers on the lazy clock must publish their commit epoch
+    /// *before* calling this: that makes every later begin start at or
+    /// above `commit_time`, which is what bounds the wait.
+    ///
     /// No-op when disabled in the configuration.
-    pub fn quiesce(&self, me: ThreadId, commit_time: u64) {
+    pub fn quiesce(&self, me: &ThreadCtx, commit_time: u64) {
         if !self.config.quiescence {
             return;
         }
-        let threads = self.threads.snapshot();
+        let epochs = self.threads.epochs();
+        let n = epochs.len();
         let mut any = false;
-        for t in &threads {
-            if t.id == me {
+        for id in 0..n {
+            if id == me.id {
                 continue;
             }
+            let slot = epochs.slot(id);
             let mut spin = SpinWait::new();
             loop {
-                let s = t.published_start();
+                let s = slot.start();
                 if s == NOT_IN_TX || s >= commit_time {
                     break;
                 }
@@ -116,10 +131,9 @@ impl TmSystem {
                 spin.pause();
             }
         }
+        TxStats::add(&me.stats.quiesce_scans, n.saturating_sub(1) as u64);
         if any {
-            if let Some(t) = threads.iter().find(|t| t.id == me) {
-                TxStats::bump(&t.stats.quiesce_rounds);
-            }
+            TxStats::bump(&me.stats.quiesce_rounds);
         }
     }
 
@@ -178,7 +192,7 @@ mod tests {
     fn quiesce_with_no_other_threads_returns_immediately() {
         let s = TmSystem::new(TmConfig::small());
         let me = s.register_thread();
-        s.quiesce(me.id, 100);
+        s.quiesce(&me, 100);
     }
 
     #[test]
@@ -196,7 +210,7 @@ mod tests {
         });
         // Commit time 10 > other's start 5, so quiesce must block until the
         // helper thread publishes its exit.
-        s.quiesce(me.id, 10);
+        s.quiesce(&me, 10);
         assert_eq!(
             s.heap.load(Addr(1)),
             1,
@@ -213,6 +227,27 @@ mod tests {
         other.enter_tx(1);
         // Would deadlock if quiescence were enabled, since nobody ever calls
         // exit_tx for `other`.
-        s.quiesce(me.id, 10);
+        s.quiesce(&me, 10);
+    }
+
+    #[test]
+    fn system_shares_one_epoch_table_between_clock_and_registry() {
+        use crate::clock::ClockMode;
+        let s = TmSystem::new(TmConfig::small().with_clock(ClockMode::LazyGv5));
+        assert_eq!(s.clock.mode(), ClockMode::LazyGv5);
+        let t = s.register_thread();
+        assert!(Arc::ptr_eq(t.epochs(), &s.epochs));
+        t.publish_epoch(17);
+        assert_eq!(s.clock.now(), 17, "clock scans the registry's table");
+    }
+
+    #[test]
+    fn quiesce_counts_scans_over_other_threads() {
+        let s = TmSystem::new(TmConfig::small());
+        let me = s.register_thread();
+        let _a = s.register_thread();
+        let _b = s.register_thread();
+        s.quiesce(&me, 1);
+        assert_eq!(me.stats.snapshot().quiesce_scans, 2);
     }
 }

@@ -1,15 +1,19 @@
 //! Thread contexts and the global thread registry.
 //!
 //! Each worker thread registers once with the [`crate::system::TmSystem`] and
-//! receives an [`ThreadCtx`] carrying its identity, statistics, the published
-//! start time used for privatization-safe quiescence, and the "doomed" flag
-//! through which the HTM simulator delivers asynchronous conflict aborts.
+//! receives an [`ThreadCtx`] carrying its identity, statistics, its padded
+//! slot in the system's [`EpochTable`] (published start time for
+//! privatization-safe quiescence plus the last commit epoch the lazy clock
+//! scans), and the "doomed" flag through which the HTM simulator delivers
+//! asynchronous conflict aborts.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::access::{IndexSet, LogPool, ReadSet, Taken, WriteLog};
+use crate::epoch::{EpochSlot, EpochTable};
 use crate::lock::RwLock;
+use crate::pad::CachePadded;
 
 use crate::sem::Semaphore;
 use crate::stats::TxStats;
@@ -17,9 +21,21 @@ use crate::stats::TxStats;
 /// Identifier of a registered thread (dense, starting from 0).
 pub type ThreadId = usize;
 
-/// Sentinel published in [`ThreadCtx::start_time`] when the thread is not
-/// inside a transaction.
+/// Sentinel published as a thread's start time when it is not inside a
+/// transaction.
 pub const NOT_IN_TX: u64 = u64::MAX;
+
+/// Epoch-table capacity of a standalone [`ThreadRegistry::new`] (unit-test
+/// convenience; systems size theirs from
+/// [`crate::config::TmConfig::max_threads`]).
+const STANDALONE_REGISTRY_CAPACITY: usize = 64;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// Per-thread context shared between the thread itself and other threads
 /// (committers performing quiescence, hardware transactions dooming each
@@ -30,32 +46,66 @@ pub struct ThreadCtx {
     pub id: ThreadId,
     /// Event counters.
     pub stats: TxStats,
-    /// Global-clock value at which the thread's in-flight transaction
-    /// started, or [`NOT_IN_TX`].  Committing writers wait until every other
-    /// thread's published start time advances past their commit time
-    /// (quiescence, Appendix A).
-    pub start_time: AtomicU64,
+    /// The shared epoch table; this thread owns slot [`ThreadCtx::id`],
+    /// which carries its published start time and last commit epoch on a
+    /// private cache line.
+    epochs: Arc<EpochTable>,
     /// Set by another thread to doom this thread's in-flight *hardware*
-    /// transaction (simulating a coherence-triggered abort).
-    pub doomed: AtomicBool,
+    /// transaction (simulating a coherence-triggered abort).  Padded: it is
+    /// remote-written on conflicts and owner-polled on the hardware hot
+    /// path, so it must not share a line with the rest of the context.
+    pub doomed: CachePadded<AtomicBool>,
     /// Parking semaphore used when the thread is descheduled.
     pub sem: Semaphore,
     /// Recycler for the thread's access-set containers: a rolled-back
     /// attempt's read set / write log / index sets go back here and the
     /// next attempt takes them out with their capacity intact.
     pub pool: LogPool,
+    /// xorshift64 state for the thread's backoff jitter, seeded from the
+    /// thread id.  Owner-only (replaces the driver's old process-global
+    /// seed atomic, which was a shared hot line).
+    backoff_rng: CachePadded<AtomicU64>,
 }
 
 impl ThreadCtx {
-    fn new(id: ThreadId) -> Self {
+    fn new(id: ThreadId, epochs: Arc<EpochTable>) -> Self {
         ThreadCtx {
             id,
             stats: TxStats::default(),
-            start_time: AtomicU64::new(NOT_IN_TX),
-            doomed: AtomicBool::new(false),
+            epochs,
+            doomed: CachePadded::new(AtomicBool::new(false)),
             sem: Semaphore::new(),
             pool: LogPool::new(),
+            // splitmix64 never maps distinct inputs to the same output and
+            // maps nothing to 0 except one input; or-in a bit so xorshift
+            // (which fixes 0) always starts live.
+            backoff_rng: CachePadded::new(AtomicU64::new(splitmix64(id as u64 + 1) | 1)),
         }
+    }
+
+    /// This thread's padded epoch-table slot.
+    #[inline]
+    pub fn epoch_slot(&self) -> &EpochSlot {
+        self.epochs.slot(self.id)
+    }
+
+    /// The epoch table this thread publishes into.
+    pub fn epochs(&self) -> &Arc<EpochTable> {
+        &self.epochs
+    }
+
+    /// Next value of the thread's private backoff RNG (xorshift64).
+    ///
+    /// Deterministic per thread id, and touches only this thread's own
+    /// cache line.
+    #[inline]
+    pub fn next_backoff_seed(&self) -> u64 {
+        let mut s = self.backoff_rng.load(Ordering::Relaxed);
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.backoff_rng.store(s, Ordering::Relaxed);
+        s
     }
 
     fn note_reuse(&self, taken: Taken) {
@@ -107,19 +157,39 @@ impl ThreadCtx {
     /// Publishes the start time of an in-flight transaction.
     #[inline]
     pub fn enter_tx(&self, start: u64) {
-        self.start_time.store(start, Ordering::Release);
+        self.epoch_slot().set_start(start);
     }
 
     /// Publishes that the thread is no longer inside a transaction.
     #[inline]
     pub fn exit_tx(&self) {
-        self.start_time.store(NOT_IN_TX, Ordering::Release);
+        self.epoch_slot().clear_start();
     }
 
     /// The published start time, or [`NOT_IN_TX`].
     #[inline]
     pub fn published_start(&self) -> u64 {
-        self.start_time.load(Ordering::Acquire)
+        self.epoch_slot().start()
+    }
+
+    /// Publishes a completed writer commit's timestamp to this thread's
+    /// epoch slot.
+    ///
+    /// Call only after the commit is fully visible (write-back done, every
+    /// ownership record released) and **before** [`exit_tx`](Self::exit_tx)
+    /// or quiescence: a published epoch is a promise that any transaction
+    /// beginning afterwards starts at or above it, which is both the lazy
+    /// clock's correctness condition and what guarantees the publisher's own
+    /// quiescence wait terminates.
+    #[inline]
+    pub fn publish_epoch(&self, ts: u64) {
+        self.epoch_slot().set_epoch(ts);
+    }
+
+    /// The thread's last published commit epoch.
+    #[inline]
+    pub fn commit_epoch(&self) -> u64 {
+        self.epoch_slot().epoch()
     }
 
     /// Marks this thread's hardware transaction as doomed.
@@ -143,21 +213,49 @@ impl ThreadCtx {
 }
 
 /// Registry of all threads that ever joined the system.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ThreadRegistry {
     threads: RwLock<Vec<Arc<ThreadCtx>>>,
+    /// The epoch table shared with the clock plane; registration activates
+    /// one padded slot per thread.
+    epochs: Arc<EpochTable>,
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        ThreadRegistry::new()
+    }
 }
 
 impl ThreadRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty standalone registry (with its own small epoch
+    /// table; systems share theirs via [`ThreadRegistry::with_epochs`]).
     pub fn new() -> Self {
-        ThreadRegistry::default()
+        ThreadRegistry::with_epochs(Arc::new(EpochTable::new(STANDALONE_REGISTRY_CAPACITY)))
+    }
+
+    /// Creates an empty registry whose threads publish into `epochs`.
+    pub fn with_epochs(epochs: Arc<EpochTable>) -> Self {
+        ThreadRegistry {
+            threads: RwLock::new(Vec::new()),
+            epochs,
+        }
+    }
+
+    /// The epoch table this registry's threads publish into.
+    pub fn epochs(&self) -> &Arc<EpochTable> {
+        &self.epochs
     }
 
     /// Registers a new thread and returns its context.
+    ///
+    /// Panics when the epoch table is full (raise
+    /// [`crate::config::TmConfig::max_threads`]).
     pub fn register(&self) -> Arc<ThreadCtx> {
         let mut threads = self.threads.write();
-        let ctx = Arc::new(ThreadCtx::new(threads.len()));
+        let id = threads.len();
+        self.epochs.activate(id);
+        let ctx = Arc::new(ThreadCtx::new(id, Arc::clone(&self.epochs)));
         threads.push(Arc::clone(&ctx));
         ctx
     }
@@ -302,5 +400,50 @@ mod tests {
         assert_eq!(agg.sleeps, 1);
         r.reset_stats();
         assert_eq!(r.aggregate_stats().sw_commits, 0);
+    }
+
+    #[test]
+    fn start_times_are_visible_through_the_epoch_table() {
+        let r = ThreadRegistry::new();
+        let t = r.register();
+        t.enter_tx(9);
+        assert_eq!(r.epochs().slot(t.id).start(), 9);
+        t.exit_tx();
+        assert_eq!(r.epochs().slot(t.id).start(), NOT_IN_TX);
+    }
+
+    #[test]
+    fn publish_epoch_feeds_the_shared_scan() {
+        let r = ThreadRegistry::new();
+        let a = r.register();
+        let b = r.register();
+        assert_eq!(a.commit_epoch(), 0);
+        a.publish_epoch(5);
+        b.publish_epoch(3);
+        assert_eq!(a.commit_epoch(), 5);
+        assert_eq!(r.epochs().max_epoch(), 5);
+    }
+
+    #[test]
+    fn backoff_rng_is_deterministic_per_thread_and_distinct_across_threads() {
+        let r1 = ThreadRegistry::new();
+        let r2 = ThreadRegistry::new();
+        let a1 = r1.register();
+        let b1 = r1.register();
+        let a2 = r2.register();
+        let seq_a1: Vec<u64> = (0..4).map(|_| a1.next_backoff_seed()).collect();
+        let seq_b1: Vec<u64> = (0..4).map(|_| b1.next_backoff_seed()).collect();
+        let seq_a2: Vec<u64> = (0..4).map(|_| a2.next_backoff_seed()).collect();
+        assert_eq!(seq_a1, seq_a2, "same id, same sequence");
+        assert_ne!(seq_a1, seq_b1, "different ids diverge");
+        assert!(seq_a1.iter().all(|&s| s != 0), "xorshift state stays live");
+    }
+
+    #[test]
+    fn registration_panics_when_the_epoch_table_is_full() {
+        let r = ThreadRegistry::with_epochs(Arc::new(EpochTable::new(1)));
+        let _ok = r.register();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.register()));
+        assert!(attempt.is_err());
     }
 }

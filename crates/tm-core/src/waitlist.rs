@@ -37,6 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::lock::Mutex;
+use crate::pad::CachePadded;
 
 use crate::ctl::WaitCondition;
 use crate::sem::Semaphore;
@@ -181,6 +182,11 @@ pub struct ScanPlan {
 
 /// One shard: a mutex-protected list plus a count that lets scans skip empty
 /// shards without taking the lock.
+///
+/// Shards sit in an array indexed by stripe hash, so neighbours belong to
+/// unrelated stripes; the count word is written on every register/deregister
+/// and polled by every committing writer's scan, which without padding would
+/// false-share across up to eight shards per cache line.
 #[derive(Debug, Default)]
 struct Shard {
     list: Mutex<Vec<Arc<Waiter>>>,
@@ -219,10 +225,10 @@ impl Shard {
 /// on the mapping no matter how many stripes the orec table has.
 #[derive(Debug)]
 pub struct WaitList {
-    shards: Box<[Shard]>,
+    shards: Box<[CachePadded<Shard>]>,
     /// Predicate conditions name no addresses; they live here and are scanned
     /// by every writer.
-    unindexed: Shard,
+    unindexed: CachePadded<Shard>,
     mask: usize,
     /// Total registered waiters; the committing writer's fast path is one
     /// atomic load of this count.
@@ -242,10 +248,12 @@ impl WaitList {
     /// of two).
     pub fn new(shards: usize) -> Self {
         let shards = shards.next_power_of_two().max(2);
-        let vec = (0..shards).map(|_| Shard::default()).collect::<Vec<_>>();
+        let vec = (0..shards)
+            .map(|_| CachePadded::new(Shard::default()))
+            .collect::<Vec<_>>();
         WaitList {
             shards: vec.into_boxed_slice(),
-            unindexed: Shard::default(),
+            unindexed: CachePadded::new(Shard::default()),
             mask: shards - 1,
             count: AtomicUsize::new(0),
             registrations: AtomicU64::new(0),

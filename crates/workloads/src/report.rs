@@ -166,6 +166,7 @@ impl Panel {
         out.push_str(&self.render_wake_stats());
         out.push_str(&self.render_access_stats());
         out.push_str(&self.render_mode_stats());
+        out.push_str(&self.render_clock_stats());
         out
     }
 
@@ -261,6 +262,35 @@ impl Panel {
                 stats.read_set_max,
                 stats.write_set_max,
                 stats.log_pool_reuses,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising clock-plane contention: shared
+    /// counter writes (`clock_cas` — GV1 ticks plus lazy-GV5 stale-version
+    /// catch-ups), lazy commit stamps that reused the clock without writing
+    /// it (`clock_reuse`), and the per-thread epoch slots each committing
+    /// writer scanned while quiescing (`quiesce_scans`).  The cas/reuse ratio
+    /// is what the decentralized clock is meant to drive toward zero.  Empty
+    /// when no series touched the clock plane.
+    pub fn render_clock_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.clock_cas == 0 && stats.clock_reuse == 0 && stats.quiesce_scans == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# clock {:>10}: shared-line cas {:>8}  lazy reuses {:>8}  quiesce scans {:>10}",
+                s.mechanism.label(),
+                stats.clock_cas,
+                stats.clock_reuse,
+                stats.quiesce_scans,
             );
         }
         out
@@ -701,6 +731,31 @@ mod tests {
         assert!(
             !text.contains("mode-ladder      Await"),
             "series without ladder work stay out of the block"
+        );
+    }
+
+    #[test]
+    fn clock_stats_render_only_when_the_clock_plane_was_touched() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(
+            panel.render_clock_stats().is_empty(),
+            "no clock work, no clock line"
+        );
+
+        let mut with_clock = point(4, 1.0);
+        with_clock.stats.clock_cas = 3;
+        with_clock.stats.clock_reuse = 997;
+        with_clock.stats.quiesce_scans = 1234;
+        panel.series_mut(Mechanism::Retry).push(with_clock);
+        let text = panel.render();
+        assert!(text.contains("# clock"));
+        assert!(text.contains("shared-line cas        3"));
+        assert!(text.contains("lazy reuses      997"));
+        assert!(text.contains("quiesce scans       1234"));
+        assert!(
+            !text.contains("clock   Pthreads"),
+            "series without clock work stay out of the block"
         );
     }
 

@@ -7,8 +7,13 @@
 use std::sync::Arc;
 
 use condsync::Mechanism;
-use tm_core::{Addr, StatsSnapshot, TmConfig, Tx, TxResult};
+use tm_core::{Addr, ClockMode, StatsSnapshot, TmConfig, Tx, TxResult};
 use tm_repro::prelude::*;
+
+/// Both clock-plane schemes: the deterministic GV1 baseline and the
+/// decentralized lazy-GV5 default.  Every parity scenario must produce the
+/// same golden results under either.
+const CLOCK_MODES: [ClockMode; 2] = [ClockMode::Gv1, ClockMode::LazyGv5];
 
 /// Outcome of one scenario run: what the waiters observed, plus the
 /// system-wide statistics at the end.
@@ -25,9 +30,15 @@ struct ScenarioResult {
 /// runtime, and at least one of them must have gone through a real
 /// sleep/wake cycle.
 fn run_scenario(kind: RuntimeKind) -> ScenarioResult {
+    run_scenario_configured(kind, TmConfig::small())
+}
+
+/// As [`run_scenario`], with an explicit configuration (used by the
+/// clock-plane sweep).
+fn run_scenario_configured(kind: RuntimeKind, config: TmConfig) -> ScenarioResult {
     const TARGET: u64 = 3;
 
-    let rt = kind.build(TmConfig::small());
+    let rt = kind.build(config);
     let system = Arc::clone(rt.system());
     let count = TmVar::<u64>::alloc(&system, 0);
 
@@ -199,68 +210,74 @@ fn wake_reason_parity_across_runtimes() {
     }
 }
 
-#[test]
-fn large_transactions_are_identical_across_runtimes() {
-    // A single large transaction — thousands of interleaved reads, writes,
-    // read-after-writes and re-reads over hundreds of addresses — must leave
-    // byte-identical heap state and return the same checksum on every
-    // runtime.  This is the shape the shared access-set layer exists for
-    // (big read sets + deep write logs), so it doubles as an integration
-    // check that the pooled, hash-indexed logs did not change semantics.
+/// Runs one deterministic large transaction — thousands of interleaved
+/// reads, writes, read-after-writes and re-reads over hundreds of addresses
+/// — and returns its checksum plus the final heap image.
+fn large_tx_outcome(kind: RuntimeKind, config: TmConfig) -> (u64, Vec<u64>) {
     use tm_core::backoff::XorShift64;
 
     const ADDRS: usize = 512;
     const OPS: usize = 6_000;
     let base = 1024usize;
 
-    let mut outcomes: Vec<(RuntimeKind, u64, Vec<u64>)> = Vec::new();
-    for kind in RuntimeKind::ALL {
-        let rt = kind.build(TmConfig::default());
-        let system = Arc::clone(rt.system());
-        let th = system.register_thread();
-        for i in 0..ADDRS {
-            system.heap.store(Addr(base + i), i as u64);
-        }
-        // The schedule is fixed up front so re-executed attempts replay it.
-        let mut rng = XorShift64::new(0xB16_7C5);
-        let ops: Vec<(u64, usize, u64)> = (0..OPS)
-            .map(|_| {
-                (
-                    rng.next() % 3,
-                    (rng.next() % ADDRS as u64) as usize,
-                    rng.next() % 4096,
-                )
-            })
-            .collect();
+    let rt = kind.build(config);
+    let system = Arc::clone(rt.system());
+    let th = system.register_thread();
+    for i in 0..ADDRS {
+        system.heap.store(Addr(base + i), i as u64);
+    }
+    // The schedule is fixed up front so re-executed attempts replay it.
+    let mut rng = XorShift64::new(0xB16_7C5);
+    let ops: Vec<(u64, usize, u64)> = (0..OPS)
+        .map(|_| {
+            (
+                rng.next() % 3,
+                (rng.next() % ADDRS as u64) as usize,
+                rng.next() % 4096,
+            )
+        })
+        .collect();
 
-        let checksum = rt.atomically(&th, |tx| {
-            let mut acc = 0u64;
-            for &(op, i, val) in &ops {
-                let addr = Addr(base + i);
-                match op {
-                    0 => acc = acc.wrapping_add(tx.read(addr)?),
-                    1 => tx.write(addr, val)?,
-                    _ => {
-                        let cur = tx.read(addr)?;
-                        tx.write(addr, cur.wrapping_add(val))?;
-                        acc = acc.wrapping_add(tx.read(addr)?);
-                    }
+    let checksum = rt.atomically(&th, |tx| {
+        let mut acc = 0u64;
+        for &(op, i, val) in &ops {
+            let addr = Addr(base + i);
+            match op {
+                0 => acc = acc.wrapping_add(tx.read(addr)?),
+                1 => tx.write(addr, val)?,
+                _ => {
+                    let cur = tx.read(addr)?;
+                    tx.write(addr, cur.wrapping_add(val))?;
+                    acc = acc.wrapping_add(tx.read(addr)?);
                 }
             }
-            Ok(acc)
-        });
+        }
+        Ok(acc)
+    });
 
-        let heap: Vec<u64> = (0..ADDRS)
-            .map(|i| system.heap.load(Addr(base + i)))
-            .collect();
-        let stats = system.stats();
-        assert!(
-            stats.write_set_max > 0 && stats.read_set_max > 0,
-            "{kind}: a large transaction must register set high-water marks \
-             (read {}, write {})",
-            stats.read_set_max,
-            stats.write_set_max
-        );
+    let heap: Vec<u64> = (0..ADDRS)
+        .map(|i| system.heap.load(Addr(base + i)))
+        .collect();
+    let stats = system.stats();
+    assert!(
+        stats.write_set_max > 0 && stats.read_set_max > 0,
+        "{kind}: a large transaction must register set high-water marks \
+         (read {}, write {})",
+        stats.read_set_max,
+        stats.write_set_max
+    );
+    (checksum, heap)
+}
+
+#[test]
+fn large_transactions_are_identical_across_runtimes() {
+    // Byte-identical heap state and the same checksum on every runtime.
+    // This is the shape the shared access-set layer exists for (big read
+    // sets + deep write logs), so it doubles as an integration check that
+    // the pooled, hash-indexed logs did not change semantics.
+    let mut outcomes: Vec<(RuntimeKind, u64, Vec<u64>)> = Vec::new();
+    for kind in RuntimeKind::ALL {
+        let (checksum, heap) = large_tx_outcome(kind, TmConfig::default());
         outcomes.push((kind, checksum, heap));
     }
 
@@ -271,6 +288,82 @@ fn large_transactions_are_identical_across_runtimes() {
             "{kind} checksum diverged from {first_kind}"
         );
         assert_eq!(heap, first_heap, "{kind} heap diverged from {first_kind}");
+    }
+}
+
+#[test]
+fn clock_plane_sweep_keeps_golden_results_identical() {
+    // The clock scheme is a performance lever, not a semantic one: the same
+    // deterministic large transaction must produce the same checksum and
+    // heap image on every runtime under GV1 and lazy GV5, and the
+    // deschedule scenario must reach the same final state.
+    let golden = large_tx_outcome(RuntimeKind::EagerStm, TmConfig::default());
+    for mode in CLOCK_MODES {
+        for kind in RuntimeKind::ALL {
+            let outcome = large_tx_outcome(kind, TmConfig::default().with_clock(mode));
+            assert_eq!(
+                outcome,
+                golden,
+                "{kind} under {} diverged from the golden outcome",
+                mode.label()
+            );
+
+            let result = run_scenario_configured(kind, TmConfig::small().with_clock(mode));
+            assert_eq!(
+                result.final_count,
+                3,
+                "{kind} under {}: wrong final count",
+                mode.label()
+            );
+            assert_eq!(
+                result.observed.len(),
+                3,
+                "{kind} under {}: a waiter was lost",
+                mode.label()
+            );
+            assert_eq!(
+                result.observed.iter().max(),
+                Some(&3),
+                "{kind} under {}: no waiter saw the established condition",
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn writer_commits_advance_the_clock_past_their_begin_snapshot() {
+    // Observable `commit_ts > start_ts` in both clock modes: after a writer
+    // commit, `clock.now()` strictly exceeds any snapshot taken before the
+    // transaction began — under GV1 because the commit ticked the counter,
+    // under lazy GV5 because the committer published `now() + 1` to its
+    // epoch slot.  Pure HTM commits through the simulated cache protocol
+    // and never stamps the clock, so it is exempt.
+    for mode in CLOCK_MODES {
+        for kind in [
+            RuntimeKind::EagerStm,
+            RuntimeKind::LazyStm,
+            RuntimeKind::Hybrid,
+        ] {
+            let rt = kind.build(TmConfig::small().with_clock(mode));
+            let system = Arc::clone(rt.system());
+            let th = system.register_thread();
+            let v = TmVar::<u64>::alloc(&system, 0);
+            for i in 0..16u64 {
+                let before = system.clock.now();
+                rt.atomically(&th, |tx| {
+                    let x = v.get(tx)?;
+                    v.set(tx, x + 1)
+                });
+                let after = system.clock.now();
+                assert!(
+                    after > before,
+                    "{kind} under {}: commit {i} left now() at {after} (begin snapshot {before})",
+                    mode.label()
+                );
+            }
+            assert_eq!(v.load_direct(&system), 16);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use tm_core::ClockMode;
 use tm_repro::prelude::*;
 use tm_repro::workloads::runtime::RuntimeKind;
 
@@ -162,6 +163,79 @@ fn queue_and_stack_do_not_lose_elements_under_contention() {
             seen_s.iter().filter(|&&b| b).count() as u64,
             THREADS as u64 * PER_THREAD
         );
+    }
+}
+
+#[test]
+fn clock_modes_preserve_serializability_and_version_monotonicity() {
+    // The clock-plane sweep: the contended-counter workload must stay
+    // serializable (no lost updates) under both GV1 and lazy GV5 on every
+    // runtime, and the ownership records covering the counter must never
+    // publish a regressing version — the invariant non-unique lazy stamps
+    // could violate if a commit ever stamped below an already-released
+    // version.  A watcher thread samples the orecs concurrently with the
+    // workload and tracks every unlocked version it observes.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const PER_THREAD: u64 = 200;
+    for mode in [ClockMode::Gv1, ClockMode::LazyGv5] {
+        for kind in RuntimeKind::ALL {
+            let rt = kind.build(TmConfig::small().with_clock(mode));
+            let system = Arc::clone(rt.system());
+            let counter = TmCounter::new(&system, 0);
+            let watched: Vec<usize> = (0..system.orecs.len()).collect();
+            let done = AtomicBool::new(false);
+
+            std::thread::scope(|scope| {
+                let watcher_system = Arc::clone(&system);
+                let watcher_done = &done;
+                let watcher_watched = &watched;
+                scope.spawn(move || {
+                    let mut floors = vec![0u64; watcher_watched.len()];
+                    while !watcher_done.load(Ordering::Acquire) {
+                        for (&idx, floor) in watcher_watched.iter().zip(floors.iter_mut()) {
+                            let v = watcher_system.orecs.load(idx);
+                            if v.is_locked() {
+                                continue;
+                            }
+                            assert!(
+                                v.version() >= *floor,
+                                "{kind} under {}: orec {idx} regressed from {} to {}",
+                                mode.label(),
+                                floor,
+                                v.version()
+                            );
+                            *floor = v.version();
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+
+                // Inner scope: joins the workers, after which the watcher is
+                // released — the outer scope then joins the watcher itself.
+                std::thread::scope(|workers| {
+                    for _ in 0..THREADS {
+                        let rt = rt.clone();
+                        let system = Arc::clone(&system);
+                        let counter = counter.clone();
+                        workers.spawn(move || {
+                            let th = system.register_thread();
+                            for _ in 0..PER_THREAD {
+                                rt.atomically(&th, |tx| counter.increment(tx).map(|_| ()));
+                            }
+                        });
+                    }
+                });
+                done.store(true, Ordering::Release);
+            });
+
+            assert_eq!(
+                counter.load_direct(&system),
+                THREADS as u64 * PER_THREAD,
+                "lost updates on {kind} under {}",
+                mode.label()
+            );
+        }
     }
 }
 
