@@ -1,0 +1,378 @@
+//! `read_mostly` — snapshot-read throughput on a Zipfian read/write mix.
+//!
+//! The snapshot read path promises that a *declared* read-only transaction
+//! (`atomically_read`) costs nothing beyond the reads themselves: no read
+//! set is populated, no commit-time validation runs, and the commit is a
+//! single statistics bump (`ro_fast_commits`) with zero clock traffic.
+//! This bench drives that claim with the workload it targets: a skewed
+//! (Zipfian) key space scanned by read transactions while a minority of
+//! write transactions mutate hot keys underneath them.
+//!
+//! Each cell spawns two workers over a shared 256-key table; each worker
+//! runs `iters` transactions, choosing per transaction between a read-only
+//! scan (via `atomically_read`) and a writer increment (via `atomically`)
+//! according to `read_pct`.  The sweep crosses read percentage
+//! {100, 90, 50} x all four runtimes x snapshot {off, on} and records
+//! throughput plus the snapshot-plane counters.  Headline assertions, run
+//! on every invocation (smoke included):
+//!
+//! * every snapshot-enabled cell commits through the fast path
+//!   (`ro_fast_commits > 0`);
+//! * on the 100%-read snapshot-enabled STM cells the read-set pool
+//!   high-water stays at **zero** (`read_set_max == 0`) — snapshot readers
+//!   genuinely have no footprint;
+//! * on the 90%-read sweep, snapshot-on throughput is at least snapshot-off
+//!   throughput on both STMs (with a small slack factor under
+//!   `TM_BENCH_SMOKE`, where single-repeat timing is noisy).
+//!
+//! Output: a plain-text table on stdout plus a JSON report (via
+//! `tm_workloads::json`) written to `$TM_BENCH_JSON` (default
+//! `BENCH_read_mostly.json`), matching the `thread_scaling` conventions so
+//! CI can archive the trajectory.
+//!
+//! Environment:
+//!
+//! | variable            | meaning                                  | default |
+//! |---------------------|------------------------------------------|---------|
+//! | `TM_BENCH_SMOKE=1`  | tiny iteration counts + slack for CI     | off     |
+//! | `TM_BENCH_ITERS`    | transactions per worker per cell         | `20000` |
+//! | `TM_BENCH_REPEATS`  | runs per cell (fastest kept)             | `3` (smoke `1`) |
+//! | `TM_BENCH_JSON`     | JSON report path                         | `BENCH_read_mostly.json` |
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use tm_core::{SnapshotMode, TmConfig, TmVar};
+use tm_workloads::json::Value;
+use tm_workloads::runtime::RuntimeKind;
+
+/// Shared table size.  Large enough that the Zipfian tail spreads writers
+/// across orec stripes, small enough that the head keys stay genuinely hot.
+const KEYS: usize = 256;
+
+/// Keys touched by one read-only scan.  Deliberately large: the snapshot
+/// path's saving is per read (no read-set record, no retry-value log, and —
+/// on the lazy runtime — no commit-time validation pass), so the scan must
+/// be long enough for that saving to rise above scheduler noise on small
+/// hosts.
+const READS_PER_TX: usize = 32;
+
+/// Zipfian skew exponent (`P(k) ~ 1/k^s`).  0.8 is the classic
+/// read-mostly-cache shape: a hot head without starving the tail.
+const ZIPF_S: f64 = 0.8;
+
+const READ_PCTS: [u32; 3] = [100, 90, 50];
+const SNAPSHOTS: [SnapshotMode; 2] = [SnapshotMode::Off, SnapshotMode::On];
+const THREADS: usize = 2;
+
+/// Cumulative Zipfian distribution over `KEYS` ranks, hand-rolled so the
+/// bench needs no external crates.  `sample` maps a uniform u64 to a key.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, uniform: u64) -> usize {
+        // Map the top 53 bits to [0, 1) and binary-search the CDF.
+        let u = (uniform >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// xorshift64*: deterministic per-worker stream, no external RNG crate.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+struct Cell {
+    runtime: RuntimeKind,
+    snapshot: SnapshotMode,
+    read_pct: u32,
+    seconds: f64,
+    commits: u64,
+    aborts: u64,
+    ro_fast_commits: u64,
+    ro_upgrades: u64,
+    snapshot_refreshes: u64,
+    read_set_max: u64,
+}
+
+impl Cell {
+    fn throughput(&self) -> f64 {
+        self.commits as f64 / self.seconds
+    }
+
+    fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+fn measure(kind: RuntimeKind, snapshot: SnapshotMode, read_pct: u32, iters: u64) -> Cell {
+    let config = TmConfig::default()
+        .with_heap_words(1 << 12)
+        .with_snapshot(snapshot);
+    let rt = kind.build(config);
+    let system = Arc::clone(rt.system());
+    let zipf = Zipf::new(KEYS, ZIPF_S);
+    let table: Vec<TmVar<u64>> = (0..KEYS).map(|_| TmVar::alloc(&system, 0)).collect();
+    let barrier = Barrier::new(THREADS + 1);
+    let mut start = None;
+    let mut writes_done = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|worker| {
+                let rt = rt.clone();
+                let system = Arc::clone(&system);
+                let (zipf, table, barrier) = (&zipf, &table, &barrier);
+                s.spawn(move || {
+                    let th = system.register_thread();
+                    let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((worker as u64 + 1) << 17);
+                    let mut writes = 0u64;
+                    let mut blackhole = 0u64;
+                    barrier.wait();
+                    for _ in 0..iters {
+                        let roll = xorshift(&mut rng) % 100;
+                        if (roll as u32) < read_pct {
+                            // Read-only scan over READS_PER_TX skewed keys,
+                            // chosen before the transaction so a retry
+                            // replays the same footprint.
+                            let mut keys = [0usize; READS_PER_TX];
+                            for k in &mut keys {
+                                *k = zipf.sample(xorshift(&mut rng));
+                            }
+                            blackhole ^= rt.atomically_read(&th, |tx| {
+                                let mut sum = 0u64;
+                                for &k in &keys {
+                                    sum = sum.wrapping_add(table[k].get(tx)?);
+                                }
+                                Ok(sum)
+                            });
+                        } else {
+                            // Writer: bump one hot key.
+                            let k = zipf.sample(xorshift(&mut rng));
+                            rt.atomically(&th, |tx| {
+                                let v = table[k].get(tx)?;
+                                table[k].set(tx, v + 1)
+                            });
+                            writes += 1;
+                        }
+                    }
+                    // Keep the scan results observable so the read loop
+                    // cannot be optimized away.
+                    std::hint::black_box(blackhole);
+                    writes
+                })
+            })
+            .collect();
+        // Stopwatch before the barrier release, mirroring `thread_scaling`:
+        // on a loaded host the workers can finish before this thread is
+        // rescheduled to read the clock.
+        start = Some(Instant::now());
+        barrier.wait();
+        writes_done = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    });
+    let seconds = start.expect("barrier passed").elapsed().as_secs_f64();
+    let total: u64 = table.iter().map(|v| v.load_direct(&system)).sum();
+    assert_eq!(
+        total,
+        writes_done,
+        "{kind} {}: lost updates under the read-mostly mix",
+        snapshot.label()
+    );
+    let stats = system.stats();
+    Cell {
+        runtime: kind,
+        snapshot,
+        read_pct,
+        seconds,
+        commits: stats.hw_commits + stats.sw_commits + stats.serial_commits,
+        aborts: stats.total_aborts(),
+        ro_fast_commits: stats.ro_fast_commits,
+        ro_upgrades: stats.ro_upgrades,
+        snapshot_refreshes: stats.snapshot_refreshes,
+        read_set_max: stats.read_set_max,
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let smoke = env_flag("TM_BENCH_SMOKE");
+    let iters: u64 = std::env::var("TM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1000 } else { 20000 });
+    let repeats: usize = std::env::var("TM_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let json_path =
+        std::env::var("TM_BENCH_JSON").unwrap_or_else(|_| "BENCH_read_mostly.json".to_string());
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:<9} {:>8} {:>9} {:>11} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "runtime",
+        "snapshot",
+        "read_pct",
+        "seconds",
+        "commits/s",
+        "aborts",
+        "ro_fast",
+        "upgrades",
+        "refreshes",
+        "rset_max"
+    );
+    for kind in RuntimeKind::ALL {
+        for snapshot in SNAPSHOTS {
+            for read_pct in READ_PCTS {
+                // Best-of-N on a fresh system per repeat, like thread_scaling.
+                let cell = (0..repeats)
+                    .map(|_| measure(kind, snapshot, read_pct, iters))
+                    .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                    .expect("at least one repeat");
+                println!(
+                    "{:<10} {:<9} {:>8} {:>9.4} {:>11.0} {:>9} {:>9} {:>9} {:>10} {:>9}",
+                    cell.runtime.label(),
+                    cell.snapshot.label(),
+                    cell.read_pct,
+                    cell.seconds,
+                    cell.throughput(),
+                    cell.aborts,
+                    cell.ro_fast_commits,
+                    cell.ro_upgrades,
+                    cell.snapshot_refreshes,
+                    cell.read_set_max,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Headline claims, checked on every run (smoke included).
+    for cell in cells.iter().filter(|c| c.snapshot.is_enabled()) {
+        // Every snapshot-enabled cell runs declared read-only transactions,
+        // so the fast path must have fired: in hardware (declared-RO HTM
+        // commits) or in software (empty-footprint snapshot commits).
+        assert!(
+            cell.ro_fast_commits > 0,
+            "{}/{}% read: snapshot enabled but no fast read-only commits",
+            cell.runtime.label(),
+            cell.read_pct
+        );
+    }
+    for cell in cells.iter().filter(|c| {
+        c.snapshot.is_enabled()
+            && c.read_pct == 100
+            && matches!(c.runtime, RuntimeKind::EagerStm | RuntimeKind::LazyStm)
+    }) {
+        // Pure-reader STM cells never populate a read set: the snapshot
+        // path validates against the begin timestamp instead of logging.
+        assert_eq!(
+            cell.read_set_max,
+            0,
+            "{}: snapshot readers populated a read set (max {})",
+            cell.runtime.label(),
+            cell.read_set_max
+        );
+    }
+    // Single-repeat smoke timings on shared CI runners are noisy; the full
+    // bench holds the strict inequality.
+    let slack = if smoke { 0.90 } else { 1.0 };
+    for kind in [RuntimeKind::EagerStm, RuntimeKind::LazyStm] {
+        let pick = |mode: SnapshotMode| {
+            cells
+                .iter()
+                .find(|c| c.runtime == kind && c.snapshot == mode && c.read_pct == 90)
+                .expect("90%-read cell")
+        };
+        let off = pick(SnapshotMode::Off);
+        let on = pick(SnapshotMode::On);
+        println!(
+            "  -> {} @ 90% read: snap-on {:.0} commits/s vs snap-off {:.0} ({:+.1}%)",
+            kind.label(),
+            on.throughput(),
+            off.throughput(),
+            (on.throughput() / off.throughput() - 1.0) * 100.0,
+        );
+        assert!(
+            on.throughput() >= off.throughput() * slack,
+            "{}: 90%-read snapshot-on {:.0} commits/s below snapshot-off {:.0}",
+            kind.label(),
+            on.throughput(),
+            off.throughput()
+        );
+    }
+
+    let report = Value::obj(vec![
+        ("experiment", Value::Str("read_mostly".to_string())),
+        (
+            "description",
+            Value::Str(
+                "snapshot read-only throughput vs footprint-logging reads on a Zipfian mix"
+                    .to_string(),
+            ),
+        ),
+        ("iters_per_thread", Value::Num(iters as f64)),
+        ("threads", Value::Num(THREADS as f64)),
+        ("keys", Value::Num(KEYS as f64)),
+        ("reads_per_tx", Value::Num(READS_PER_TX as f64)),
+        ("zipf_s", Value::Num(ZIPF_S)),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("runtime", Value::Str(c.runtime.label().to_string())),
+                            ("snapshot", Value::Str(c.snapshot.label().to_string())),
+                            ("read_pct", Value::Num(c.read_pct as f64)),
+                            ("seconds", Value::Num(c.seconds)),
+                            ("commits", Value::Num(c.commits as f64)),
+                            ("throughput", Value::Num(c.throughput())),
+                            ("aborts", Value::Num(c.aborts as f64)),
+                            ("abort_rate", Value::Num(c.abort_rate())),
+                            ("ro_fast_commits", Value::Num(c.ro_fast_commits as f64)),
+                            ("ro_upgrades", Value::Num(c.ro_upgrades as f64)),
+                            (
+                                "snapshot_refreshes",
+                                Value::Num(c.snapshot_refreshes as f64),
+                            ),
+                            ("read_set_max", Value::Num(c.read_set_max as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, report.pretty()).expect("write JSON report");
+    println!("wrote {json_path}");
+}

@@ -69,7 +69,6 @@ fn writer_shards(system: &TmSystem, addr: Addr) -> Vec<usize> {
     system
         .orecs
         .line_indices(addr.line())
-        .into_iter()
         .map(|stripe| system.waiters.shard_of(stripe))
         .collect()
 }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::lock::{Mutex, MutexGuard};
 use tm_core::{
-    ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
+    ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxKind, TxMode, TxResult,
     WaitCondition, WaitSpec, WakeSet,
 };
 
@@ -230,6 +230,16 @@ impl TmRt for HtmSim {
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
         driver::run(self, thread, body)
+    }
+
+    fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        // No software snapshot rung exists here (the fallback is the serial
+        // lock), but declared-read-only hardware commits still count as
+        // `ro_fast_commits` in the driver.
+        driver::run_kind(self, thread, TxKind::ReadOnly, body)
     }
 }
 

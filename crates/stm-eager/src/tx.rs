@@ -3,13 +3,13 @@
 
 use std::sync::Arc;
 
-use tm_core::access::{IndexSet, ReadSet, WriteLog};
+use tm_core::access::{cover_valid_at, IndexSet, ReadSet, WriteLog};
 use tm_core::driver::CommitOutcome;
 use tm_core::serial::{subscribe_begin, SerialAttempt};
 use tm_core::stats::TxStats;
 use tm_core::{
-    AbortReason, Addr, OrecValue, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult, WaitCondition,
-    WaitSpec,
+    AbortReason, Addr, OrecValue, SnapshotMode, TmSystem, Tx, TxCommon, TxCtl, TxKind, TxMode,
+    TxResult, WaitCondition, WaitSpec,
 };
 
 /// An in-flight eager-STM transaction attempt.
@@ -42,6 +42,19 @@ pub struct EagerTx {
     /// straight to the shared serial attempt, the instrumented logs stay
     /// empty.
     serial: Option<SerialAttempt>,
+    /// True when this attempt runs on the snapshot read path: a declared
+    /// read-only transaction in plain [`TxMode::Software`] mode with
+    /// [`SnapshotMode`] enabled.  Reads validate against `start` only, no
+    /// read set is kept, writes abort with
+    /// [`AbortReason::ReadOnlyWrite`], and the commit is free.
+    snapshot: bool,
+    /// Whether the snapshot attempt has completed at least one read
+    /// (gates the [`SnapshotMode::On`] first-read refresh).
+    snap_observed: bool,
+    /// The distinct orec stripes read so far, kept only under
+    /// [`SnapshotMode::Extend`] so a too-new version can be survived by
+    /// re-checking that no covered stripe moved past `start`.
+    snap_cover: IndexSet,
 }
 
 impl EagerTx {
@@ -57,9 +70,25 @@ impl EagerTx {
         } else {
             (None, subscribe_begin(system, &common.thread))
         };
-        let reads = common.thread.take_read_set();
-        let undos = common.thread.take_write_log();
-        let locks = common.thread.take_index_set();
+        let snapshot = common.kind == TxKind::ReadOnly
+            && common.mode == TxMode::Software
+            && system.config.snapshot.is_enabled();
+        // Snapshot attempts keep no logs at all; skip the pool round trip
+        // (zero-capacity containers are dropped, not pooled, on `put`).
+        let (reads, undos, locks) = if snapshot {
+            (ReadSet::new(), WriteLog::new(), IndexSet::new())
+        } else {
+            (
+                common.thread.take_read_set(),
+                common.thread.take_write_log(),
+                common.thread.take_index_set(),
+            )
+        };
+        let snap_cover = if snapshot && system.config.snapshot == SnapshotMode::Extend {
+            common.thread.take_index_set()
+        } else {
+            IndexSet::new()
+        };
         EagerTx {
             common,
             system: Arc::clone(system),
@@ -70,6 +99,9 @@ impl EagerTx {
             mallocs: Vec::new(),
             frees: Vec::new(),
             serial,
+            snapshot,
+            snap_observed: false,
+            snap_cover,
         }
     }
 
@@ -100,6 +132,70 @@ impl EagerTx {
         }
         let logged = self.undos.lookup(addr).unwrap_or(observed);
         self.common.log_retry_read(addr, logged);
+    }
+
+    /// One snapshot-path read: lock–value–lock against `start` only.  No
+    /// read set, no value logging; a too-new version first tries a snapshot
+    /// refresh ([`EagerTx::try_snapshot_refresh`]) before aborting.
+    fn snapshot_read(&mut self, addr: Addr) -> TxResult<u64> {
+        let idx = self.system.orecs.index_for(addr);
+        loop {
+            let before = self.system.orecs.load(idx);
+            let val = self.system.heap.load(addr);
+            let after = self.system.orecs.load(idx);
+            if before == after && !before.is_locked() {
+                if before.version() <= self.start {
+                    self.snap_observed = true;
+                    if self.system.config.snapshot == SnapshotMode::Extend {
+                        self.snap_cover.insert(idx);
+                    }
+                    return Ok(val);
+                }
+                self.system
+                    .clock
+                    .note_stale(before.version(), &self.common.thread.stats);
+                if self.try_snapshot_refresh() {
+                    continue;
+                }
+            }
+            return Err(TxCtl::Abort(AbortReason::ReadConflict));
+        }
+    }
+
+    /// Attempts to advance the begin snapshot past a too-new version.
+    ///
+    /// Under [`SnapshotMode::On`] this is sound only before the first
+    /// successful read (nothing has been observed, so any snapshot is still
+    /// admissible).  Under [`SnapshotMode::Extend`] the accumulated stripe
+    /// cover is re-checked at the *old* snapshot: if no covered stripe is
+    /// locked or newer than `start`, no covered location changed between the
+    /// old snapshot and now, so every prior read is also valid at the new
+    /// one.  The new start is re-published through the serial-gate
+    /// subscription handshake, exactly like a fresh begin.
+    fn try_snapshot_refresh(&mut self) -> bool {
+        let extendable = match self.system.config.snapshot {
+            SnapshotMode::Extend => true,
+            SnapshotMode::On => !self.snap_observed,
+            SnapshotMode::Off => false,
+        };
+        if !extendable {
+            return false;
+        }
+        self.common.thread.exit_tx();
+        let new_start = subscribe_begin(&self.system, &self.common.thread);
+        // Re-validate *after* the new snapshot is published: anything the
+        // check admits was unchanged up to a point at or after `new_start`.
+        if self.system.config.snapshot == SnapshotMode::Extend
+            && !cover_valid_at(&self.system.orecs, self.snap_cover.as_slice(), self.start)
+        {
+            // A covered stripe moved; the attempt is doomed.  Keep the newly
+            // published start — the caller aborts and the rollback exits.
+            self.start = new_start;
+            return false;
+        }
+        self.start = new_start;
+        TxStats::bump(&self.common.thread.stats.snapshot_refreshes);
+        true
     }
 
     /// Acquires the ownership record covering `addr` for writing, returning
@@ -169,6 +265,8 @@ impl EagerTx {
         self.reads.clear();
         self.undos.clear();
         self.locks.clear();
+        self.snap_cover.clear();
+        self.snap_observed = false;
         self.mallocs.clear();
         self.frees.clear();
     }
@@ -182,6 +280,11 @@ impl EagerTx {
         // Read-only fast path: every read was validated at the time it
         // happened, so nothing further is required.
         if self.locks.is_empty() {
+            if self.snapshot {
+                // The snapshot commit did zero read-set pushes and performs
+                // zero commit-time orec loads.
+                TxStats::bump(&self.common.thread.stats.ro_fast_commits);
+            }
             for &(addr, words) in &self.frees {
                 self.system.heap.dealloc(addr, words);
             }
@@ -312,6 +415,12 @@ impl Drop for EagerTx {
         thread.put_read_set(std::mem::take(&mut self.reads));
         thread.put_write_log(std::mem::take(&mut self.undos));
         thread.put_index_set(std::mem::take(&mut self.locks));
+        // The Extend-mode stripe cover is an index set, not a read set: it
+        // must not feed the `read_set_max` high-water mark (snapshot commits
+        // keep no read set by construction).
+        thread
+            .pool
+            .put_index_set(std::mem::take(&mut self.snap_cover));
     }
 }
 
@@ -322,6 +431,9 @@ impl Tx for EagerTx {
         // SoftwareRetry mode (see the driver's ReadSetValues dispatch).
         if let Some(serial) = &self.serial {
             return Ok(serial.read(addr));
+        }
+        if self.snapshot {
+            return self.snapshot_read(addr);
         }
         // Algorithm 10, TxRead: atomically read lock–value–lock and accept
         // only if the snapshot is consistent and not too new.
@@ -354,6 +466,11 @@ impl Tx for EagerTx {
             serial.write(addr, val);
             return Ok(());
         }
+        if self.snapshot {
+            // Discovered-read-only speculation failed: the driver upgrades
+            // the transaction to a full update attempt and restarts it.
+            return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
+        }
         // Algorithm 10, TxWrite: acquire the orec, log the old value (first
         // write per address only — the log is keyed by address), update in
         // place.  The stripe cover of the write set is the lock set
@@ -370,6 +487,9 @@ impl Tx for EagerTx {
         if self.serial.is_some() {
             return self.read(addr);
         }
+        if self.snapshot {
+            return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
+        }
         // "Read for write" (§2.2.4): acquire the lock immediately and do not
         // add the address to the read set — it is protected by the lock.
         self.acquire(addr)?;
@@ -384,6 +504,9 @@ impl Tx for EagerTx {
                 .alloc(words)
                 .ok_or(TxCtl::Abort(AbortReason::OutOfMemory));
         }
+        if self.snapshot {
+            return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
+        }
         match self.system.heap.alloc(words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
@@ -397,6 +520,9 @@ impl Tx for EagerTx {
         if let Some(serial) = &mut self.serial {
             serial.free(addr, words);
             return Ok(());
+        }
+        if self.snapshot {
+            return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
         }
         self.frees.push((addr, words));
         Ok(())
@@ -699,5 +825,149 @@ mod tests {
         tx.rollback();
         tx.rollback();
         assert_eq!(system.heap.load(Addr(40)), 0);
+    }
+
+    fn begin_snapshot(system: &Arc<TmSystem>) -> EagerTx {
+        let th = system.register_thread();
+        EagerTx::begin(
+            system,
+            TxCommon::new(th, TxMode::Software, 0).with_kind(TxKind::ReadOnly),
+        )
+    }
+
+    #[test]
+    fn snapshot_read_keeps_no_read_set_and_commits_free() {
+        let system = TmSystem::new(TmConfig::small());
+        system.heap.store(Addr(3), 7);
+        system.heap.store(Addr(4), 8);
+        let mut tx = begin_snapshot(&system);
+        assert!(tx.snapshot, "small config enables snapshots");
+        assert_eq!(tx.read(Addr(3)).unwrap(), 7);
+        assert_eq!(tx.read(Addr(4)).unwrap(), 8);
+        assert!(tx.reads.is_empty(), "snapshot reads record nothing");
+        let th = Arc::clone(&tx.common.thread);
+        let info = tx.try_commit().unwrap();
+        assert!(!info.was_writer);
+        drop(tx);
+        let snap = th.stats.snapshot();
+        assert_eq!(snap.ro_fast_commits, 1);
+        assert_eq!(snap.read_set_max, 0, "no read set ever pooled back");
+    }
+
+    #[test]
+    fn snapshot_write_aborts_with_read_only_write() {
+        let system = TmSystem::new(TmConfig::small());
+        let mut tx = begin_snapshot(&system);
+        assert!(matches!(
+            tx.write(Addr(1), 9),
+            Err(TxCtl::Abort(AbortReason::ReadOnlyWrite))
+        ));
+        assert!(matches!(
+            tx.read_for_write(Addr(1)),
+            Err(TxCtl::Abort(AbortReason::ReadOnlyWrite))
+        ));
+        assert!(matches!(
+            tx.alloc(4),
+            Err(TxCtl::Abort(AbortReason::ReadOnlyWrite))
+        ));
+        assert!(matches!(
+            tx.free(Addr(1), 1),
+            Err(TxCtl::Abort(AbortReason::ReadOnlyWrite))
+        ));
+        tx.rollback();
+    }
+
+    #[test]
+    fn snapshot_refreshes_at_first_read_instead_of_aborting() {
+        let system = TmSystem::new(TmConfig::small().without_quiescence());
+        let mut tx = begin_snapshot(&system);
+        // A foreign commit moves Addr(6) past the snapshot's start.
+        let t2 = system.register_thread();
+        let mut w = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        w.write(Addr(6), 9).unwrap();
+        w.try_commit().unwrap();
+        // First read: too new, but nothing observed yet — refresh, not abort.
+        assert_eq!(tx.read(Addr(6)).unwrap(), 9);
+        let th = Arc::clone(&tx.common.thread);
+        tx.try_commit().unwrap();
+        assert_eq!(th.stats.snapshot().snapshot_refreshes, 1);
+    }
+
+    #[test]
+    fn snapshot_on_aborts_on_too_new_after_first_read() {
+        let system = TmSystem::new(TmConfig::small().without_quiescence());
+        let mut tx = begin_snapshot(&system);
+        assert_eq!(tx.read(Addr(5)).unwrap(), 0, "pin the snapshot");
+        let t2 = system.register_thread();
+        let mut w = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        w.write(Addr(6), 9).unwrap();
+        w.try_commit().unwrap();
+        assert!(matches!(
+            tx.read(Addr(6)),
+            Err(TxCtl::Abort(AbortReason::ReadConflict))
+        ));
+        tx.rollback();
+    }
+
+    #[test]
+    fn snapshot_extend_advances_past_disjoint_commits() {
+        let system = TmSystem::new(
+            TmConfig::small()
+                .without_quiescence()
+                .with_snapshot(SnapshotMode::Extend),
+        );
+        system.heap.store(Addr(5), 1);
+        // An address on a different orec stripe than Addr(5).
+        let other = (6..300)
+            .map(Addr)
+            .find(|&a| system.orecs.index_for(a) != system.orecs.index_for(Addr(5)))
+            .unwrap();
+        let mut tx = begin_snapshot(&system);
+        assert_eq!(tx.read(Addr(5)).unwrap(), 1, "pin the snapshot");
+        // A commit to a *different* stripe moves the clock forward.
+        let t2 = system.register_thread();
+        let mut w = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        w.write(other, 9).unwrap();
+        w.try_commit().unwrap();
+        // The cover (only Addr(5)'s stripe) still holds at the old start, so
+        // the snapshot extends instead of aborting.
+        assert_eq!(tx.read(other).unwrap(), 9);
+        let th = Arc::clone(&tx.common.thread);
+        tx.try_commit().unwrap();
+        let snap = th.stats.snapshot();
+        assert_eq!(snap.snapshot_refreshes, 1);
+        assert_eq!(snap.ro_fast_commits, 1);
+        assert_eq!(snap.read_set_max, 0);
+    }
+
+    #[test]
+    fn snapshot_extend_aborts_when_a_covered_stripe_moves() {
+        let system = TmSystem::new(
+            TmConfig::small()
+                .without_quiescence()
+                .with_snapshot(SnapshotMode::Extend),
+        );
+        let mut tx = begin_snapshot(&system);
+        assert_eq!(tx.read(Addr(5)).unwrap(), 0);
+        // A commit to the *same* address invalidates the cover; the next
+        // too-new read cannot extend.
+        let t2 = system.register_thread();
+        let mut w = EagerTx::begin(&system, TxCommon::new(t2, TxMode::Software, 0));
+        w.write(Addr(5), 9).unwrap();
+        w.try_commit().unwrap();
+        assert!(tx.read(Addr(5)).is_err());
+        tx.rollback();
+    }
+
+    #[test]
+    fn snapshot_off_disables_the_fast_path() {
+        let system = TmSystem::new(TmConfig::small().with_snapshot(SnapshotMode::Off));
+        let mut tx = begin_snapshot(&system);
+        assert!(!tx.snapshot);
+        assert_eq!(tx.read(Addr(3)).unwrap(), 0);
+        assert_eq!(tx.reads.len(), 1, "falls back to the tracked read path");
+        let th = Arc::clone(&tx.common.thread);
+        tx.try_commit().unwrap();
+        assert_eq!(th.stats.snapshot().ro_fast_commits, 0);
     }
 }

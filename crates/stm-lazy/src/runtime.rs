@@ -10,8 +10,8 @@ use std::sync::Arc;
 use condsync::OrigRegistry;
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
-    ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxResult, WaitCondition, WaitSpec,
-    WakeSet,
+    ThreadCtx, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxKind, TxResult, WaitCondition,
+    WaitSpec, WakeSet,
 };
 
 use crate::tx::LazyTx;
@@ -128,6 +128,13 @@ impl TmRt for LazyStm {
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
         driver::run(self, thread, body)
+    }
+
+    fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        driver::run_kind(self, thread, TxKind::ReadOnly, body)
     }
 }
 

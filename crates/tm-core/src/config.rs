@@ -3,6 +3,52 @@
 use crate::clock::ClockMode;
 use crate::policy::PolicyKind;
 
+/// How read-only transactions execute (see the snapshot read path in the
+/// software engines).
+///
+/// A snapshot reader runs against its begin snapshot `rv`: every read checks
+/// only that the covering ownership record is unlocked with
+/// `version <= rv`, keeps **no read set**, and commits for free — no
+/// commit-time validation and no clock traffic.  The modes differ in what
+/// happens when a read observes a version *newer* than `rv`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// No snapshot path: read-only transactions build a read set and
+    /// validate at commit like any other software transaction (the
+    /// pre-snapshot behavior, kept for parity testing and ablation).
+    Off,
+    /// Zero-footprint snapshots.  A too-new version can only be survived by
+    /// re-sampling `rv` *before the first successful read* (nothing has been
+    /// observed yet, so any snapshot is still admissible); afterwards the
+    /// attempt aborts and retries with a fresh snapshot.
+    On,
+    /// Extendable snapshots.  The attempt additionally accumulates the
+    /// distinct ownership-record stripes it has read (a pooled index set —
+    /// still no values, no read set).  On a too-new version it re-samples
+    /// `rv' = now()` and re-checks that every covered stripe is unlocked and
+    /// no newer than the *old* `rv`; if so, every prior read is also valid
+    /// at `rv'` and the snapshot advances in place.  This is the
+    /// per-stripe-history option: the cover re-check proves exactly what a
+    /// version history would (no covered stripe changed since `rv`).
+    Extend,
+}
+
+impl SnapshotMode {
+    /// A short label for reports and benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnapshotMode::Off => "snap-off",
+            SnapshotMode::On => "snap-on",
+            SnapshotMode::Extend => "snap-extend",
+        }
+    }
+
+    /// True when the snapshot read path is enabled at all.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, SnapshotMode::Off)
+    }
+}
+
 /// Configuration of the simulated best-effort HTM (see the `htm-sim` crate).
 ///
 /// The defaults approximate Intel TSX on a Haswell-class part as used in the
@@ -113,6 +159,10 @@ pub struct TmConfig {
     /// [`ClockMode::Gv1`] is the deterministic single-counter baseline that
     /// [`TmConfig::small`] selects for unit tests.
     pub clock: ClockMode,
+    /// How read-only transactions execute (see [`SnapshotMode`]).  Enabled
+    /// by default: declared or discovered read-only transactions run
+    /// validation-free against their begin snapshot.
+    pub snapshot: SnapshotMode,
     /// Capacity of the per-thread epoch table — the maximum number of
     /// threads that may register with the system.  Fixed at construction so
     /// epoch slots never move and scans stay lock-free.
@@ -131,6 +181,7 @@ impl Default for TmConfig {
             timer: TimerConfig::default(),
             policy: PolicyKind::Fixed,
             clock: ClockMode::LazyGv5,
+            snapshot: SnapshotMode::On,
             max_threads: 1024,
         }
     }
@@ -153,6 +204,7 @@ impl TmConfig {
             },
             policy: PolicyKind::Fixed,
             clock: ClockMode::Gv1,
+            snapshot: SnapshotMode::On,
             max_threads: 64,
         }
     }
@@ -206,6 +258,12 @@ impl TmConfig {
         self
     }
 
+    /// Overrides the read-only snapshot mode.
+    pub fn with_snapshot(mut self, snapshot: SnapshotMode) -> Self {
+        self.snapshot = snapshot;
+        self
+    }
+
     /// Overrides the epoch-table capacity (maximum registered threads).
     pub fn with_max_threads(mut self, max_threads: usize) -> Self {
         self.max_threads = max_threads;
@@ -225,6 +283,12 @@ mod tests {
         assert!(c.quiescence);
         assert_eq!(c.htm.max_attempts, 2);
         assert_eq!(c.clock, ClockMode::LazyGv5, "lazy clock is the default");
+        assert_eq!(
+            c.snapshot,
+            SnapshotMode::On,
+            "snapshot reads are on by default"
+        );
+        assert!(c.snapshot.is_enabled());
         assert!(c.max_threads >= 64);
         assert_eq!(
             TmConfig::small().clock,
@@ -256,9 +320,13 @@ mod tests {
             })
             .with_policy(PolicyKind::ADAPTIVE_DEFAULT)
             .with_clock(ClockMode::LazyGv5)
+            .with_snapshot(SnapshotMode::Extend)
             .with_max_threads(8);
         assert!(!c.quiescence);
         assert_eq!(c.clock, ClockMode::LazyGv5);
+        assert_eq!(c.snapshot, SnapshotMode::Extend);
+        assert!(!SnapshotMode::Off.is_enabled());
+        assert_eq!(SnapshotMode::Extend.label(), "snap-extend");
         assert_eq!(c.max_threads, 8);
         assert_eq!(c.policy, PolicyKind::ADAPTIVE_DEFAULT);
         assert_eq!(c.heap_words, 100);

@@ -38,6 +38,11 @@ pub enum AbortReason {
     /// (Intel `xabort`-style); used by the `Restart` baseline and by the
     /// WaitPred fast path discussed in §2.2.6.
     Explicit(u8),
+    /// A speculative read-only snapshot attempt issued a write (or an
+    /// allocation).  Not a conflict: the driver upgrades the transaction to
+    /// a full update attempt and re-executes immediately, without contention
+    /// management or backoff.
+    ReadOnlyWrite,
     /// The heap allocator was exhausted inside a transaction.
     OutOfMemory,
 }
@@ -228,6 +233,7 @@ mod tests {
         assert!(AbortReason::CommitValidation.is_conflict());
         assert!(!AbortReason::Explicit(3).is_conflict());
         assert!(!AbortReason::HwCapacity.is_conflict());
+        assert!(!AbortReason::ReadOnlyWrite.is_conflict());
     }
 
     #[test]
@@ -254,6 +260,7 @@ mod tests {
         assert!(AbortReason::WriteConflict.is_contention());
         assert!(!AbortReason::HwCapacity.is_contention());
         assert!(!AbortReason::Explicit(1).is_contention());
+        assert!(!AbortReason::ReadOnlyWrite.is_contention());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod run;
 mod wake;
 
 pub use engine::{CommitOutcome, TxEngine};
-pub use run::run;
+pub use run::{run, run_kind};
 pub use wake::{
     deschedule, deschedule_until, poll_timers, wake_waiters, wake_waiters_matching,
     DescheduleOutcome,

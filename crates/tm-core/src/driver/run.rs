@@ -22,13 +22,14 @@
 //! condition-synchronization protocol by implementing the engine trait.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::backoff::Backoff;
 use crate::ctl::{AbortReason, TxCtl, TxResult, WaitSpec};
 use crate::policy::{CmEvent, CmHistory};
 use crate::stats::TxStats;
 use crate::thread::ThreadCtx;
-use crate::tx::{Tx, TxCommon, TxMode};
+use crate::tx::{Tx, TxCommon, TxKind, TxMode};
 use crate::waitlist::WakeReason;
 
 use super::engine::TxEngine;
@@ -47,7 +48,26 @@ fn switch_mode(mode: &mut TxMode, next: TxMode, thread: &ThreadCtx) {
 /// Runs `body` as a transaction on `engine` until it commits, handling
 /// re-execution, mode switching, contention management, descheduling and
 /// post-commit wake-ups.
-pub fn run<E, T, F>(engine: &E, thread: &Arc<ThreadCtx>, mut body: F) -> T
+pub fn run<E, T, F>(engine: &E, thread: &Arc<ThreadCtx>, body: F) -> T
+where
+    E: TxEngine,
+    F: FnMut(&mut dyn Tx) -> TxResult<T>,
+{
+    run_kind(engine, thread, TxKind::Update, body)
+}
+
+/// [`run`] with an explicit transaction kind.
+///
+/// A [`TxKind::ReadOnly`] transaction runs software attempts on the snapshot
+/// read path (no read set, validation-free commit — see
+/// [`crate::config::SnapshotMode`]).  If the body writes, the attempt aborts
+/// with [`AbortReason::ReadOnlyWrite`] and is upgraded here to a full
+/// [`TxKind::Update`] transaction — re-executed immediately, with no
+/// contention management or backoff, since the abort carries no conflict
+/// information.  A read-only attempt that deschedules is first re-executed
+/// as a logged ([`TxMode::SoftwareRetry`]) attempt so the value-based and
+/// Retry-Orig wait mechanisms see a real read set.
+pub fn run_kind<E, T, F>(engine: &E, thread: &Arc<ThreadCtx>, kind: TxKind, mut body: F) -> T
 where
     E: TxEngine,
     F: FnMut(&mut dyn Tx) -> TxResult<T>,
@@ -59,6 +79,11 @@ where
     let seed = thread.next_backoff_seed();
     let mut backoff = Backoff::new(engine.system().config.backoff, seed);
     let mut mode = engine.initial_mode();
+    // The declared kind decides which latency class the transaction reports
+    // to; the *current* kind may be upgraded to `Update` mid-flight.
+    let declared_ro = kind == TxKind::ReadOnly;
+    let started = Instant::now();
+    let mut kind = kind;
     // Abort history for the contention policy, reset when a deschedule ends
     // the contention episode (and by policies when they escalate).
     let mut history = CmHistory::default();
@@ -74,7 +99,7 @@ where
     let mut pending_wake: Option<WakeReason> = None;
 
     loop {
-        let mut common = TxCommon::new(Arc::clone(thread), mode, attempts);
+        let mut common = TxCommon::new(Arc::clone(thread), mode, attempts).with_kind(kind);
         common.wake_reason = pending_wake;
         let mut tx = engine.begin(common);
         let ctl = match body(&mut tx) {
@@ -91,6 +116,19 @@ where
                     if outcome.serial {
                         TxStats::bump(&thread.stats.serial_commits);
                     }
+                    if kind == TxKind::ReadOnly && outcome.hardware && !outcome.was_writer {
+                        // Hardware commits of a declared-read-only
+                        // transaction that wrote nothing are free the same
+                        // way software snapshot commits are (which count
+                        // themselves in the engines).
+                        TxStats::bump(&thread.stats.ro_fast_commits);
+                    }
+                    let hist = if declared_ro {
+                        &thread.stats.ro_tx_latency
+                    } else {
+                        &thread.stats.update_tx_latency
+                    };
+                    hist.record(started.elapsed().as_nanos() as u64);
                     if outcome.was_writer {
                         // Post-commit wake-ups: the paper's value-based
                         // mechanism, targeted at the shards covering the
@@ -132,6 +170,13 @@ where
                     // control flow, not contention: re-execute immediately
                     // and feed nothing to the policy.
                     TxStats::bump(&thread.stats.explicit_aborts);
+                } else if reason == AbortReason::ReadOnlyWrite {
+                    // The declared-read-only body wrote: upgrade to a full
+                    // update transaction and re-execute immediately.  Like
+                    // explicit aborts this is control flow, not contention —
+                    // nothing conflicted, so the policy sees nothing.
+                    TxStats::bump(&thread.stats.ro_upgrades);
+                    kind = TxKind::Update;
                 } else {
                     // Everything else is the contention manager's call:
                     // back off, re-execute immediately, or climb one rung
@@ -194,8 +239,17 @@ where
                 switch_mode(&mut mode, TxMode::SoftwareRetry, thread);
             }
             TxCtl::Deschedule(WaitSpec::OrigReadLocks)
-                if engine.supports_orig_retry() && mode != TxMode::Serial =>
+                if engine.supports_orig_retry()
+                    && mode != TxMode::Serial
+                    && !(kind == TxKind::ReadOnly
+                        && mode == TxMode::Software
+                        && engine.system().config.snapshot.is_enabled()) =>
             {
+                // Snapshot attempts keep no read-orec cover, so a read-only
+                // transaction must not reach `deschedule_orig` from `Software`
+                // mode (it would publish an empty cover and sleep forever);
+                // the guard above routes it through the relog arm below and
+                // the logged re-execution lands here with a real cover.
                 engine.deschedule_orig(thread, &mut tx);
                 drop(tx);
                 // The Retry-Orig baseline has no deadline support; its

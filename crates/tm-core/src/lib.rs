@@ -74,7 +74,7 @@ pub mod waitlist;
 pub use access::{IndexSet, LogPool, ReadEntry, ReadSet, WriteEntry, WriteLog};
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::{ClockMode, ClockPlane, CommitStamp, GlobalClock};
-pub use config::{BackoffConfig, HtmConfig, TimerConfig, TmConfig};
+pub use config::{BackoffConfig, HtmConfig, SnapshotMode, TimerConfig, TmConfig};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
 pub use epoch::{EpochSlot, EpochTable};
@@ -85,10 +85,10 @@ pub use policy::{CmAction, CmEvent, CmHistory, ContentionManager, PolicyKind};
 pub use runtime::{TmRt, TmRuntime};
 pub use sem::Semaphore;
 pub use serial::{subscribe_begin, SerialAttempt, SerialGate};
-pub use stats::{StatsSnapshot, TxStats};
+pub use stats::{LatencyHistogram, LatencySnapshot, StatsSnapshot, TxStats};
 pub use system::TmSystem;
 pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};
 pub use timer::{TimerPoll, TimerWheel};
-pub use tx::{Tx, TxCommon, TxMode};
+pub use tx::{Tx, TxCommon, TxKind, TxMode};
 pub use vars::{TmArray, TmValue, TmVar};
 pub use waitlist::{ScanPlan, WaitList, Waiter, WakeReason, WakeSet};

@@ -151,11 +151,12 @@ impl OrecTable {
     /// targeting built on it can never miss a sleeper.  The single source of
     /// truth for that mapping — the HTM simulator, the wake-path tests and
     /// the `wake_scaling` bench all derive from it.
-    pub fn line_indices(&self, line: LineId) -> Vec<usize> {
+    ///
+    /// Returned as an iterator: this sits on the HTM simulator's per-access
+    /// hot path, which used to pay a fresh `Vec` allocation per call.
+    pub fn line_indices(&self, line: LineId) -> impl Iterator<Item = usize> + '_ {
         let base = line.first_word();
-        (0..LINE_WORDS)
-            .map(|i| self.index_for(base.offset(i)))
-            .collect()
+        (0..LINE_WORDS).map(move |i| self.index_for(base.offset(i)))
     }
 
     /// Atomically reads the orec for `addr`.

@@ -79,6 +79,44 @@ pub trait TmRt: TmRuntime {
     fn atomically<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
     where
         F: FnMut(&mut dyn Tx) -> TxResult<T>;
+
+    /// Runs `body` as a *declared read-only* transaction.
+    ///
+    /// Software attempts take the snapshot read path (see
+    /// [`crate::config::SnapshotMode`]): every read validates against the
+    /// begin snapshot, no read set is kept, and the commit is free — no
+    /// validation, no clock traffic.  If the body writes or allocates after
+    /// all, the driver upgrades the transaction to a full update transaction
+    /// and re-executes it, so declaring read-only is always safe — merely
+    /// fastest when true.
+    ///
+    /// The default implementation falls back to [`TmRt::atomically`];
+    /// runtimes built on the unified driver override it to pass
+    /// [`crate::tx::TxKind::ReadOnly`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tm_core::{TmConfig, TmRt, TmSystem, TmVar};
+    ///
+    /// let system = TmSystem::new(TmConfig::small());
+    /// let rt = stm_eager::EagerStm::new(Arc::clone(&system));
+    /// let th = system.register_thread();
+    /// let a = TmVar::<u64>::alloc(&system, 3);
+    /// let b = TmVar::<u64>::alloc(&system, 4);
+    ///
+    /// // A consistent two-word scan with no read set and a free commit.
+    /// let sum = rt.atomically_read(&th, |tx| Ok(a.get(tx)? + b.get(tx)?));
+    /// assert_eq!(sum, 7);
+    /// assert!(th.stats.snapshot().ro_fast_commits >= 1);
+    /// ```
+    fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        self.atomically(thread, body)
+    }
 }
 
 #[cfg(test)]

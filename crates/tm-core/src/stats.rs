@@ -10,10 +10,111 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::pad::CachePadded;
 
+/// Number of log2 buckets in a [`LatencyHistogram`]: bucket `i` holds
+/// samples whose nanosecond value has bit length `i`, so the covered range
+/// tops out around 2 seconds before the last bucket absorbs the overflow.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A cheap fixed-bucket latency histogram: 32 log2 buckets of plain
+/// relaxed counters.
+///
+/// Recording is one `leading_zeros` plus one relaxed `fetch_add` — cheap
+/// enough for the driver's per-transaction hot path.  The whole histogram is
+/// wrapped in [`CachePadded`] inside [`TxStats`], so one thread's recording
+/// never invalidates another thread's counter lines; buckets *within* a
+/// thread's histogram deliberately share lines (only the owner writes them).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The log2 bucket index for a sample of `nanos` nanoseconds.
+#[inline]
+fn bucket_for(nanos: u64) -> usize {
+    let bits = (u64::BITS - nanos.leading_zeros()) as usize;
+    bits.min(LATENCY_BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one sample of `nanos` nanoseconds.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_for(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], mergeable across threads.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencySnapshot {
+    /// Bucket-wise sum of two snapshots.
+    pub fn merge(&self, other: &LatencySnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// An upper bound (in nanoseconds) on the `q`-quantile sample,
+    /// `0.0 < q <= 1.0`: the inclusive upper edge of the log2 bucket the
+    /// quantile falls in.  Returns 0 when the histogram is empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                // Bucket 0 holds only zero; the last bucket absorbs every
+                // overflowing sample, so its upper edge is unbounded.
+                return match i {
+                    0 => 0,
+                    i if i == LATENCY_BUCKETS - 1 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
 macro_rules! stats_fields {
     (
         counters { $($(#[$cdoc:meta])* $cname:ident),+ $(,)? }
         maxima { $($(#[$mdoc:meta])* $mname:ident),+ $(,)? }
+        histograms { $($(#[$hdoc:meta])* $hname:ident),+ $(,)? }
     ) => {
         /// Live (atomic) per-thread counters, plus high-water marks.
         ///
@@ -28,6 +129,7 @@ macro_rules! stats_fields {
         pub struct TxStats {
             $($(#[$cdoc])* pub $cname: CachePadded<AtomicU64>,)+
             $($(#[$mdoc])* pub $mname: CachePadded<AtomicU64>,)+
+            $($(#[$hdoc])* pub $hname: CachePadded<LatencyHistogram>,)+
         }
 
         /// A point-in-time copy of [`TxStats`], suitable for aggregation and
@@ -36,6 +138,7 @@ macro_rules! stats_fields {
         pub struct StatsSnapshot {
             $($(#[$cdoc])* pub $cname: u64,)+
             $($(#[$mdoc])* pub $mname: u64,)+
+            $($(#[$hdoc])* pub $hname: LatencySnapshot,)+
         }
 
         impl TxStats {
@@ -44,6 +147,7 @@ macro_rules! stats_fields {
                 StatsSnapshot {
                     $($cname: self.$cname.load(Ordering::Relaxed),)+
                     $($mname: self.$mname.load(Ordering::Relaxed),)+
+                    $($hname: self.$hname.snapshot(),)+
                 }
             }
 
@@ -51,22 +155,26 @@ macro_rules! stats_fields {
             pub fn reset(&self) {
                 $(self.$cname.store(0, Ordering::Relaxed);)+
                 $(self.$mname.store(0, Ordering::Relaxed);)+
+                $(self.$hname.reset();)+
             }
         }
 
         impl StatsSnapshot {
             /// Combines two snapshots: event counters add, high-water marks
             /// take the larger value (a maximum across threads summed would
-            /// overstate every per-transaction peak).
+            /// overstate every per-transaction peak), histogram buckets add.
             pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
                 StatsSnapshot {
                     $($cname: self.$cname + other.$cname,)+
                     $($mname: self.$mname.max(other.$mname),)+
+                    $($hname: self.$hname.merge(&other.$hname),)+
                 }
             }
 
             /// Field names and values in declaration order, for serialization
-            /// without a reflection framework.
+            /// without a reflection framework.  Histograms are not included
+            /// (readers of old reports simply never see them, and
+            /// [`StatsSnapshot::set_by_name`] already ignores unknown names).
             pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
                 vec![
                     $((stringify!($cname), self.$cname),)+
@@ -167,6 +275,18 @@ stats_fields! {
     /// from the per-thread [`crate::access::LogPool`] with their capacity
     /// already grown by an earlier attempt, instead of being allocated.
     log_pool_reuses,
+    /// Read-only transactions that committed on the snapshot fast path
+    /// (no read set, no commit-time validation, no clock traffic) — software
+    /// snapshot commits plus hardware commits of declared-read-only
+    /// transactions that wrote nothing.
+    ro_fast_commits,
+    /// Declared read-only transactions upgraded to full update transactions
+    /// (the body wrote, allocated, or descheduled).
+    ro_upgrades,
+    /// Snapshot reads that survived a too-new version by re-sampling the
+    /// begin snapshot (at the first read, or after an `Extend`-mode cover
+    /// re-check) instead of aborting.
+    snapshot_refreshes,
     }
     maxima {
     /// Largest read set any single attempt built: distinct addresses on the
@@ -176,6 +296,14 @@ stats_fields! {
     read_set_max,
     /// Largest write log (distinct addresses) any single attempt built.
     write_set_max,
+    }
+    histograms {
+    /// Wall-clock latency of committed update transactions (begin of the
+    /// first attempt to commit, including aborted attempts and backoff).
+    update_tx_latency,
+    /// Wall-clock latency of committed declared-read-only transactions
+    /// (including any upgrade and re-execution as an update transaction).
+    ro_tx_latency,
     }
 }
 
@@ -335,6 +463,80 @@ mod tests {
         assert!(pairs.contains(&("clock_cas", 1)));
         assert!(pairs.contains(&("clock_reuse", 1)));
         assert!(pairs.contains(&("quiesce_scans", 3)));
+    }
+
+    #[test]
+    fn snapshot_counters_round_trip() {
+        let s = TxStats::default();
+        TxStats::bump(&s.ro_fast_commits);
+        TxStats::bump(&s.ro_upgrades);
+        TxStats::add(&s.snapshot_refreshes, 2);
+        let snap = s.snapshot();
+        assert_eq!(
+            (
+                snap.ro_fast_commits,
+                snap.ro_upgrades,
+                snap.snapshot_refreshes
+            ),
+            (1, 1, 2)
+        );
+        let pairs = snap.as_pairs();
+        assert!(pairs.contains(&("ro_fast_commits", 1)));
+        assert!(pairs.contains(&("ro_upgrades", 1)));
+        assert!(pairs.contains(&("snapshot_refreshes", 2)));
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2_and_quantiles_bound_samples() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile_upper_bound(0.5), 0);
+        // 90 samples at ~100ns, 9 at ~10µs, 1 at ~1ms.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile_upper_bound(0.50);
+        let p99 = snap.quantile_upper_bound(0.99);
+        let p999 = snap.quantile_upper_bound(0.999);
+        assert!((100..1000).contains(&p50), "p50 bound {p50}");
+        assert!((10_000..100_000).contains(&p99), "p99 bound {p99}");
+        assert!(p999 >= 1_000_000, "p999 bound {p999}");
+        assert!(p50 <= p99 && p99 <= p999);
+        h.reset();
+        assert_eq!(h.snapshot().count(), 0);
+    }
+
+    #[test]
+    fn histogram_extremes_stay_in_range() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.quantile_upper_bound(0.25), 0, "zero lands in bucket 0");
+        assert_eq!(snap.quantile_upper_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histograms_merge_bucket_wise_through_snapshots() {
+        let a = TxStats::default();
+        let b = TxStats::default();
+        a.update_tx_latency.record(100);
+        b.update_tx_latency.record(100);
+        b.ro_tx_latency.record(50);
+        let m = a.snapshot().merge(&b.snapshot());
+        assert_eq!(m.update_tx_latency.count(), 2);
+        assert_eq!(m.ro_tx_latency.count(), 1);
+        // Reset clears histograms too.
+        a.update_tx_latency.record(1);
+        a.reset();
+        assert_eq!(a.snapshot(), StatsSnapshot::default());
     }
 
     #[test]

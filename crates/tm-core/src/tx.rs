@@ -39,6 +39,20 @@ impl TxMode {
     }
 }
 
+/// Whether the transaction is a full update transaction or a declared
+/// read-only transaction eligible for the snapshot read path.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum TxKind {
+    /// A full transaction: reads are tracked and validated, writes allowed.
+    #[default]
+    Update,
+    /// A read-only transaction: software attempts read against the begin
+    /// snapshot with no read set and commit without validation (see
+    /// [`crate::config::SnapshotMode`]).  A write upgrades the transaction
+    /// to [`TxKind::Update`] and restarts it.
+    ReadOnly,
+}
+
 /// Per-attempt metadata shared by all runtimes.
 #[derive(Debug)]
 pub struct TxCommon {
@@ -46,6 +60,10 @@ pub struct TxCommon {
     pub thread: Arc<ThreadCtx>,
     /// Execution mode of this attempt.
     pub mode: TxMode,
+    /// Update or declared read-only (snapshot-eligible).  Defaults to
+    /// [`TxKind::Update`]; the driver sets [`TxKind::ReadOnly`] for
+    /// `atomically_read` attempts and clears it again on upgrade.
+    pub kind: TxKind,
     /// Value log for `Retry`: populated on every read when
     /// `mode == SoftwareRetry` (Algorithm 5, `TxRead`).  A pooled
     /// [`WriteLog`] in first-value-wins mode, so re-reads deduplicate in
@@ -85,11 +103,19 @@ impl TxCommon {
         TxCommon {
             thread,
             mode,
+            kind: TxKind::Update,
             waitset,
             attempts,
             wake_reason: None,
             wait_deadline: None,
         }
+    }
+
+    /// Sets the transaction kind (builder-style, used by the driver when
+    /// beginning a declared read-only attempt).
+    pub fn with_kind(mut self, kind: TxKind) -> Self {
+        self.kind = kind;
+        self
     }
 
     /// Records a read in the `Retry` value log when in retry-logging mode.
@@ -188,6 +214,16 @@ mod tests {
         assert!(TxMode::SoftwareRetry.is_software());
         assert!(TxMode::Serial.is_software());
         assert!(!TxMode::Hardware.is_software());
+    }
+
+    #[test]
+    fn kind_defaults_to_update_and_with_kind_overrides() {
+        let system = TmSystem::new(TmConfig::small());
+        let th = system.register_thread();
+        let c = TxCommon::new(Arc::clone(&th), TxMode::Software, 0);
+        assert_eq!(c.kind, TxKind::Update);
+        let c = TxCommon::new(th, TxMode::Software, 0).with_kind(TxKind::ReadOnly);
+        assert_eq!(c.kind, TxKind::ReadOnly);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use htm_sim::{HtmSim, HtmTx};
 use stm_lazy::{CommitInterlock, LazyTx};
 use tm_core::driver::{self, CommitOutcome, TxEngine};
 use tm_core::{
-    Addr, ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
-    WaitCondition, WaitSpec, WakeSet,
+    Addr, ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxKind, TxMode,
+    TxResult, WaitCondition, WaitSpec, WakeSet,
 };
 
 /// The software-commit interlock this runtime installs into its lazy path:
@@ -130,6 +130,12 @@ impl HybridTm {
 
 /// One in-flight hybrid attempt: either a speculative/serial attempt on the
 /// simulator or an instrumented lazy-STM attempt.
+//
+// The variants differ in size, but the attempt lives on the driver loop's
+// stack and is rebuilt on every re-execution — boxing the software variant
+// would put a heap allocation on exactly the path the per-thread `LogPool`
+// keeps allocation-free.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum HybridTx<'rt> {
     /// Hardware (speculative) or serial attempt.
@@ -339,6 +345,17 @@ impl TmRt for HybridTm {
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
         driver::run(self, thread, body)
+    }
+
+    fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        // The hardware fast path is attempted first, as always; if the
+        // attempt falls off speculation, the software rung is a lazy-STM
+        // snapshot attempt (no read set, free commit) instead of a full
+        // instrumented transaction.
+        driver::run_kind(self, thread, TxKind::ReadOnly, body)
     }
 }
 

@@ -167,6 +167,8 @@ impl Panel {
         out.push_str(&self.render_access_stats());
         out.push_str(&self.render_mode_stats());
         out.push_str(&self.render_clock_stats());
+        out.push_str(&self.render_snapshot_stats());
+        out.push_str(&self.render_latency_stats());
         out
     }
 
@@ -292,6 +294,67 @@ impl Panel {
                 stats.clock_reuse,
                 stats.quiesce_scans,
             );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising the snapshot read path: read-only
+    /// fast commits (no read set, no commit validation), declared-read-only
+    /// transactions the driver had to upgrade to update transactions, and
+    /// begin snapshots successfully advanced in place of an abort.  Empty
+    /// when no series touched the snapshot path.
+    pub fn render_snapshot_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.ro_fast_commits == 0 && stats.ro_upgrades == 0 && stats.snapshot_refreshes == 0
+            {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# snapshot {:>10}: ro fast commits {:>8}  ro upgrades {:>8}  refreshes {:>10}",
+                s.mechanism.label(),
+                stats.ro_fast_commits,
+                stats.ro_upgrades,
+                stats.snapshot_refreshes,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism and operation class (update / read-only)
+    /// giving whole-transaction latency quantile upper bounds from the log2
+    /// histograms: p50, p99 and p999, each the inclusive upper edge of the
+    /// bucket the quantile falls in.  Empty classes are skipped.
+    pub fn render_latency_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            for (class, hist) in [
+                ("update", &stats.update_tx_latency),
+                ("ro", &stats.ro_tx_latency),
+            ] {
+                if hist.count() == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "# latency {:>10} {:>6}: n {:>10}  p50 <= {:>12}ns  p99 <= {:>12}ns  p999 <= {:>12}ns",
+                    s.mechanism.label(),
+                    class,
+                    hist.count(),
+                    hist.quantile_upper_bound(0.50),
+                    hist.quantile_upper_bound(0.99),
+                    hist.quantile_upper_bound(0.999),
+                );
+            }
         }
         out
     }
@@ -757,6 +820,57 @@ mod tests {
             !text.contains("clock   Pthreads"),
             "series without clock work stay out of the block"
         );
+    }
+
+    #[test]
+    fn snapshot_stats_render_only_when_the_snapshot_path_was_used() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(
+            panel.render_snapshot_stats().is_empty(),
+            "no snapshot work, no snapshot line"
+        );
+
+        let mut with_snap = point(4, 1.0);
+        with_snap.stats.ro_fast_commits = 420;
+        with_snap.stats.ro_upgrades = 7;
+        with_snap.stats.snapshot_refreshes = 13;
+        panel.series_mut(Mechanism::Retry).push(with_snap);
+        let text = panel.render();
+        assert!(text.contains("# snapshot"));
+        assert!(text.contains("ro fast commits      420"));
+        assert!(text.contains("ro upgrades        7"));
+        assert!(text.contains("refreshes         13"));
+        assert!(
+            !text.contains("snapshot   Pthreads"),
+            "series without snapshot work stay out of the block"
+        );
+    }
+
+    #[test]
+    fn latency_stats_render_quantiles_per_operation_class() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(
+            panel.render_latency_stats().is_empty(),
+            "no samples, no latency lines"
+        );
+
+        let hist = tm_core::LatencyHistogram::default();
+        for _ in 0..99 {
+            hist.record(700);
+        }
+        hist.record(1_000_000);
+        let mut with_lat = point(4, 1.0);
+        with_lat.stats.update_tx_latency = hist.snapshot();
+        panel.series_mut(Mechanism::Retry).push(with_lat);
+        let text = panel.render();
+        assert!(text.contains("# latency"));
+        assert!(text.contains("update"));
+        // p50 falls in the 700ns bucket (upper edge 1023), p999 in the 1ms one.
+        assert!(text.contains("p50 <=         1023ns"));
+        assert!(text.contains("p999 <=      1048575ns"));
+        assert!(!text.contains("    ro:"), "the empty ro class is skipped");
     }
 
     #[test]

@@ -157,6 +157,20 @@ impl AnyRuntime {
         }
     }
 
+    /// Runs `body` as a *declared read-only* transaction (snapshot read path
+    /// on the software runtimes; see [`TmRt::atomically_read`]).
+    pub fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        match self {
+            AnyRuntime::Eager(rt) => rt.atomically_read(thread, body),
+            AnyRuntime::Lazy(rt) => rt.atomically_read(thread, body),
+            AnyRuntime::Htm(rt) => rt.atomically_read(thread, body),
+            AnyRuntime::Hybrid(rt) => rt.atomically_read(thread, body),
+        }
+    }
+
     /// Borrows the runtime as the object-safe [`TmRuntime`] trait.
     pub fn as_dyn(&self) -> &dyn TmRuntime {
         match self {
@@ -215,6 +229,13 @@ impl TmRt for AnyRuntime {
         F: FnMut(&mut dyn Tx) -> TxResult<T>,
     {
         AnyRuntime::atomically(self, thread, body)
+    }
+
+    fn atomically_read<T, F>(&self, thread: &Arc<ThreadCtx>, body: F) -> T
+    where
+        F: FnMut(&mut dyn Tx) -> TxResult<T>,
+    {
+        AnyRuntime::atomically_read(self, thread, body)
     }
 }
 

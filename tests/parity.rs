@@ -332,6 +332,97 @@ fn clock_plane_sweep_keeps_golden_results_identical() {
 }
 
 #[test]
+fn snapshot_mode_sweep_keeps_golden_results_identical() {
+    // The snapshot read path is a performance lever, not a semantic one: the
+    // deterministic large transaction, the deschedule scenario, and a
+    // declared read-only scan must all produce identical results with
+    // snapshots off, on, and extendable, on every runtime.
+    use tm_core::{SnapshotMode, TmArray};
+
+    const SLOTS: usize = 64;
+    let golden = large_tx_outcome(RuntimeKind::EagerStm, TmConfig::default());
+    let expected_sum: u64 = (0..SLOTS as u64).map(|i| i * i).sum();
+
+    for mode in [SnapshotMode::Off, SnapshotMode::On, SnapshotMode::Extend] {
+        for kind in RuntimeKind::ALL {
+            let outcome = large_tx_outcome(kind, TmConfig::default().with_snapshot(mode));
+            assert_eq!(
+                outcome,
+                golden,
+                "{kind} with {} diverged from the golden outcome",
+                mode.label()
+            );
+
+            let result = run_scenario_configured(kind, TmConfig::small().with_snapshot(mode));
+            assert_eq!(
+                result.final_count,
+                3,
+                "{kind} with {}: wrong final count",
+                mode.label()
+            );
+            assert_eq!(
+                result.observed.len(),
+                3,
+                "{kind} with {}: a waiter was lost",
+                mode.label()
+            );
+
+            // A declared read-only scan sees exactly the committed state.  A
+            // body that writes after declaring read-only is upgraded by the
+            // driver and must still commit normally.
+            let rt = kind.build(TmConfig::small().with_snapshot(mode));
+            let system = Arc::clone(rt.system());
+            let th = system.register_thread();
+            let arr = TmArray::<u64>::alloc(&system, SLOTS, 0);
+            rt.atomically(&th, |tx| {
+                for i in 0..SLOTS {
+                    arr.set(tx, i, (i * i) as u64)?;
+                }
+                Ok(())
+            });
+            let sum = rt.atomically_read(&th, |tx| {
+                let mut s = 0u64;
+                for i in 0..SLOTS {
+                    s += arr.get(tx, i)?;
+                }
+                Ok(s)
+            });
+            assert_eq!(sum, expected_sum, "{kind} with {}", mode.label());
+            let bumped = rt.atomically_read(&th, |tx| {
+                let v = arr.get(tx, 0)?;
+                arr.set(tx, 0, v + 1)?;
+                arr.get(tx, 0)
+            });
+            assert_eq!(
+                bumped,
+                1,
+                "{kind} with {}: upgrade broke the write",
+                mode.label()
+            );
+            assert_eq!(
+                arr.load_direct(&system, 0),
+                1,
+                "{kind} with {}",
+                mode.label()
+            );
+            let stats = system.stats();
+            if mode.is_enabled() && matches!(kind, RuntimeKind::EagerStm | RuntimeKind::LazyStm) {
+                assert!(
+                    stats.ro_fast_commits > 0,
+                    "{kind} with {}: the scan must take the snapshot fast path",
+                    mode.label()
+                );
+                assert!(
+                    stats.ro_upgrades > 0,
+                    "{kind} with {}: the writing read-only body must be upgraded",
+                    mode.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn writer_commits_advance_the_clock_past_their_begin_snapshot() {
     // Observable `commit_ts > start_ts` in both clock modes: after a writer
     // commit, `clock.now()` strictly exceeds any snapshot taken before the
