@@ -26,6 +26,12 @@
 //! | `TM_EXP_BUFFERS`  | comma list of buffer sizes                  | `4,16,128` |
 //! | `TM_EXP_THREADS`  | comma list of thread counts (PARSEC)        | `1,2,4,8` |
 //! | `TM_EXP_SCALE`    | PARSEC kernel scale: `test`, `small`, `full`| `test`  |
+//!
+//! The bounded-buffer sweep additionally honors the `TM_FAULT_*` knobs
+//! (see [`tm_core::FaultConfig::from_env`]): setting any of them layers the
+//! deterministic fault-injection plane under the HTM runtimes for every
+//! trial, and the report gains a `fault_injection` note recording the
+//! configuration.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,9 +40,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use condsync::Mechanism;
+use tm_core::{FaultConfig, TmConfig};
 use tm_workloads::loc;
 use tm_workloads::parsec::{KernelParams, ParsecApp, Scale};
-use tm_workloads::pc::{run_pc_trials, PcParams};
+use tm_workloads::pc::{run_pc_configured, run_pc_trials, PcParams};
 use tm_workloads::report::{DataPoint, Report};
 use tm_workloads::runtime::RuntimeKind;
 
@@ -197,12 +204,27 @@ pub fn bounded_buffer_figure(kind: RuntimeKind, opts: &FigureOptions) -> Report 
     report.note("items", opts.items.to_string());
     report.note("trials", opts.trials.to_string());
     report.note("host_cores", num_cpus_estimate().to_string());
+    let fault = FaultConfig::from_env();
+    if fault.enabled() {
+        report.note("fault_injection", format!("{fault:?}"));
+    }
 
     for &(p, c) in &opts.pc_panels {
         for mechanism in opts.mechanisms_for(kind) {
             for &size in &opts.buffer_sizes {
                 let params = PcParams::new(p, c, size, opts.items, mechanism);
-                let results = run_pc_trials(kind, &params, opts.trials);
+                let results = if fault.enabled() {
+                    let config = TmConfig {
+                        heap_words: params.heap_words(),
+                        ..TmConfig::default()
+                    }
+                    .with_fault(fault);
+                    (0..opts.trials.max(1))
+                        .map(|_| run_pc_configured(kind, &params, config))
+                        .collect()
+                } else {
+                    run_pc_trials(kind, &params, opts.trials)
+                };
                 assert!(
                     results.iter().all(|r| r.checksum_ok),
                     "conservation check failed for {mechanism} p{p}c{c} size {size}"

@@ -12,11 +12,39 @@
 //! signal with no registered sleeper is lost, as with POSIX condition
 //! variables.  Waits are subject to spurious wake-ups, so callers must
 //! re-check their predicate in a loop, as the paper's Algorithm 2 does.
+//!
+//! # The signal-before-commit hazard, and the watchdog that bounds it
+//!
+//! On the HTM and hybrid runtimes, a signaler's *data* commit and its
+//! `signal` are separate events: the signal bumps the generation the moment
+//! it is issued, while the shared-state update it announces becomes visible
+//! only when the enclosing transaction later commits.  A waiter can
+//! therefore check its predicate against the pre-commit state (false), and
+//! sample its ticket *after* the signal already landed — so the generation
+//! never moves again and, with no further signal coming, the waiter would
+//! sleep forever.  (This is the Algorithm-3 atomicity break surfacing as a
+//! lost wake-up; it reproduced as a rare `producer_consumer` hang.)
+//!
+//! The fix is a watchdog on the sleep itself: every wait uses a bounded
+//! [`Condvar::wait_for`] and, when the timeout fires with the generation
+//! still unmoved, returns as a *spurious wake-up* (counted in
+//! `TxStats::watchdog_redeliveries`).  Callers already re-check their
+//! predicate in a loop, so re-delivery is semantics-preserving — the lost
+//! signal is re-derived from the now-committed state within
+//! [`WATCHDOG_INTERVAL`] instead of never.
+
+use std::time::Duration;
 
 use tm_core::lock::{Condvar, Mutex};
 
 use tm_core::stats::TxStats;
 use tm_core::{Tx, TxResult};
+
+/// Upper bound on how long a lost signal stays lost: a waiter whose
+/// generation has not moved re-checks its predicate this often.  Large
+/// enough that healthy waits (signal actually coming) practically never pay
+/// the re-check; small enough that the recovery path is invisible in tests.
+pub const WATCHDOG_INTERVAL: Duration = Duration::from_millis(2);
 
 /// A condition variable usable from inside transactions.
 #[derive(Debug, Default)]
@@ -35,8 +63,10 @@ impl TmCondVar {
     /// Waits on the condition variable from inside a transaction.
     ///
     /// Commits the caller's in-flight transaction (breaking its atomicity),
-    /// blocks until a signal issued *after* this call began arrives, then
-    /// starts a fresh transaction for the rest of the body.
+    /// blocks until a signal issued *after* this call began arrives — or
+    /// until the watchdog re-delivers a possibly-lost one as a spurious
+    /// wake-up (see the module docs) — then starts a fresh transaction for
+    /// the rest of the body.
     pub fn wait(&self, tx: &mut dyn Tx) -> TxResult<()> {
         let thread = tx.thread();
         TxStats::bump(&thread.stats.condvar_waits);
@@ -46,7 +76,16 @@ impl TmCondVar {
         tx.commit_and_reopen(&mut || {
             let mut gen = self.gen.lock();
             while *gen == ticket {
-                self.cv.wait(&mut gen);
+                let timed_out = self.cv.wait_for(&mut gen, WATCHDOG_INTERVAL);
+                if timed_out && *gen == ticket {
+                    // The generation never moved: either nobody has signaled
+                    // yet, or a signal raced our ticket sample before its
+                    // data commit landed (the signal-before-commit window).
+                    // Return as a spurious wake-up; the caller's predicate
+                    // loop distinguishes the two against committed state.
+                    TxStats::bump(&thread.stats.watchdog_redeliveries);
+                    break;
+                }
             }
         })
     }
@@ -209,6 +248,30 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap());
         }
+    }
+
+    #[test]
+    fn watchdog_redelivers_a_lost_signal() {
+        // Reproduce the signal-before-commit hazard directly: the signal
+        // lands *before* the waiter samples its ticket, so no further
+        // generation bump will ever arrive.  The old code slept forever
+        // here; the watchdog must return the wait as a spurious wake-up
+        // within a bounded number of intervals.
+        let system = TmSystem::new(TmConfig::small());
+        let cv = TmCondVar::new();
+        cv.signal(); // the "lost" signal: consumed into the ticket sample below
+        let mut tx = pass_tx(&system);
+        let start = std::time::Instant::now();
+        cv.wait(&mut tx).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the watchdog must bound the lost-signal sleep"
+        );
+        assert_eq!(tx.reopened, 1);
+        assert!(
+            tx.thread().stats.snapshot().watchdog_redeliveries >= 1,
+            "the recovery must be visible in the stats"
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub mod mechanism;
 pub mod orig;
 pub mod timed;
 
-pub use condvar::TmCondVar;
+pub use condvar::{TmCondVar, WATCHDOG_INTERVAL};
 pub use deschedule::{
     deschedule, deschedule_until, wake_waiters, wake_waiters_matching, DescheduleOutcome,
     WakeReason,

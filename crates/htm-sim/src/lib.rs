@@ -1,10 +1,21 @@
-//! A best-effort hardware transactional memory **simulator**, standing in for
-//! Intel TSX (RTM) as used by the paper's **HTM** configuration.
+//! A best-effort hardware transactional memory **simulator**, the default
+//! backend of the pluggable hardware plane ([`tm_core::hwtm::HwTm`]) used by
+//! the paper's **HTM** configuration.
 //!
-//! Why a simulator: issuing real `xbegin`/`xend` requires inline assembly and
-//! TSX-enabled silicon, neither of which this reproduction can rely on.  What
-//! the paper's mechanisms actually depend on are the *architectural
-//! properties* of best-effort HTM, and those are what the simulator provides:
+//! The runtime here ([`HtmSim`]) drives *any* [`tm_core::hwtm::HwTm`]
+//! backend; this crate supplies two of them — the simulator ([`SimPlane`],
+//! the default) and the cfg-gated `rtm` stub (compiled with
+//! `--features rtm`) where a real Intel RTM / Arm TME implementation slots
+//! in — and `tm-core` supplies a third, the deterministic fault-injection
+//! decorator
+//! ([`tm_core::hwtm::FaultPlane`], installed automatically when
+//! [`tm_core::FaultConfig`] enables it).
+//!
+//! Why the default backend is a simulator: issuing real `xbegin`/`xend`
+//! requires inline assembly and TSX-enabled silicon, neither of which this
+//! reproduction can rely on.  What the paper's mechanisms actually depend on
+//! are the *architectural properties* of best-effort HTM, and those are what
+//! the simulator provides:
 //!
 //! * **Invisible write sets** — a committed hardware transaction leaves no
 //!   record of what it wrote, so wake-up decisions must be computable from
@@ -32,9 +43,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod lines;
+pub mod plane;
+#[cfg(feature = "rtm")]
+pub mod rtm;
 pub mod runtime;
 pub mod tx;
 
 pub use lines::LineTable;
+pub use plane::SimPlane;
 pub use runtime::HtmSim;
 pub use tx::HtmTx;

@@ -1,0 +1,104 @@
+//! Stub backend marking where a real Intel RTM / Arm TME implementation
+//! slots into the hardware plane (`--features rtm`).
+//!
+//! The [`HwTm`] seam is call-granular: the runtime asks the backend about
+//! each speculative access and cleans up registrations explicitly.  Real
+//! best-effort HTM is the opposite — between `_xbegin` and `_xend` *all*
+//! memory accesses are implicitly transactional and the hardware tracks
+//! them, so a production backend would not implement `read_line`/`write_line`
+//! bookkeeping at all; it would bracket the whole attempt in
+//! `_xbegin`/`_xend` (or TME's `TSTART`/`TCOMMIT`) and translate the status
+//! word of an abort into [`HwAbortKind`].  That restructuring needs TSX- or
+//! TME-capable silicon to test against, which this reproduction cannot
+//! assume; until then this stub keeps the build honest on capable hosts:
+//!
+//! * [`RtmHw::supported`] performs the real capability probe
+//!   (`is_x86_feature_detected!("rtm")` on x86-64, `false` elsewhere);
+//! * every speculative access reports a (non-injected) spurious abort, so a
+//!   runtime constructed over [`RtmHw`] stays correct — the mode ladder
+//!   walks every attempt off speculation to the software/serial rungs.
+
+use std::sync::Arc;
+
+use tm_core::hwtm::{HwAbort, HwAbortKind, HwTm};
+use tm_core::{LineId, ThreadId, TmSystem};
+
+/// Placeholder for a real RTM/TME hardware backend: reports the host's
+/// capability truthfully, and aborts every speculative attempt so execution
+/// falls back to the software rungs.
+pub struct RtmHw {
+    system: Arc<TmSystem>,
+}
+
+impl std::fmt::Debug for RtmHw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtmHw")
+            .field("supported", &Self::supported())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RtmHw {
+    /// Creates the stub backend over `system`.
+    pub fn new(system: Arc<TmSystem>) -> Arc<Self> {
+        Arc::new(RtmHw { system })
+    }
+
+    /// True when the host CPU actually supports restricted transactional
+    /// memory.
+    pub fn supported() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("rtm")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    fn unsupported() -> HwAbort {
+        HwAbort::real(HwAbortKind::Spurious)
+    }
+}
+
+impl HwTm for RtmHw {
+    fn slot_for(&self, line: LineId) -> usize {
+        line.0
+    }
+
+    fn read_line(&self, _line: LineId, _slot: usize, _tid: ThreadId) -> Result<(), HwAbort> {
+        Err(Self::unsupported())
+    }
+
+    fn write_line(&self, _line: LineId, _slot: usize, _tid: ThreadId) -> Result<(), HwAbort> {
+        Err(Self::unsupported())
+    }
+
+    fn check_read_footprint(&self, _distinct_lines: usize) -> Result<(), HwAbort> {
+        Err(Self::unsupported())
+    }
+
+    fn check_write_footprint(&self, _distinct_lines: usize) -> Result<(), HwAbort> {
+        Err(Self::unsupported())
+    }
+
+    fn commit_check(&self, _tid: ThreadId) -> Result<(), HwAbort> {
+        Err(Self::unsupported())
+    }
+
+    fn clear_read(&self, _slot: usize, _tid: ThreadId) {}
+
+    fn clear_write(&self, _slot: usize, _tid: ThreadId) {}
+
+    fn claim_for_writeback(&self, _slot: usize, _tid: ThreadId) {
+        // Nothing speculative can be in flight (every attempt aborts), so a
+        // software write-back has nobody to doom.
+    }
+
+    fn release_writeback(&self, _slot: usize, _tid: ThreadId) {}
+
+    fn line_cover(&self, line: LineId, out: &mut Vec<usize>) {
+        out.extend(self.system.orecs.line_indices(line));
+    }
+}

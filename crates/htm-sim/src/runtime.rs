@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use tm_core::driver::{self, CommitOutcome, TxEngine};
+use tm_core::hwtm::{FaultPlane, HwTm};
 use tm_core::lock::{Mutex, MutexGuard};
 use tm_core::{
     ThreadCtx, ThreadId, TmRt, TmRuntime, TmSystem, Tx, TxCommon, TxCtl, TxKind, TxMode, TxResult,
@@ -17,12 +18,23 @@ use tm_core::{
 };
 
 use crate::lines::LineTable;
+use crate::plane::SimPlane;
 use crate::tx::HtmTx;
 
-/// The simulated best-effort hardware TM runtime.
+/// The best-effort hardware TM runtime, generic over its hardware backend.
+///
+/// By default the backend is the crate's [`SimPlane`] simulator (wrapped in
+/// a [`FaultPlane`] when the system's [`tm_core::FaultConfig`] enables
+/// injection); [`HtmSim::with_plane`] installs any other [`HwTm`]
+/// implementation, e.g. the cfg-gated `rtm` stub (`--features rtm`).
 pub struct HtmSim {
     system: Arc<TmSystem>,
-    lines: LineTable,
+    /// The simulator backend, when that is what `plane` is (directly or
+    /// behind a fault layer); kept for the white-box [`HtmSim::lines`]
+    /// accessor.  `None` under a foreign [`HtmSim::with_plane`] backend.
+    sim: Option<Arc<SimPlane>>,
+    /// The hardware backend every speculative access goes through.
+    plane: Arc<dyn HwTm>,
     /// Serialises hardware commits (doom-check + redo write-back + directory
     /// clear) against each other, against serial-lock acquisition, and —
     /// through [`HtmSim::commit_barrier`] — against a hybrid runtime's
@@ -70,18 +82,58 @@ impl HtmSim {
     }
 
     fn build(system: Arc<TmSystem>, orec_coupled: bool) -> Arc<Self> {
-        let lines = LineTable::new(system.config.orec_count);
+        let sim = SimPlane::new(Arc::clone(&system));
+        let fault = system.config.fault;
+        let plane: Arc<dyn HwTm> = if fault.enabled() {
+            Arc::new(FaultPlane::new(
+                Arc::clone(&sim) as Arc<dyn HwTm>,
+                fault,
+                system.config.max_threads,
+            ))
+        } else {
+            Arc::clone(&sim) as Arc<dyn HwTm>
+        };
         Arc::new(HtmSim {
             system,
-            lines,
+            sim: Some(sim),
+            plane,
             commit_mutex: Mutex::new(()),
             orec_coupled,
         })
     }
 
-    /// The simulated coherence directory.
+    /// Creates a runtime over `system` driving the given hardware backend
+    /// instead of the built-in simulator.  `orec_coupled` has the same
+    /// meaning as in [`HtmSim::new_coupled`].
+    pub fn with_plane(
+        system: Arc<TmSystem>,
+        plane: Arc<dyn HwTm>,
+        orec_coupled: bool,
+    ) -> Arc<Self> {
+        Arc::new(HtmSim {
+            system,
+            sim: None,
+            plane,
+            commit_mutex: Mutex::new(()),
+            orec_coupled,
+        })
+    }
+
+    /// The hardware backend speculative accesses go through.
+    #[inline]
+    pub fn plane(&self) -> &Arc<dyn HwTm> {
+        &self.plane
+    }
+
+    /// The simulated coherence directory (white-box test access).
+    ///
+    /// # Panics
+    /// When a foreign backend was installed via [`HtmSim::with_plane`].
     pub fn lines(&self) -> &LineTable {
-        &self.lines
+        self.sim
+            .as_ref()
+            .expect("no simulator backend installed (HtmSim::with_plane)")
+            .lines()
     }
 
     /// The shared system.

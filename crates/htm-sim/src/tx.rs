@@ -13,14 +13,23 @@ use std::sync::Arc;
 
 use tm_core::access::{IndexSet, WriteLog};
 use tm_core::driver::CommitOutcome;
+use tm_core::hwtm::HwAbort;
 use tm_core::stats::TxStats;
 use tm_core::{
     AbortReason, Addr, OrecValue, ThreadCtx, TmSystem, Tx, TxCommon, TxCtl, TxMode, TxResult,
     WaitCondition, WaitSpec,
 };
 
-use crate::lines::{line_stripes, WriteRegistration};
 use crate::runtime::HtmSim;
+
+/// Converts a hardware-plane abort into the driver-level control request,
+/// counting injected faults as they surface.
+fn hw_fault(thread: &ThreadCtx, fault: HwAbort) -> TxCtl {
+    if fault.injected {
+        TxStats::bump(&thread.stats.hw_faults_injected);
+    }
+    TxCtl::Abort(fault.kind.reason())
+}
 
 /// Execution state specific to the attempt flavour.
 ///
@@ -101,6 +110,7 @@ impl<'rt> HtmTx<'rt> {
             rt.wait_fallback_clear();
             // A stale doom flag from a previous attempt must not kill this one.
             common.thread.take_doomed();
+            rt.plane().begin_attempt(common.thread.id);
             State::Hardware {
                 read_slots: common.thread.take_index_set(),
                 write_slots: common.thread.take_index_set(),
@@ -152,10 +162,10 @@ impl<'rt> HtmTx<'rt> {
             } => {
                 let me = self.common.thread.id;
                 for slot in read_slots.iter() {
-                    self.rt.lines().clear_reader(slot, me);
+                    self.rt.plane().clear_read(slot, me);
                 }
                 for slot in write_slots.iter() {
-                    self.rt.lines().clear_writer(slot, me);
+                    self.rt.plane().clear_write(slot, me);
                 }
                 read_slots.clear();
                 write_slots.clear();
@@ -203,18 +213,26 @@ impl<'rt> HtmTx<'rt> {
                     drop(commit_guard);
                     return Err(TxCtl::Abort(AbortReason::HwConflict));
                 }
+                // The backend's commit-window check: past the doom check,
+                // before anything is written, so an abort here (a fault
+                // plane's injection point) can never lose an update.
+                if let Err(f) = self.rt.plane().commit_check(self.common.thread.id) {
+                    drop(commit_guard);
+                    return Err(hw_fault(&self.common.thread, f));
+                }
                 let was_writer = !redo.is_empty();
                 // The stripe cover of the written cache lines (a superset of
                 // the written words' stripes), needed up front by the orec
                 // coupling and after the write-back by the targeted wake
                 // scan.
+                let plane = self.rt.plane();
                 let written_cover = |redo: &WriteLog| {
                     let mut lines: Vec<_> = redo.iter().map(|e| e.addr.line()).collect();
                     lines.sort_unstable();
                     lines.dedup();
                     let mut cover = Vec::new();
                     for line in lines {
-                        line_stripes(&system.orecs, line, &mut cover);
+                        plane.line_cover(line, &mut cover);
                     }
                     cover.sort_unstable();
                     cover.dedup();
@@ -288,10 +306,10 @@ impl<'rt> HtmTx<'rt> {
                 }
                 let me = self.common.thread.id;
                 for slot in write_slots.iter() {
-                    self.rt.lines().clear_writer(slot, me);
+                    plane.clear_write(slot, me);
                 }
                 for slot in read_slots.iter() {
-                    self.rt.lines().clear_reader(slot, me);
+                    plane.clear_read(slot, me);
                 }
                 read_slots.clear();
                 write_slots.clear();
@@ -403,17 +421,19 @@ impl Tx for HtmTx<'_> {
         if let Some(v) = redo.lookup(addr) {
             return Ok(v);
         }
-        let slot = self.rt.lines().slot_for(addr.line());
-        if let Some(writer) = self.rt.lines().register_reader(slot, self.common.thread.id) {
-            // Our coherence request dooms the speculative writer; we abort as
-            // well rather than consuming a possibly torn value.
-            self.rt.doom_thread(writer);
-            self.rt.lines().clear_reader(slot, self.common.thread.id);
-            return Err(TxCtl::Abort(AbortReason::HwConflict));
+        let plane = self.rt.plane();
+        let line = addr.line();
+        let slot = plane.slot_for(line);
+        if let Err(f) = plane.read_line(line, slot, self.common.thread.id) {
+            // A conflicting speculative writer has been doomed by the backend
+            // (our coherence request invalidates its line); we abort as well
+            // rather than consuming a possibly torn value.
+            return Err(hw_fault(&self.common.thread, f));
         }
-        if read_slots.insert(slot) && read_slots.len() > self.rt.system().config.htm.max_read_lines
-        {
-            return Err(TxCtl::Abort(AbortReason::HwCapacity));
+        if read_slots.insert(slot) {
+            if let Err(f) = plane.check_read_footprint(read_slots.len()) {
+                return Err(hw_fault(&self.common.thread, f));
+            }
         }
         Ok(self.rt.system().heap.load(addr))
     }
@@ -432,28 +452,19 @@ impl Tx for HtmTx<'_> {
                 if self.rt.fallback_held() {
                     return Err(TxCtl::Abort(AbortReason::HwFallbackLock));
                 }
-                let slot = self.rt.lines().slot_for(addr.line());
-                match self.rt.lines().register_writer(slot, self.common.thread.id) {
-                    WriteRegistration::Acquired {
-                        doomed_readers,
-                        doomed_writer,
-                    } => {
-                        for tid in doomed_readers {
-                            self.rt.doom_thread(tid);
-                        }
-                        if let Some(tid) = doomed_writer {
-                            self.rt.doom_thread(tid);
-                        }
-                    }
-                    WriteRegistration::Conflict { other } => {
-                        self.rt.doom_thread(other);
-                        return Err(TxCtl::Abort(AbortReason::HwConflict));
-                    }
+                let plane = self.rt.plane();
+                let line = addr.line();
+                let slot = plane.slot_for(line);
+                // The backend registers us as the line's writer, dooming
+                // every conflicting speculative occupant; a conflict abort
+                // means a foreign writer could not be displaced.
+                if let Err(f) = plane.write_line(line, slot, self.common.thread.id) {
+                    return Err(hw_fault(&self.common.thread, f));
                 }
-                if write_slots.insert(slot)
-                    && write_slots.len() > self.rt.system().config.htm.max_write_lines
-                {
-                    return Err(TxCtl::Abort(AbortReason::HwCapacity));
+                if write_slots.insert(slot) {
+                    if let Err(f) = plane.check_write_footprint(write_slots.len()) {
+                        return Err(hw_fault(&self.common.thread, f));
+                    }
                 }
                 // Buffer the store.  The HTM never consults ownership
                 // records and nothing reads this log's cover (commit maps
@@ -514,6 +525,7 @@ impl Tx for HtmTx<'_> {
                 if hardware {
                     self.rt.wait_fallback_clear();
                     self.common.thread.take_doomed();
+                    self.rt.plane().begin_attempt(self.common.thread.id);
                     self.state = State::Hardware {
                         read_slots: self.common.thread.take_index_set(),
                         write_slots: self.common.thread.take_index_set(),

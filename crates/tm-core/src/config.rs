@@ -76,6 +76,70 @@ impl Default for HtmConfig {
     }
 }
 
+/// Configuration of the deterministic hardware fault-injection plane (see
+/// [`crate::hwtm::FaultPlane`]).
+///
+/// The default is all-zero, which disables injection entirely: the HTM
+/// runtimes install the plane only when [`FaultConfig::enabled`] is true, so
+/// production paths pay nothing.  Rates are expressed per 65536 draws of a
+/// seeded per-thread `xorshift64*` stream, so a run is exactly reproducible
+/// from `(seed, thread id)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Seed for the per-thread random streams.
+    pub seed: u64,
+    /// Conflict-abort probability per speculative access, in 65536ths.
+    pub conflict_per_64k: u16,
+    /// Force a conflict abort on every access to a cache line whose index is
+    /// a multiple of this value (`0` disables; `1` dooms every line).
+    pub conflict_line_mod: u64,
+    /// Inject a capacity abort when a hardware transaction's *read* footprint
+    /// exceeds this many distinct lines (`0` leaves the backend's own
+    /// capacity in charge).
+    pub capacity_read_lines: usize,
+    /// Inject a capacity abort when the *write* footprint exceeds this many
+    /// distinct lines (`0` disables).
+    pub capacity_write_lines: usize,
+    /// Spurious-abort probability per speculative access, in 65536ths.
+    pub spurious_per_64k: u16,
+    /// Conflict-abort probability *inside the commit window* (after the doom
+    /// check, before write-back), in 65536ths per commit attempt.
+    pub commit_window_per_64k: u16,
+}
+
+impl FaultConfig {
+    /// True when any injection knob is set, i.e. the runtimes should wrap
+    /// their hardware backend in a [`crate::hwtm::FaultPlane`].
+    pub fn enabled(self) -> bool {
+        self.conflict_per_64k != 0
+            || self.conflict_line_mod != 0
+            || self.capacity_read_lines != 0
+            || self.capacity_write_lines != 0
+            || self.spurious_per_64k != 0
+            || self.commit_window_per_64k != 0
+    }
+
+    /// Builds a configuration from `TM_FAULT_*` environment variables
+    /// (`TM_FAULT_SEED`, `TM_FAULT_CONFLICT`, `TM_FAULT_CONFLICT_LINE_MOD`,
+    /// `TM_FAULT_CAP_READ`, `TM_FAULT_CAP_WRITE`, `TM_FAULT_SPURIOUS`,
+    /// `TM_FAULT_COMMIT`); unset or unparsable variables keep their default
+    /// of zero.  Lets soak jobs turn injection on without recompiling.
+    pub fn from_env() -> Self {
+        fn var<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        FaultConfig {
+            seed: var("TM_FAULT_SEED").unwrap_or(0),
+            conflict_per_64k: var("TM_FAULT_CONFLICT").unwrap_or(0),
+            conflict_line_mod: var("TM_FAULT_CONFLICT_LINE_MOD").unwrap_or(0),
+            capacity_read_lines: var("TM_FAULT_CAP_READ").unwrap_or(0),
+            capacity_write_lines: var("TM_FAULT_CAP_WRITE").unwrap_or(0),
+            spurious_per_64k: var("TM_FAULT_SPURIOUS").unwrap_or(0),
+            commit_window_per_64k: var("TM_FAULT_COMMIT").unwrap_or(0),
+        }
+    }
+}
+
 /// Configuration of the randomized exponential backoff used between aborted
 /// attempts.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -145,6 +209,9 @@ pub struct TmConfig {
     pub quiescence: bool,
     /// Hardware-TM simulation parameters.
     pub htm: HtmConfig,
+    /// Deterministic hardware fault injection (see [`FaultConfig`]); the
+    /// all-zero default disables the plane entirely.
+    pub fault: FaultConfig,
     /// Backoff parameters.
     pub backoff: BackoffConfig,
     /// Timer-wheel parameters for timed waits.
@@ -177,6 +244,7 @@ impl Default for TmConfig {
             wake_shards: 256,
             quiescence: true,
             htm: HtmConfig::default(),
+            fault: FaultConfig::default(),
             backoff: BackoffConfig::default(),
             timer: TimerConfig::default(),
             policy: PolicyKind::Fixed,
@@ -197,6 +265,7 @@ impl TmConfig {
             wake_shards: 64,
             quiescence: true,
             htm: HtmConfig::default(),
+            fault: FaultConfig::default(),
             backoff: BackoffConfig::default(),
             timer: TimerConfig {
                 slots: 64,
@@ -219,6 +288,12 @@ impl TmConfig {
     /// Overrides the HTM parameters.
     pub fn with_htm(mut self, htm: HtmConfig) -> Self {
         self.htm = htm;
+        self
+    }
+
+    /// Overrides the hardware fault-injection configuration.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -321,8 +396,15 @@ mod tests {
             .with_policy(PolicyKind::ADAPTIVE_DEFAULT)
             .with_clock(ClockMode::LazyGv5)
             .with_snapshot(SnapshotMode::Extend)
+            .with_fault(FaultConfig {
+                seed: 7,
+                spurious_per_64k: 100,
+                ..FaultConfig::default()
+            })
             .with_max_threads(8);
         assert!(!c.quiescence);
+        assert!(c.fault.enabled());
+        assert_eq!(c.fault.seed, 7);
         assert_eq!(c.clock, ClockMode::LazyGv5);
         assert_eq!(c.snapshot, SnapshotMode::Extend);
         assert!(!SnapshotMode::Off.is_enabled());
@@ -335,6 +417,35 @@ mod tests {
         assert_eq!(c.htm.max_write_lines, 4);
         assert_eq!(c.timer.slots, 16);
         assert_eq!(c.timer.tick_micros, 250);
+    }
+
+    #[test]
+    fn fault_config_default_is_disabled() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        assert!(!TmConfig::default().fault.enabled());
+        assert!(FaultConfig {
+            conflict_line_mod: 2,
+            ..FaultConfig::default()
+        }
+        .enabled());
+        assert!(FaultConfig {
+            commit_window_per_64k: 1,
+            ..FaultConfig::default()
+        }
+        .enabled());
+        assert!(FaultConfig {
+            capacity_read_lines: 4,
+            ..FaultConfig::default()
+        }
+        .enabled());
+        // A bare seed does not enable injection: it only parameterizes the
+        // streams the other knobs draw from.
+        assert!(!FaultConfig {
+            seed: 99,
+            ..FaultConfig::default()
+        }
+        .enabled());
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum AbortReason {
     /// The fallback lock was acquired by another thread while a hardware
     /// transaction was in flight.
     HwFallbackLock,
+    /// The hardware transaction aborted for an environmental reason with no
+    /// data cause — an interrupt, an unfriendly instruction, or an abort
+    /// manufactured by the fault-injection plane.  Not contention: the
+    /// driver re-executes immediately without backing off, though the abort
+    /// still spends hardware retry budget (`CmHistory::hw_failures`), so a
+    /// persistent spurious-abort storm degrades to software like any other
+    /// hardware failure.
+    HwSpurious,
     /// The program requested an explicit abort with an 8-bit code
     /// (Intel `xabort`-style); used by the `Restart` baseline and by the
     /// WaitPred fast path discussed in §2.2.6.
@@ -233,6 +241,7 @@ mod tests {
         assert!(AbortReason::CommitValidation.is_conflict());
         assert!(!AbortReason::Explicit(3).is_conflict());
         assert!(!AbortReason::HwCapacity.is_conflict());
+        assert!(!AbortReason::HwSpurious.is_conflict());
         assert!(!AbortReason::ReadOnlyWrite.is_conflict());
     }
 
@@ -259,6 +268,7 @@ mod tests {
         assert!(!AbortReason::HwFallbackLock.is_conflict());
         assert!(AbortReason::WriteConflict.is_contention());
         assert!(!AbortReason::HwCapacity.is_contention());
+        assert!(!AbortReason::HwSpurious.is_contention());
         assert!(!AbortReason::Explicit(1).is_contention());
         assert!(!AbortReason::ReadOnlyWrite.is_contention());
     }

@@ -27,6 +27,9 @@
 //! * the mode-control plane: the system-wide serial/irrevocable gate and
 //!   shared serial attempt ([`serial`]) plus the pluggable contention-
 //!   management policies that drive backoff and mode escalation ([`policy`]),
+//! * the pluggable hardware plane ([`hwtm`]): the [`hwtm::HwTm`] trait the
+//!   HTM and hybrid runtimes drive their hardware backend through, and the
+//!   deterministic [`hwtm::FaultPlane`] fault-injection decorator,
 //! * control-flow types for aborts and descheduling ([`ctl`]),
 //! * the thread registry, statistics and quiescence support ([`thread`],
 //!   [`stats`]),
@@ -56,6 +59,7 @@ pub mod ctl;
 pub mod driver;
 pub mod epoch;
 pub mod heap;
+pub mod hwtm;
 pub mod lock;
 pub mod orec;
 pub mod pad;
@@ -74,11 +78,12 @@ pub mod waitlist;
 pub use access::{IndexSet, LogPool, ReadEntry, ReadSet, WriteEntry, WriteLog};
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::{ClockMode, ClockPlane, CommitStamp, GlobalClock};
-pub use config::{BackoffConfig, HtmConfig, SnapshotMode, TimerConfig, TmConfig};
+pub use config::{BackoffConfig, FaultConfig, HtmConfig, SnapshotMode, TimerConfig, TmConfig};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
 pub use epoch::{EpochSlot, EpochTable};
 pub use heap::TmHeap;
+pub use hwtm::{FaultPlane, HwAbort, HwAbortKind, HwTm};
 pub use orec::{OrecTable, OrecValue};
 pub use pad::{CachePadded, CACHE_LINE_BYTES};
 pub use policy::{CmAction, CmEvent, CmHistory, ContentionManager, PolicyKind};

@@ -42,29 +42,25 @@ impl CommitInterlock for HwInterlock {
         if !validate() {
             return false;
         }
+        let plane = self.htm.plane();
         let mut slots = self.slots.lock();
         slots.clear();
-        slots.extend(
-            write_entries
-                .iter()
-                .map(|e| self.htm.lines().slot_for(e.addr.line())),
-        );
+        slots.extend(write_entries.iter().map(|e| plane.slot_for(e.addr.line())));
         slots.sort_unstable();
         slots.dedup();
-        // Claim the written lines: every speculative occupant is doomed, and
-        // any speculative access arriving during the write-back observes a
-        // foreign writer and aborts.  This must precede the write-back so no
-        // hardware transaction can read a torn mix of old and new words (a
-        // reader registering between the claim sweep and its line's store is
-        // still caught: it observes the foreign writer and aborts).
+        // Claim the written lines: the backend dooms every speculative
+        // occupant, and any speculative access arriving during the
+        // write-back observes a foreign writer and aborts.  This must
+        // precede the write-back so no hardware transaction can read a torn
+        // mix of old and new words (a reader registering between the claim
+        // sweep and its line's store is still caught: it observes the
+        // foreign writer and aborts).
         for &slot in slots.iter() {
-            for tid in self.htm.lines().claim_for_writeback(slot, writer) {
-                self.htm.doom_thread(tid);
-            }
+            plane.claim_for_writeback(slot, writer);
         }
         writeback();
         for &slot in slots.iter() {
-            self.htm.lines().clear_writer(slot, writer);
+            plane.release_writeback(slot, writer);
         }
         true
     }

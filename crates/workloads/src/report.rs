@@ -166,6 +166,7 @@ impl Panel {
         out.push_str(&self.render_wake_stats());
         out.push_str(&self.render_access_stats());
         out.push_str(&self.render_mode_stats());
+        out.push_str(&self.render_hw_plane_stats());
         out.push_str(&self.render_clock_stats());
         out.push_str(&self.render_snapshot_stats());
         out.push_str(&self.render_latency_stats());
@@ -238,6 +239,33 @@ impl Panel {
                 stats.mode_switches,
                 stats.cm_escalations,
                 stats.explicit_aborts,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising hardware-plane incidents: aborts
+    /// manufactured by the fault-injection plane and TMCondVar watchdog
+    /// re-deliveries, alongside the total hardware aborts they hide among.
+    /// Empty when neither happened, so ordinary runs (injection off, no
+    /// lost signals) render exactly as before.
+    pub fn render_hw_plane_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.hw_faults_injected == 0 && stats.watchdog_redeliveries == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# hardware-plane {:>10}: faults injected {:>8}  hw aborts {:>8}  watchdog redeliveries {:>8}",
+                s.mechanism.label(),
+                stats.hw_faults_injected,
+                stats.hw_aborts,
+                stats.watchdog_redeliveries,
             );
         }
         out
@@ -794,6 +822,34 @@ mod tests {
         assert!(
             !text.contains("mode-ladder      Await"),
             "series without ladder work stay out of the block"
+        );
+    }
+
+    #[test]
+    fn hw_plane_stats_render_only_when_faults_or_redeliveries_happened() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        let mut plain = point(4, 1.0);
+        plain.stats.hw_commits = 50;
+        plain.stats.hw_aborts = 5;
+        panel.series_mut(Mechanism::Await).push(plain);
+        assert!(
+            panel.render_hw_plane_stats().is_empty(),
+            "genuine hardware aborts alone do not make a hardware-plane line"
+        );
+
+        let mut with_faults = point(4, 1.0);
+        with_faults.stats.hw_aborts = 40;
+        with_faults.stats.hw_faults_injected = 33;
+        with_faults.stats.watchdog_redeliveries = 2;
+        panel.series_mut(Mechanism::Retry).push(with_faults);
+        let text = panel.render();
+        assert!(text.contains("hardware-plane"));
+        assert!(text.contains("faults injected       33"));
+        assert!(text.contains("hw aborts       40"));
+        assert!(text.contains("watchdog redeliveries        2"));
+        assert!(
+            !text.contains("hardware-plane      Await"),
+            "series without incidents stay out of the block"
         );
     }
 

@@ -58,7 +58,7 @@
 //! | [`core`] (`tm-core`) | word heap, ownership records, clock, thread registry, shared access-set layer, sharded waiter registry, transaction traits |
 //! | [`eager`] (`stm-eager`) | Appendix A undo-log STM (paper: "Eager STM") |
 //! | [`lazy`] (`stm-lazy`) | TL2-style redo-log STM (paper: "Lazy STM") |
-//! | [`htm`] (`htm-sim`) | best-effort hardware-TM simulator (paper: "HTM") |
+//! | [`htm`] (`htm-sim`) | best-effort HTM runtime over the pluggable `HwTm` hardware plane — simulator backend, real-RTM stub, fault-injection fuzzer (paper: "HTM") |
 //! | [`hybrid`] (`tm-hybrid`) | hybrid HTM+STM runtime: hardware fast path over the lazy STM (beyond the paper) |
 //! | [`sync`] (`condsync`) | **the contribution**: Deschedule, Retry, Await, WaitPred, plus TMCondVar / Retry-Orig / Restart baselines |
 //! | [`structures`] (`tm-sync`) | bounded buffer (Fig. 2.2), queue, stack, counter, barrier, hash map, once-cell, latch, Pthreads baseline buffer |
@@ -76,7 +76,7 @@ pub use stm_eager as eager;
 /// The lazy (redo-log) software TM (`stm-lazy`).
 pub use stm_lazy as lazy;
 
-/// The best-effort hardware-TM simulator (`htm-sim`).
+/// The best-effort HTM runtime and its simulated hardware plane (`htm-sim`).
 pub use htm_sim as htm;
 
 /// The hybrid HTM+STM runtime (`tm-hybrid`): hardware fast path, lazy-STM

@@ -1,0 +1,350 @@
+//! Deterministic hardware fault injection: the seeded [`FaultPlane`] matrix.
+//!
+//! Every test here runs with an explicit [`FaultConfig`] — a fixed seed plus
+//! one or more injection knobs — layered between the HTM runtimes and the
+//! simulated hardware backend.  The assertions are always the same two
+//! properties, exercised per fault kind and per runtime:
+//!
+//! 1. **No lost work**: injected aborts (conflict, capacity, spurious, and
+//!    aborts inside the commit window) may slow a transaction down but never
+//!    lose its updates — counters end exact, the producer/consumer checksum
+//!    balances.
+//! 2. **The ladder degrades, it does not wedge**: a hardware path that keeps
+//!    faulting climbs to the software path (hybrid) or the serial gate (pure
+//!    HTM) and finishes there.
+//!
+//! The software runtimes have no hardware plane, so a fault configuration is
+//! inert on them — which is exactly what the golden-parity test checks.
+//!
+//! [`FaultPlane`]: tm_repro::core::FaultPlane
+//! [`FaultConfig`]: tm_repro::core::FaultConfig
+
+use std::sync::Arc;
+
+use tm_repro::core::{FaultConfig, StatsSnapshot, TmArray, TmConfig, TmVar};
+use tm_repro::sync::Mechanism;
+use tm_repro::workloads::pc::{run_pc, run_pc_configured, PcParams};
+use tm_repro::workloads::runtime::RuntimeKind;
+
+/// A fixed seed so every run of this suite injects the same fault schedule.
+const SEED: u64 = 0x5EED_FA17_0000_0001;
+
+/// Threads hammering the shared counter.
+const THREADS: usize = 4;
+
+/// Increments per thread.
+const INCS: u64 = 256;
+
+/// Array indices one cache line (8 words) apart: four distinct lines, so
+/// footprint-based capacity knobs have something to trip on.
+const CELLS: [usize; 4] = [0, 8, 16, 24];
+
+/// Runs `THREADS x INCS` concurrent increments of one shared counter on
+/// `kind` with the given fault configuration, asserts no update was lost,
+/// and returns the aggregated statistics.
+fn hammer_counter(kind: RuntimeKind, fault: FaultConfig) -> StatsSnapshot {
+    let rt = kind.build(TmConfig::small().with_fault(fault));
+    let system = Arc::clone(rt.system());
+    let counter = TmVar::<u64>::alloc(&system, 0);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let rt = rt.clone();
+            let system = Arc::clone(&system);
+            let counter = counter.clone();
+            scope.spawn(move || {
+                let th = system.register_thread();
+                for _ in 0..INCS {
+                    rt.atomically(&th, |tx| {
+                        let v = counter.get(tx)?;
+                        counter.set(tx, v + 1)
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(
+        counter.load_direct(&system),
+        THREADS as u64 * INCS,
+        "updates lost on {kind} under {fault:?}"
+    );
+    system.stats()
+}
+
+/// Like [`hammer_counter`] but each transaction reads and increments four
+/// cells one line apart, so its footprint spans four distinct cache lines.
+fn hammer_lines(kind: RuntimeKind, fault: FaultConfig, threads: usize, txs: u64) -> StatsSnapshot {
+    let rt = kind.build(TmConfig::small().with_fault(fault));
+    let system = Arc::clone(rt.system());
+    let cells = TmArray::<u64>::alloc(&system, 32, 0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rt = rt.clone();
+            let system = Arc::clone(&system);
+            let cells = cells.clone();
+            scope.spawn(move || {
+                let th = system.register_thread();
+                for _ in 0..txs {
+                    rt.atomically(&th, |tx| {
+                        for &i in &CELLS {
+                            let v = cells.get(tx, i)?;
+                            cells.set(tx, i, v + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    for &i in &CELLS {
+        assert_eq!(
+            cells.load_direct(&system, i),
+            threads as u64 * txs,
+            "cell {i} lost updates on {kind} under {fault:?}"
+        );
+    }
+    system.stats()
+}
+
+// --- Degradation: the ladder climbs off the faulting hardware path. -------
+
+#[test]
+fn injected_conflicts_degrade_htm_to_serial() {
+    let stats = hammer_counter(
+        RuntimeKind::Htm,
+        FaultConfig {
+            seed: SEED,
+            conflict_per_64k: 16384, // ~25% per speculative access
+            ..FaultConfig::default()
+        },
+    );
+    assert!(stats.hw_faults_injected > 0, "the plane must have fired");
+    assert!(stats.hw_aborts >= stats.hw_faults_injected);
+    assert!(
+        stats.serial_commits > 0,
+        "pure HTM's only fallback is the serial gate; got {stats:?}"
+    );
+}
+
+#[test]
+fn injected_conflicts_degrade_hybrid_to_software() {
+    let stats = hammer_counter(
+        RuntimeKind::Hybrid,
+        FaultConfig {
+            seed: SEED,
+            conflict_per_64k: 16384,
+            ..FaultConfig::default()
+        },
+    );
+    assert!(stats.hw_faults_injected > 0, "the plane must have fired");
+    assert!(
+        stats.sw_commits > 0,
+        "the hybrid must degrade Hw -> Sw, not jump straight to serial; got {stats:?}"
+    );
+}
+
+#[test]
+fn capacity_faults_fire_at_the_configured_write_footprint() {
+    // Every transaction writes 4 distinct lines; the injected write capacity
+    // is 2 lines, so no hardware attempt can ever reach its commit point.
+    let stats = hammer_lines(
+        RuntimeKind::Htm,
+        FaultConfig {
+            seed: SEED,
+            capacity_write_lines: 2,
+            ..FaultConfig::default()
+        },
+        1,
+        64,
+    );
+    assert!(stats.hw_faults_injected > 0);
+    assert_eq!(
+        stats.hw_commits, 0,
+        "a 4-line writer can never fit in a 2-line capacity"
+    );
+    assert!(stats.serial_commits > 0, "all work must finish serially");
+}
+
+#[test]
+fn poisoned_lines_force_all_work_off_speculation() {
+    // conflict_line_mod = 1 dooms every cache line: the hardware path is
+    // useless, but the ladder still finishes every transaction.
+    for kind in [RuntimeKind::Htm, RuntimeKind::Hybrid] {
+        let stats = hammer_counter(
+            kind,
+            FaultConfig {
+                seed: SEED,
+                conflict_line_mod: 1,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(stats.hw_faults_injected > 0, "{kind}");
+        assert_eq!(
+            stats.hw_commits, 0,
+            "every speculative access faults, so nothing can hw-commit ({kind})"
+        );
+    }
+}
+
+// --- No lost updates, per fault kind and runtime (the seeded matrix). -----
+
+#[test]
+fn fault_matrix_conserves_on_both_hardware_runtimes() {
+    // fault kind x rate x runtime: each cell runs the 4-line walker and the
+    // helper asserts exact conservation; here we additionally require that
+    // the configured kind actually fired.
+    let kinds = [
+        (
+            "conflict",
+            FaultConfig {
+                seed: SEED,
+                conflict_per_64k: 8192, // ~12.5% per access
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "capacity",
+            FaultConfig {
+                seed: SEED,
+                capacity_read_lines: 2, // the walker reads 4 lines
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "spurious",
+            FaultConfig {
+                seed: SEED,
+                spurious_per_64k: 8192,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "commit-window",
+            FaultConfig {
+                seed: SEED,
+                commit_window_per_64k: 32768, // half of all commit attempts
+                ..FaultConfig::default()
+            },
+        ),
+    ];
+    for runtime in [RuntimeKind::Htm, RuntimeKind::Hybrid] {
+        for (name, fault) in kinds {
+            let stats = hammer_lines(runtime, fault, THREADS, 64);
+            assert!(
+                stats.hw_faults_injected > 0,
+                "{name} on {runtime}: the plane never fired"
+            );
+        }
+    }
+}
+
+#[test]
+fn commit_window_aborts_lose_no_updates() {
+    // The sharpest lost-update window: the abort lands after the doom check,
+    // inside the commit critical section, before write-back.  Conservation
+    // is asserted by the helper; also check the ladder stayed live.
+    for kind in [RuntimeKind::Htm, RuntimeKind::Hybrid] {
+        let stats = hammer_counter(
+            kind,
+            FaultConfig {
+                seed: SEED,
+                commit_window_per_64k: 32768,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(stats.hw_faults_injected > 0, "{kind}");
+        assert!(
+            stats.hw_commits + stats.sw_commits + stats.serial_commits >= THREADS as u64 * INCS,
+            "{kind}: every increment must have committed somewhere"
+        );
+    }
+}
+
+#[test]
+fn spurious_faults_rerun_without_losing_updates() {
+    for kind in [RuntimeKind::Htm, RuntimeKind::Hybrid] {
+        let stats = hammer_counter(
+            kind,
+            FaultConfig {
+                seed: SEED,
+                spurious_per_64k: 8192,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(stats.hw_faults_injected > 0, "{kind}");
+    }
+}
+
+// --- Golden parity: a faulty hardware plane changes timing, not results. --
+
+#[test]
+fn golden_parity_with_the_zero_fault_baseline() {
+    let fault = FaultConfig {
+        seed: SEED,
+        conflict_per_64k: 4096,
+        spurious_per_64k: 2048,
+        commit_window_per_64k: 8192,
+        ..FaultConfig::default()
+    };
+    for kind in RuntimeKind::ALL {
+        let params = PcParams::new(2, 2, 8, 256, Mechanism::Retry);
+        let baseline = run_pc(kind, &params);
+        let config = TmConfig {
+            heap_words: params.heap_words(),
+            ..TmConfig::default()
+        }
+        .with_fault(fault);
+        let faulty = run_pc_configured(kind, &params, config);
+
+        assert!(baseline.checksum_ok, "{kind}: zero-fault baseline");
+        assert!(faulty.checksum_ok, "{kind}: under injection");
+        assert_eq!(faulty.produced, baseline.produced, "{kind}");
+        assert_eq!(faulty.consumed, baseline.consumed, "{kind}");
+
+        // The software runtimes have no hardware plane: injection is inert.
+        if matches!(kind, RuntimeKind::EagerStm | RuntimeKind::LazyStm) {
+            assert_eq!(
+                faulty.stats.hw_faults_injected, 0,
+                "{kind} has no hardware plane to fault"
+            );
+        }
+    }
+}
+
+// --- The env knobs soak jobs use. -----------------------------------------
+
+#[test]
+fn fault_env_knobs_parse_into_a_config() {
+    // No other test in this binary reads TM_FAULT_*: injection everywhere
+    // else comes in through TmConfig, so mutating the process environment
+    // here cannot race a concurrent test.
+    let vars = [
+        ("TM_FAULT_SEED", "12345"),
+        ("TM_FAULT_CONFLICT", "100"),
+        ("TM_FAULT_CONFLICT_LINE_MOD", "16"),
+        ("TM_FAULT_CAP_READ", "32"),
+        ("TM_FAULT_CAP_WRITE", "8"),
+        ("TM_FAULT_SPURIOUS", "200"),
+        ("TM_FAULT_COMMIT", "300"),
+    ];
+    for (k, v) in vars {
+        std::env::set_var(k, v);
+    }
+    let cfg = FaultConfig::from_env();
+    for (k, _) in vars {
+        std::env::remove_var(k);
+    }
+    assert_eq!(
+        cfg,
+        FaultConfig {
+            seed: 12345,
+            conflict_per_64k: 100,
+            conflict_line_mod: 16,
+            capacity_read_lines: 32,
+            capacity_write_lines: 8,
+            spurious_per_64k: 200,
+            commit_window_per_64k: 300,
+        }
+    );
+    assert!(cfg.enabled());
+    assert!(!FaultConfig::from_env().enabled(), "unset means disabled");
+}
