@@ -1,0 +1,435 @@
+//! `memory_plane` — allocation-heavy churn versus the core-local memory
+//! plane: per-thread heap arenas on/off, swept across orec shard counts.
+//!
+//! The memory plane promises that a steady-state transactional allocation
+//! never takes the global heap lock: each thread front-ends the allocator
+//! with exact-size bins refilled in batches (`heap_global_refills`), serves
+//! repeat allocations mutex-free (`heap_arena_allocs`), and absorbs
+//! cross-thread frees through a lock-free remote-free stack drained by the
+//! owning thread (`heap_remote_frees`).  This bench drives the claim with
+//! the worst case for a centralized heap: every thread churning a private
+//! linked list — one node allocated per transaction, one freed once the
+//! list reaches capacity — so the global allocator lock is the only thing
+//! the threads would otherwise share.  Every `DONATE_EVERY`-th pop hands
+//! the live node to a neighbor through a mailbox instead of freeing it, so
+//! multi-thread cells also exercise the remote-free path.
+//!
+//! Each cell spawns `threads` workers over a fresh system; the sweep runs
+//! arenas on and off across orec shard counts, and a spot check runs every
+//! runtime on the same workload.  On every arenas-on cell the bench asserts
+//! the headline property: **global refills stay under 5% of arena-served
+//! allocations** (the bins, not the lock, carry the steady state), and on
+//! multi-thread cells that the remote-free path actually fired.  Full runs
+//! additionally assert the throughput claims: arenas within 5% of the bare
+//! heap single-threaded, and strictly ahead at the widest cell.  The strict
+//! win is only asserted when the host actually has ≥2 cores: on a
+//! single-core box the timesliced workers never contend on the global lock,
+//! so there is nothing for the mutex-free path to beat and the bench just
+//! bounds the arena overhead instead.
+//!
+//! Output: a plain-text table on stdout plus a JSON report (via
+//! `tm_workloads::json`) written to `$TM_BENCH_JSON` (default
+//! `BENCH_memory_plane.json`), matching the `thread_scaling` conventions so
+//! CI can archive the trajectory.
+//!
+//! Environment:
+//!
+//! | variable            | meaning                                  | default |
+//! |---------------------|------------------------------------------|---------|
+//! | `TM_BENCH_SMOKE=1`  | tiny sweep + iteration counts for CI     | off     |
+//! | `TM_BENCH_ITERS`    | transactions per worker per cell         | `10000` |
+//! | `TM_BENCH_REPEATS`  | runs per cell (fastest kept)             | `3` (smoke `1`) |
+//! | `TM_BENCH_JSON`     | JSON report path                         | `BENCH_memory_plane.json` |
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use tm_core::{default_orec_shards, Addr, TmConfig, TmVar};
+use tm_workloads::json::Value;
+use tm_workloads::runtime::RuntimeKind;
+
+/// Words per list node: a next pointer plus a small payload, the shape of
+/// the `tm-sync` queue/stack nodes.
+const NODE_WORDS: usize = 4;
+
+/// Live nodes each worker keeps before it starts freeing the tail.
+const LIST_CAP: usize = 32;
+
+/// Every n-th pop is donated to the neighbor's mailbox instead of freed, so
+/// the neighbor's free lands on a block another thread's arena owns.
+const DONATE_EVERY: u64 = 16;
+
+/// Nil sentinel for list links and mailboxes; `Addr(0)` is the reserved
+/// null address and never returned by the allocator.
+const NIL: u64 = 0;
+
+struct Cell {
+    runtime: RuntimeKind,
+    arenas: bool,
+    shards: usize,
+    threads: usize,
+    seconds: f64,
+    commits: u64,
+    aborts: u64,
+    arena_allocs: u64,
+    refills: u64,
+    remote_frees: u64,
+    orec_cas: u64,
+}
+
+impl Cell {
+    fn throughput(&self) -> f64 {
+        self.commits as f64 / self.seconds
+    }
+
+    fn refill_ratio(&self) -> f64 {
+        if self.arena_allocs == 0 {
+            0.0
+        } else {
+            self.refills as f64 / self.arena_allocs as f64
+        }
+    }
+}
+
+fn measure(kind: RuntimeKind, arenas: bool, shards: usize, threads: usize, iters: u64) -> Cell {
+    let config = TmConfig::default()
+        .with_heap_words(1 << 15)
+        .with_max_threads(16)
+        .with_orec_shards(shards)
+        .with_heap_arenas(arenas);
+    let rt = kind.build(config);
+    let system = Arc::clone(rt.system());
+    let heads: Vec<TmVar<u64>> = (0..threads).map(|_| TmVar::alloc(&system, NIL)).collect();
+    let mailboxes: Vec<TmVar<u64>> = (0..threads).map(|_| TmVar::alloc(&system, NIL)).collect();
+    // Everything the workers allocate is freed again before the scope ends,
+    // so the heap must return to this baseline (bin-cached blocks included:
+    // `allocated_words` nets out arena caches).
+    let baseline = system.heap.allocated_words();
+    let start_gate = Barrier::new(threads + 1);
+    let drain_gate = Barrier::new(threads);
+    let mut start = None;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rt = rt.clone();
+            let system = Arc::clone(&system);
+            let heads = &heads;
+            let mailboxes = &mailboxes;
+            let start_gate = &start_gate;
+            let drain_gate = &drain_gate;
+            s.spawn(move || {
+                let th = system.register_thread();
+                let head = &heads[t];
+                let inbox = &mailboxes[t];
+                let outbox = &mailboxes[(t + 1) % threads];
+                let mut len = 0usize;
+                let mut pops = 0u64;
+                start_gate.wait();
+                for i in 0..iters {
+                    // Push: allocate a node and link it at the head.
+                    rt.atomically(&th, |tx| {
+                        let node = tx.alloc(NODE_WORDS)?;
+                        let prev = head.get(tx)?;
+                        tx.write(node, prev as usize as u64)?;
+                        tx.write(Addr(node.0 + 1), i)?;
+                        head.set(tx, node.0 as u64)
+                    });
+                    len += 1;
+                    // Pop once the list is full; mostly free in place, but
+                    // donate every n-th node to the neighbor so its free
+                    // crosses arena ownership.
+                    if len > LIST_CAP {
+                        len -= 1;
+                        pops += 1;
+                        let donate = pops.is_multiple_of(DONATE_EVERY);
+                        rt.atomically(&th, |tx| {
+                            let top = head.get(tx)? as usize;
+                            let next = tx.read(Addr(top))?;
+                            head.set(tx, next)?;
+                            if donate && outbox.get(tx)? == NIL {
+                                // Hand the live node over; the neighbor
+                                // frees it.
+                                return outbox.set(tx, top as u64);
+                            }
+                            tx.free(Addr(top), NODE_WORDS)
+                        });
+                    }
+                    // Poll the inbox occasionally and free whatever a
+                    // neighbor donated.
+                    if i % DONATE_EVERY == 7 {
+                        rt.atomically(&th, |tx| {
+                            let a = inbox.get(tx)?;
+                            if a != NIL {
+                                inbox.set(tx, NIL)?;
+                                tx.free(Addr(a as usize), NODE_WORDS)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                }
+                // All donations happen before this barrier, so after it the
+                // mailboxes are quiescent and each worker can drain its own.
+                drain_gate.wait();
+                while len > 0 {
+                    len -= 1;
+                    rt.atomically(&th, |tx| {
+                        let top = head.get(tx)? as usize;
+                        let next = tx.read(Addr(top))?;
+                        head.set(tx, next)?;
+                        tx.free(Addr(top), NODE_WORDS)
+                    });
+                }
+                rt.atomically(&th, |tx| {
+                    let a = inbox.get(tx)?;
+                    if a != NIL {
+                        inbox.set(tx, NIL)?;
+                        tx.free(Addr(a as usize), NODE_WORDS)?;
+                    }
+                    Ok(())
+                });
+            });
+        }
+        // Start the stopwatch *before* releasing the barrier: on a loaded
+        // (or single-core) host the workers can otherwise run to completion
+        // before this thread is rescheduled to read the clock.
+        start = Some(Instant::now());
+        start_gate.wait();
+    });
+    let seconds = start.expect("barrier passed").elapsed().as_secs_f64();
+    assert_eq!(
+        system.heap.allocated_words(),
+        baseline,
+        "{kind} arenas={arenas} shards={shards} {threads}t leaked heap words"
+    );
+    let stats = system.stats();
+    Cell {
+        runtime: kind,
+        arenas,
+        shards,
+        threads,
+        seconds,
+        commits: stats.hw_commits + stats.sw_commits + stats.serial_commits,
+        aborts: stats.total_aborts(),
+        arena_allocs: stats.heap_arena_allocs,
+        refills: stats.heap_global_refills,
+        remote_frees: stats.heap_remote_frees,
+        orec_cas: stats.orec_cas_failures,
+    }
+}
+
+fn check_plane_counters(cell: &Cell) {
+    let tag = format!(
+        "{} arenas={} shards={} {}t",
+        cell.runtime.label(),
+        cell.arenas,
+        cell.shards,
+        cell.threads
+    );
+    if !cell.arenas {
+        assert_eq!(cell.arena_allocs, 0, "{tag}: bare heap served arena allocs");
+        assert_eq!(cell.refills, 0, "{tag}: bare heap recorded refills");
+        assert_eq!(
+            cell.remote_frees, 0,
+            "{tag}: bare heap recorded remote frees"
+        );
+        return;
+    }
+    assert!(cell.arena_allocs > 0, "{tag}: arenas never served an alloc");
+    assert!(
+        cell.refill_ratio() < 0.05,
+        "{tag}: refills {} / arena allocs {} = {:.4} — steady state still hits the global lock",
+        cell.refills,
+        cell.arena_allocs,
+        cell.refill_ratio()
+    );
+    if cell.threads >= 2 {
+        // Donations are guaranteed (iters >> LIST_CAP + DONATE_EVERY) and
+        // every donated node is freed by its recipient, whose arena does
+        // not own the block.
+        assert!(cell.remote_frees > 0, "{tag}: remote-free path never fired");
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| v == "1").unwrap_or(false)
+}
+
+fn main() {
+    let smoke = env_flag("TM_BENCH_SMOKE");
+    let iters: u64 = std::env::var("TM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1000 } else { 10000 });
+    let repeats: usize = std::env::var("TM_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 1 } else { 5 })
+        .max(1);
+    let json_path =
+        std::env::var("TM_BENCH_JSON").unwrap_or_else(|_| "BENCH_memory_plane.json".to_string());
+    let thread_sweep: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut shard_sweep = vec![1, 4, default_orec_shards()];
+    shard_sweep.sort_unstable();
+    shard_sweep.dedup();
+    if smoke {
+        shard_sweep = vec![default_orec_shards()];
+    }
+
+    let mut cells = Vec::new();
+    println!(
+        "{:<10} {:<7} {:>7} {:>8} {:>9} {:>11} {:>8} {:>12} {:>8} {:>12} {:>9}",
+        "runtime",
+        "arenas",
+        "shards",
+        "threads",
+        "seconds",
+        "commits/s",
+        "aborts",
+        "arena_alloc",
+        "refills",
+        "remote_free",
+        "orec_cas"
+    );
+    let mut run = |kind: RuntimeKind, arenas: bool, shards: usize, threads: usize| {
+        // Best-of-N on a fresh system per repeat, damping scheduler noise.
+        let cell = (0..repeats)
+            .map(|_| measure(kind, arenas, shards, threads, iters))
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("at least one repeat");
+        println!(
+            "{:<10} {:<7} {:>7} {:>8} {:>9.4} {:>11.0} {:>8} {:>12} {:>8} {:>12} {:>9}",
+            cell.runtime.label(),
+            cell.arenas,
+            cell.shards,
+            cell.threads,
+            cell.seconds,
+            cell.throughput(),
+            cell.aborts,
+            cell.arena_allocs,
+            cell.refills,
+            cell.remote_frees,
+            cell.orec_cas,
+        );
+        check_plane_counters(&cell);
+        cells.push(cell);
+    };
+
+    // Main sweep: one representative software runtime (the heap plane is
+    // runtime-agnostic; the eager STM allocates on the same path as the
+    // rest), arenas on/off crossed with shard counts and thread counts.
+    for &shards in &shard_sweep {
+        for arenas in [false, true] {
+            for &threads in thread_sweep {
+                run(RuntimeKind::EagerStm, arenas, shards, threads);
+            }
+        }
+    }
+    // Spot check: every other runtime drives the same churn with the plane
+    // fully enabled.
+    for kind in RuntimeKind::ALL {
+        if kind != RuntimeKind::EagerStm {
+            run(
+                kind,
+                true,
+                default_orec_shards(),
+                thread_sweep[thread_sweep.len() - 1],
+            );
+        }
+    }
+
+    // Headline throughput claims on the full run (smoke iteration counts
+    // are too small to time); best-of-N already damps load spikes.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !smoke {
+        for &shards in &shard_sweep {
+            let find = |arenas: bool, threads: usize| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.runtime == RuntimeKind::EagerStm
+                            && c.arenas == arenas
+                            && c.shards == shards
+                            && c.threads == threads
+                    })
+                    .expect("swept cell")
+            };
+            let (off1, on1) = (find(false, 1), find(true, 1));
+            // On one core even best-of-N leaves scheduler noise well above
+            // the arena overhead itself; widen the band there.
+            let tolerance = if cores >= 2 { 1.05 } else { 1.15 };
+            assert!(
+                on1.seconds <= off1.seconds * tolerance,
+                "shards={shards}: arenas cost too much single-threaded ({:.4}s vs {:.4}s)",
+                on1.seconds,
+                off1.seconds
+            );
+            let wide = thread_sweep[thread_sweep.len() - 1];
+            let (off_w, on_w) = (find(false, wide), find(true, wide));
+            if cores >= 2 {
+                assert!(
+                    on_w.throughput() > off_w.throughput(),
+                    "shards={shards}: arenas did not win at {wide} threads ({:.0} vs {:.0} commits/s)",
+                    on_w.throughput(),
+                    off_w.throughput()
+                );
+            } else {
+                // Timesliced workers never contend on the global lock, so
+                // the win has nothing to win against; bound the overhead.
+                assert!(
+                    on_w.throughput() >= off_w.throughput() * 0.85,
+                    "shards={shards}: arenas lost >15% at {wide} threads on one core ({:.0} vs {:.0} commits/s)",
+                    on_w.throughput(),
+                    off_w.throughput()
+                );
+            }
+            println!(
+                "  -> shards={shards}: 1t {:+.1}%, {wide}t {:+.1}% commits/s with arenas on",
+                (on1.throughput() / off1.throughput() - 1.0) * 100.0,
+                (on_w.throughput() / off_w.throughput() - 1.0) * 100.0,
+            );
+        }
+    }
+
+    let report = Value::obj(vec![
+        ("experiment", Value::Str("memory_plane".to_string())),
+        (
+            "description",
+            Value::Str(
+                "alloc-heavy list churn vs per-thread heap arenas and orec shard counts"
+                    .to_string(),
+            ),
+        ),
+        ("iters_per_thread", Value::Num(iters as f64)),
+        ("node_words", Value::Num(NODE_WORDS as f64)),
+        ("list_cap", Value::Num(LIST_CAP as f64)),
+        ("smoke", Value::Bool(smoke)),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("runtime", Value::Str(c.runtime.label().to_string())),
+                            ("arenas", Value::Bool(c.arenas)),
+                            ("shards", Value::Num(c.shards as f64)),
+                            ("threads", Value::Num(c.threads as f64)),
+                            ("seconds", Value::Num(c.seconds)),
+                            ("commits", Value::Num(c.commits as f64)),
+                            ("throughput", Value::Num(c.throughput())),
+                            ("aborts", Value::Num(c.aborts as f64)),
+                            ("arena_allocs", Value::Num(c.arena_allocs as f64)),
+                            ("global_refills", Value::Num(c.refills as f64)),
+                            ("remote_frees", Value::Num(c.remote_frees as f64)),
+                            ("refill_ratio", Value::Num(c.refill_ratio())),
+                            ("orec_cas_failures", Value::Num(c.orec_cas as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, report.pretty()).expect("write JSON report");
+    println!("wrote {json_path}");
+}

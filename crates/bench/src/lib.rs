@@ -31,7 +31,10 @@
 //! (see [`tm_core::FaultConfig::from_env`]): setting any of them layers the
 //! deterministic fault-injection plane under the HTM runtimes for every
 //! trial, and the report gains a `fault_injection` note recording the
-//! configuration.
+//! configuration.  The memory-plane knobs `TM_OREC_SHARDS` and
+//! `TM_HEAP_ARENAS` (see [`tm_core::TmConfig::with_mem_plane_env`]) are
+//! honored the same way, and the report header always records the values
+//! in effect.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,7 +46,7 @@ use condsync::Mechanism;
 use tm_core::{FaultConfig, TmConfig};
 use tm_workloads::loc;
 use tm_workloads::parsec::{KernelParams, ParsecApp, Scale};
-use tm_workloads::pc::{run_pc_configured, run_pc_trials, PcParams};
+use tm_workloads::pc::{run_pc_configured, PcParams};
 use tm_workloads::report::{DataPoint, Report};
 use tm_workloads::runtime::RuntimeKind;
 
@@ -208,23 +211,24 @@ pub fn bounded_buffer_figure(kind: RuntimeKind, opts: &FigureOptions) -> Report 
     if fault.enabled() {
         report.note("fault_injection", format!("{fault:?}"));
     }
+    // Memory-plane knobs: applied to every trial's system and always
+    // recorded, so a report is reproducible without knowing the launch env.
+    let mem_plane = TmConfig::default().with_mem_plane_env();
+    report.note("orec_shards", mem_plane.orec_shards.to_string());
+    report.note("heap_arenas", mem_plane.heap_arenas.to_string());
 
     for &(p, c) in &opts.pc_panels {
         for mechanism in opts.mechanisms_for(kind) {
             for &size in &opts.buffer_sizes {
                 let params = PcParams::new(p, c, size, opts.items, mechanism);
-                let results = if fault.enabled() {
-                    let config = TmConfig {
-                        heap_words: params.heap_words(),
-                        ..TmConfig::default()
-                    }
-                    .with_fault(fault);
-                    (0..opts.trials.max(1))
-                        .map(|_| run_pc_configured(kind, &params, config))
-                        .collect()
-                } else {
-                    run_pc_trials(kind, &params, opts.trials)
-                };
+                let config = TmConfig {
+                    heap_words: params.heap_words(),
+                    ..mem_plane
+                }
+                .with_fault(fault);
+                let results: Vec<_> = (0..opts.trials.max(1))
+                    .map(|_| run_pc_configured(kind, &params, config))
+                    .collect();
                 assert!(
                     results.iter().all(|r| r.checksum_ok),
                     "conservation check failed for {mechanism} p{p}c{c} size {size}"
@@ -255,6 +259,11 @@ pub fn parsec_figure(kind: RuntimeKind, opts: &FigureOptions) -> Report {
     let mut report = Report::new(experiment, "PARSEC-like kernels", kind.label());
     report.note("scale", format!("{:?}", opts.scale));
     report.note("trials", opts.trials.to_string());
+    // The kernels honor the same memory-plane env overrides as the bounded
+    // buffer figure; record them so reports are reproducible from the header.
+    let mem_plane = TmConfig::default().with_mem_plane_env();
+    report.note("orec_shards", mem_plane.orec_shards.to_string());
+    report.note("heap_arenas", mem_plane.heap_arenas.to_string());
 
     for app in ParsecApp::ALL {
         for mechanism in opts.mechanisms_for(kind) {

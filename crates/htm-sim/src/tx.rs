@@ -184,7 +184,10 @@ impl<'rt> HtmTx<'rt> {
             }
         }
         for &(addr, words) in &self.mallocs {
-            self.rt.system().heap.dealloc(addr, words);
+            self.rt
+                .system()
+                .heap
+                .dealloc_for(&self.common.thread, addr, words);
         }
         self.mallocs.clear();
         self.frees.clear();
@@ -315,7 +318,7 @@ impl<'rt> HtmTx<'rt> {
                 write_slots.clear();
                 redo.clear();
                 for &(addr, words) in &self.frees {
-                    system.heap.dealloc(addr, words);
+                    system.heap.dealloc_for(&self.common.thread, addr, words);
                 }
                 self.mallocs.clear();
                 self.frees.clear();
@@ -325,7 +328,7 @@ impl<'rt> HtmTx<'rt> {
                 let was_writer = !undo.is_empty();
                 undo.clear();
                 for &(addr, words) in &self.frees {
-                    system.heap.dealloc(addr, words);
+                    system.heap.dealloc_for(&self.common.thread, addr, words);
                 }
                 self.mallocs.clear();
                 self.frees.clear();
@@ -484,7 +487,7 @@ impl Tx for HtmTx<'_> {
     }
 
     fn alloc(&mut self, words: usize) -> TxResult<Addr> {
-        match self.rt.system().heap.alloc(words) {
+        match self.rt.system().heap.alloc_for(&self.common.thread, words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
                 Ok(addr)

@@ -252,7 +252,9 @@ impl EagerTx {
             self.system.clock.rollback_bump(&self.common.thread.stats);
         }
         for &(addr, words) in &self.mallocs {
-            self.system.heap.dealloc(addr, words);
+            self.system
+                .heap
+                .dealloc_for(&self.common.thread, addr, words);
         }
         self.reset_logs();
         self.common.thread.exit_tx();
@@ -286,7 +288,9 @@ impl EagerTx {
                 TxStats::bump(&self.common.thread.stats.ro_fast_commits);
             }
             for &(addr, words) in &self.frees {
-                self.system.heap.dealloc(addr, words);
+                self.system
+                    .heap
+                    .dealloc_for(&self.common.thread, addr, words);
             }
             self.reset_logs();
             self.common.thread.exit_tx();
@@ -329,7 +333,9 @@ impl EagerTx {
         }
         // Finalize deferred frees; allocations simply survive.
         for &(addr, words) in &self.frees {
-            self.system.heap.dealloc(addr, words);
+            self.system
+                .heap
+                .dealloc_for(&self.common.thread, addr, words);
         }
         self.reset_logs();
         // Publish the commit epoch only now that every lock is released and
@@ -507,7 +513,7 @@ impl Tx for EagerTx {
         if self.snapshot {
             return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
         }
-        match self.system.heap.alloc(words) {
+        match self.system.heap.alloc_for(&self.common.thread, words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
                 Ok(addr)

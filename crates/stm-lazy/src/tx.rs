@@ -258,7 +258,9 @@ impl LazyTx {
             return;
         }
         for &(addr, words) in &self.mallocs {
-            self.system.heap.dealloc(addr, words);
+            self.system
+                .heap
+                .dealloc_for(&self.common.thread, addr, words);
         }
         self.reset_logs();
         self.common.thread.exit_tx();
@@ -277,7 +279,9 @@ impl LazyTx {
                 TxStats::bump(&self.common.thread.stats.ro_fast_commits);
             }
             for &(addr, words) in &self.frees {
-                self.system.heap.dealloc(addr, words);
+                self.system
+                    .heap
+                    .dealloc_for(&self.common.thread, addr, words);
             }
             self.reset_logs();
             self.common.thread.exit_tx();
@@ -386,7 +390,9 @@ impl LazyTx {
         // Success path only: copy the cover out for the outcome.
         let write_orecs = write_orecs.to_vec();
         for &(addr, words) in &self.frees {
-            self.system.heap.dealloc(addr, words);
+            self.system
+                .heap
+                .dealloc_for(&self.common.thread, addr, words);
         }
         self.reset_logs();
         // Publish the commit epoch only now that the write-back is visible
@@ -526,7 +532,7 @@ impl Tx for LazyTx {
         if self.snapshot {
             return Err(TxCtl::Abort(AbortReason::ReadOnlyWrite));
         }
-        match self.system.heap.alloc(words) {
+        match self.system.heap.alloc_for(&self.common.thread, words) {
             Some(addr) => {
                 self.mallocs.push((addr, words));
                 Ok(addr)

@@ -192,13 +192,36 @@ impl Default for TimerConfig {
     }
 }
 
+/// Default shard count for the ownership-record plane: the machine's
+/// available parallelism rounded up to a power of two, clamped to 64 so a
+/// huge core count cannot dwarf a small table.
+pub fn default_orec_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(64)
+}
+
 /// Configuration for a [`crate::system::TmSystem`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TmConfig {
     /// Number of 64-bit words in the transactional heap.
     pub heap_words: usize,
-    /// Number of ownership records (rounded up to a power of two).
+    /// Number of ownership records (rounded up to a power of two by
+    /// [`crate::orec::OrecTable::new`]).
     pub orec_count: usize,
+    /// Number of shards the ownership-record table is split into (rounded up
+    /// to a power of two and clamped to the table size).  Each shard is its
+    /// own heap allocation, so on a NUMA machine first-touch places shards
+    /// across nodes instead of landing the whole table on one.  Stripe
+    /// indices remain stable global ids regardless of the shard count.
+    pub orec_shards: usize,
+    /// Whether threads get per-thread arena front-ends over the global heap
+    /// allocator (see [`crate::heap::TmHeap`]).  On by default; arenas are a
+    /// performance lever only — alloc/free semantics and exhaustion behavior
+    /// are identical either way.
+    pub heap_arenas: bool,
     /// Number of shards in the address-indexed waiter registry (rounded up
     /// to a power of two).  Ownership-record stripes map onto shards by
     /// masking; more shards mean finer wake targeting at the cost of more
@@ -241,6 +264,8 @@ impl Default for TmConfig {
         TmConfig {
             heap_words: 1 << 20,
             orec_count: 1 << 16,
+            orec_shards: default_orec_shards(),
+            heap_arenas: true,
             wake_shards: 256,
             quiescence: true,
             htm: HtmConfig::default(),
@@ -262,6 +287,10 @@ impl TmConfig {
         TmConfig {
             heap_words: 1 << 12,
             orec_count: 1 << 8,
+            // A fixed small shard count so unit tests do not depend on the
+            // host's core count.
+            orec_shards: 2,
+            heap_arenas: true,
             wake_shards: 64,
             quiescence: true,
             htm: HtmConfig::default(),
@@ -344,6 +373,51 @@ impl TmConfig {
         self.max_threads = max_threads;
         self
     }
+
+    /// Overrides the ownership-record shard count.
+    pub fn with_orec_shards(mut self, shards: usize) -> Self {
+        self.orec_shards = shards;
+        self
+    }
+
+    /// Enables or disables the per-thread heap arena front-ends.
+    pub fn with_heap_arenas(mut self, arenas: bool) -> Self {
+        self.heap_arenas = arenas;
+        self
+    }
+
+    /// Applies the memory-plane environment overrides `TM_OREC_SHARDS` and
+    /// `TM_HEAP_ARENAS` (unset or unparsable variables leave the
+    /// configuration untouched), the same shape as [`FaultConfig::from_env`]:
+    /// soak and figure jobs flip the knobs without recompiling.
+    ///
+    /// `TM_HEAP_ARENAS` accepts `1`/`true`/`on` and `0`/`false`/`off`.
+    pub fn with_mem_plane_env(mut self) -> Self {
+        if let Some(shards) = std::env::var("TM_OREC_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            self.orec_shards = shards;
+        }
+        if let Some(arenas) = std::env::var("TM_HEAP_ARENAS").ok().and_then(|v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "1" | "true" | "on" => Some(true),
+                "0" | "false" | "off" => Some(false),
+                _ => None,
+            }
+        }) {
+            self.heap_arenas = arenas;
+        }
+        self
+    }
+
+    /// Builds the default configuration with every environment override
+    /// applied: the memory-plane knobs plus [`FaultConfig::from_env`].
+    pub fn from_env() -> Self {
+        TmConfig::default()
+            .with_mem_plane_env()
+            .with_fault(FaultConfig::from_env())
+    }
 }
 
 #[cfg(test)]
@@ -354,7 +428,18 @@ mod tests {
     fn defaults_are_reasonable() {
         let c = TmConfig::default();
         assert!(c.heap_words >= 1 << 16);
-        assert!(c.orec_count.is_power_of_two() || c.orec_count > 0);
+        // The default must already be a power of two: `OrecTable::new`
+        // rounds odd counts up, but the shipped default should not rely on
+        // that (the old `|| c.orec_count > 0` disjunct made this vacuous).
+        assert!(c.orec_count.is_power_of_two());
+        assert!(c.orec_shards >= 1);
+        assert!(c.orec_shards.is_power_of_two());
+        assert!(c.heap_arenas, "arenas are the production default");
+        assert_eq!(
+            TmConfig::small().orec_shards,
+            2,
+            "tests get a fixed shard count, not the host's core count"
+        );
         assert!(c.quiescence);
         assert_eq!(c.htm.max_attempts, 2);
         assert_eq!(c.clock, ClockMode::LazyGv5, "lazy clock is the default");
@@ -401,7 +486,11 @@ mod tests {
                 spurious_per_64k: 100,
                 ..FaultConfig::default()
             })
-            .with_max_threads(8);
+            .with_max_threads(8)
+            .with_orec_shards(4)
+            .with_heap_arenas(false);
+        assert_eq!(c.orec_shards, 4);
+        assert!(!c.heap_arenas);
         assert!(!c.quiescence);
         assert!(c.fault.enabled());
         assert_eq!(c.fault.seed, 7);
@@ -446,6 +535,13 @@ mod tests {
             ..FaultConfig::default()
         }
         .enabled());
+    }
+
+    #[test]
+    fn default_shard_count_is_a_clamped_power_of_two() {
+        let s = default_orec_shards();
+        assert!(s.is_power_of_two());
+        assert!((1..=64).contains(&s));
     }
 
     #[test]

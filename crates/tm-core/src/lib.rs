@@ -78,7 +78,9 @@ pub mod waitlist;
 pub use access::{IndexSet, LogPool, ReadEntry, ReadSet, WriteEntry, WriteLog};
 pub use addr::{Addr, LineId, LINE_WORDS};
 pub use clock::{ClockMode, ClockPlane, CommitStamp, GlobalClock};
-pub use config::{BackoffConfig, FaultConfig, HtmConfig, SnapshotMode, TimerConfig, TmConfig};
+pub use config::{
+    default_orec_shards, BackoffConfig, FaultConfig, HtmConfig, SnapshotMode, TimerConfig, TmConfig,
+};
 pub use ctl::{AbortReason, PredFn, TxCtl, TxResult, WaitCondition, WaitSpec};
 pub use driver::{CommitOutcome, TxEngine};
 pub use epoch::{EpochSlot, EpochTable};

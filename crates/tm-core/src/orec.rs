@@ -95,6 +95,34 @@ impl OrecValue {
     }
 }
 
+/// One shard of the ownership-record plane: an independently heap-allocated
+/// slice of padded lock words plus its own CAS-failure counter.
+///
+/// Separate allocations are the point of sharding: with one flat 4MB box the
+/// whole plane is first-touched (and on a NUMA machine physically placed) by
+/// whichever thread constructs the system.  Per-shard boxes let the allocator
+/// spread them, and give each shard a private contention counter that does
+/// not bounce between shards.
+#[derive(Debug)]
+struct OrecShard {
+    slots: Box<[CachePadded<AtomicU64>]>,
+    /// Failed `cas` attempts on this shard's stripes — the direct measure of
+    /// lock-word contention the memory-plane report surfaces.
+    cas_failures: CachePadded<AtomicU64>,
+}
+
+impl OrecShard {
+    fn new(slots: usize) -> Self {
+        OrecShard {
+            slots: (0..slots)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cas_failures: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+}
+
 /// The global table of ownership records, indexed by a hash of the address.
 ///
 /// Entries are cache-line padded: a stripe's lock word is CAS-hammered by
@@ -102,34 +130,82 @@ impl OrecValue {
 /// one line, so transactions on completely disjoint data still ping-pong
 /// that line between cores ("false conflicts at the coherence level", as
 /// opposed to the hash-collision kind).
+///
+/// The table is split into power-of-two `OrecShard`s, each its own heap
+/// allocation.  A global stripe index `idx` maps to shard `idx & shard_mask`
+/// and slot `idx >> shard_bits`; every public operation still speaks global
+/// indices, so read/write covers, waitlist shard targeting and `line_cover`
+/// coupling are byte-for-byte what they were with the flat table.
 #[derive(Debug)]
 pub struct OrecTable {
-    orecs: Box<[CachePadded<AtomicU64>]>,
+    shards: Box<[OrecShard]>,
+    /// `shard_count - 1`; low bits of a global index select the shard, so
+    /// hash-adjacent stripes land on different shards.
+    shard_mask: usize,
+    /// `log2(shard_count)`; high bits of a global index select the slot.
+    shard_bits: u32,
     mask: usize,
 }
 
 impl OrecTable {
-    /// Creates a table with `size` entries; `size` is rounded up to a power of
-    /// two so indexing can use a mask.
+    /// Creates a table with `size` entries and the default shard count;
+    /// `size` is rounded up to a power of two so indexing can use a mask.
     pub fn new(size: usize) -> Self {
+        Self::new_sharded(size, crate::config::default_orec_shards())
+    }
+
+    /// Creates a table with `size` entries split into `shards` shards.  Both
+    /// are rounded up to powers of two, and the shard count is clamped so
+    /// every shard holds at least one slot.
+    pub fn new_sharded(size: usize, shards: usize) -> Self {
         let size = size.next_power_of_two().max(2);
-        let orecs = (0..size)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
-            .collect::<Vec<_>>();
+        let shards = shards.next_power_of_two().clamp(1, size);
+        let shard_bits = shards.trailing_zeros();
+        let slots_per_shard = size / shards;
+        let shards = (0..shards)
+            .map(|_| OrecShard::new(slots_per_shard))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         OrecTable {
-            orecs: orecs.into_boxed_slice(),
+            shard_mask: shards.len() - 1,
+            shard_bits,
+            shards,
             mask: size - 1,
         }
     }
 
+    /// The slot holding the orec at global index `idx`.
+    #[inline]
+    fn slot(&self, idx: usize) -> &CachePadded<AtomicU64> {
+        &self.shards[idx & self.shard_mask].slots[idx >> self.shard_bits]
+    }
+
     /// Number of entries in the table.
     pub fn len(&self) -> usize {
-        self.orecs.len()
+        (self.shard_mask + 1) * self.shards[0].slots.len()
     }
 
     /// True if the table has no entries (never the case in practice).
     pub fn is_empty(&self) -> bool {
-        self.orecs.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of shards the table is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Failed `cas` attempts on shard `shard` (contention telemetry).
+    pub fn shard_cas_failures(&self, shard: usize) -> u64 {
+        self.shards[shard].cas_failures.load(Ordering::Relaxed)
+    }
+
+    /// Failed `cas` attempts summed over every shard.
+    pub fn cas_failure_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.cas_failures.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Maps an address to its orec index (`hash(addr)` in the paper).
@@ -168,16 +244,22 @@ impl OrecTable {
     /// Atomically reads the orec at table index `idx`.
     #[inline]
     pub fn load(&self, idx: usize) -> OrecValue {
-        OrecValue(self.orecs[idx].load(Ordering::Acquire))
+        OrecValue(self.slot(idx).load(Ordering::Acquire))
     }
 
     /// Attempts to atomically transition the orec at `idx` from `old` to
-    /// `new`; returns `true` on success.
+    /// `new`; returns `true` on success.  A failed attempt bumps the shard's
+    /// contention counter.
     #[inline]
     pub fn cas(&self, idx: usize, old: OrecValue, new: OrecValue) -> bool {
-        self.orecs[idx]
+        let shard = &self.shards[idx & self.shard_mask];
+        let ok = shard.slots[idx >> self.shard_bits]
             .compare_exchange(old.0, new.0, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+            .is_ok();
+        if !ok {
+            shard.cas_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
     }
 
     /// Unconditionally stores a new orec value at `idx`.
@@ -185,7 +267,7 @@ impl OrecTable {
     /// Only the lock owner may do this (release on commit/abort).
     #[inline]
     pub fn store(&self, idx: usize, val: OrecValue) {
-        self.orecs[idx].store(val.0, Ordering::Release);
+        self.slot(idx).store(val.0, Ordering::Release);
     }
 }
 
@@ -270,11 +352,86 @@ mod tests {
     #[test]
     fn table_entries_do_not_share_cache_lines() {
         use crate::pad::CACHE_LINE_BYTES;
-        let t = OrecTable::new(4);
-        let base = t.orecs.as_ptr() as usize;
-        assert_eq!(base % CACHE_LINE_BYTES, 0);
+        let t = OrecTable::new_sharded(8, 2);
+        for shard in &t.shards {
+            let base = shard.slots.as_ptr() as usize;
+            assert_eq!(base % CACHE_LINE_BYTES, 0);
+        }
         let stride = std::mem::size_of::<CachePadded<AtomicU64>>();
         assert!(stride >= CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn shards_are_separate_allocations_and_partition_the_table() {
+        let t = OrecTable::new_sharded(64, 4);
+        assert_eq!(t.shard_count(), 4);
+        assert_eq!(t.len(), 64);
+        // Distinct boxes: shard base pointers differ (separate allocations,
+        // so a NUMA first-touch policy can place them independently).
+        let bases: Vec<usize> = t.shards.iter().map(|s| s.slots.as_ptr() as usize).collect();
+        for (i, a) in bases.iter().enumerate() {
+            for b in &bases[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Every global index maps to exactly one (shard, slot) pair.
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..t.len() {
+            let pair = (idx & t.shard_mask, idx >> t.shard_bits);
+            assert!(pair.0 < 4 && pair.1 < 16);
+            assert!(seen.insert(pair), "index {idx} collided");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_and_rounded() {
+        assert_eq!(OrecTable::new_sharded(16, 1).shard_count(), 1);
+        assert_eq!(OrecTable::new_sharded(16, 3).shard_count(), 4);
+        // More shards than slots: clamp so every shard holds >= 1 slot.
+        assert_eq!(OrecTable::new_sharded(4, 64).shard_count(), 4);
+        assert_eq!(OrecTable::new_sharded(4, 64).len(), 4);
+    }
+
+    #[test]
+    fn global_indices_are_stable_across_shard_counts() {
+        // The public stripe id of an address must not depend on how the
+        // plane is sharded: waitlist targeting and line covers are keyed by
+        // these ids, and a resharded system must agree with itself.
+        let flat = OrecTable::new_sharded(4096, 1);
+        let split = OrecTable::new_sharded(4096, 8);
+        for i in 0..10_000 {
+            assert_eq!(flat.index_for(Addr(i)), split.index_for(Addr(i)));
+        }
+        let line = Addr(128).line();
+        assert!(flat.line_indices(line).eq(split.line_indices(line)));
+    }
+
+    #[test]
+    fn values_survive_the_shard_slot_mapping() {
+        // Store through one index, read it back, and make sure no other
+        // index aliases onto the same slot.
+        let t = OrecTable::new_sharded(32, 4);
+        for idx in 0..t.len() {
+            t.store(idx, OrecValue::unlocked(idx as u64 + 1));
+        }
+        for idx in 0..t.len() {
+            assert_eq!(t.load(idx).version(), idx as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn failed_cas_bumps_the_shard_contention_counter() {
+        let t = OrecTable::new_sharded(16, 2);
+        let idx = 3;
+        let before = t.load(idx);
+        assert_eq!(t.cas_failure_total(), 0);
+        // A successful CAS is not contention.
+        assert!(t.cas(idx, before, OrecValue::locked(before.version(), 1)));
+        assert_eq!(t.cas_failure_total(), 0);
+        // A stale-snapshot CAS is.
+        assert!(!t.cas(idx, before, OrecValue::locked(before.version(), 2)));
+        assert_eq!(t.cas_failure_total(), 1);
+        assert_eq!(t.shard_cas_failures(idx & t.shard_mask), 1);
     }
 
     #[test]

@@ -222,7 +222,7 @@ impl SerialAttempt {
     /// Allocates `words` heap words, undone on rollback.  `None` when the
     /// allocator is exhausted (the caller converts that to `OutOfMemory`).
     pub fn alloc(&mut self, words: usize) -> Option<Addr> {
-        let addr = self.system.heap.alloc(words)?;
+        let addr = self.system.heap.alloc_for(&self.thread, words)?;
         self.mallocs.push((addr, words));
         Some(addr)
     }
@@ -252,7 +252,7 @@ impl SerialAttempt {
         }
         self.undo.clear();
         for &(addr, words) in &self.mallocs {
-            self.system.heap.dealloc(addr, words);
+            self.system.heap.dealloc_for(&self.thread, addr, words);
         }
         self.mallocs.clear();
         self.frees.clear();
@@ -267,7 +267,7 @@ impl SerialAttempt {
         let was_writer = !self.undo.is_empty();
         self.undo.clear();
         for &(addr, words) in &self.frees {
-            self.system.heap.dealloc(addr, words);
+            self.system.heap.dealloc_for(&self.thread, addr, words);
         }
         self.mallocs.clear();
         self.frees.clear();

@@ -293,6 +293,22 @@ stats_fields! {
     /// begin snapshot (at the first read, or after an `Extend`-mode cover
     /// re-check) instead of aborting.
     snapshot_refreshes,
+    /// Transactional allocations served mutex-free from the thread's own
+    /// arena bins (no global allocator lock taken).
+    heap_arena_allocs,
+    /// Arena refills that took the global allocator lock to carve a batch of
+    /// blocks.  Steady-state churn should keep `heap_global_refills /
+    /// heap_arena_allocs` tiny — that ratio is the arena plane's whole
+    /// point, and the `memory_plane` bench asserts it.
+    heap_global_refills,
+    /// Frees of a block owned by *another* thread's arena, pushed onto the
+    /// owner's lock-free remote-free stack instead of the global allocator.
+    heap_remote_frees,
+    /// Failed compare-and-swaps on ownership-record stripes, summed over the
+    /// shards of the orec plane.  Per-thread copies stay zero; the system
+    /// overlays the shard counters when aggregating (see
+    /// `TmSystem::stats`).
+    orec_cas_failures,
     }
     maxima {
     /// Largest read set any single attempt built: distinct addresses on the
@@ -490,6 +506,29 @@ mod tests {
         assert!(pairs.contains(&("ro_fast_commits", 1)));
         assert!(pairs.contains(&("ro_upgrades", 1)));
         assert!(pairs.contains(&("snapshot_refreshes", 2)));
+    }
+
+    #[test]
+    fn memory_plane_counters_round_trip() {
+        let s = TxStats::default();
+        TxStats::bump(&s.heap_arena_allocs);
+        TxStats::bump(&s.heap_global_refills);
+        TxStats::add(&s.heap_remote_frees, 2);
+        let snap = s.snapshot();
+        assert_eq!(
+            (
+                snap.heap_arena_allocs,
+                snap.heap_global_refills,
+                snap.heap_remote_frees,
+                snap.orec_cas_failures,
+            ),
+            (1, 1, 2, 0)
+        );
+        let pairs = snap.as_pairs();
+        assert!(pairs.contains(&("heap_arena_allocs", 1)));
+        assert!(pairs.contains(&("heap_global_refills", 1)));
+        assert!(pairs.contains(&("heap_remote_frees", 2)));
+        assert!(pairs.contains(&("orec_cas_failures", 0)));
     }
 
     #[test]

@@ -69,8 +69,12 @@ impl TmSystem {
     pub fn with_policy(config: TmConfig, policy: Box<dyn ContentionManager>) -> Arc<Self> {
         let epochs = Arc::new(EpochTable::new(config.max_threads));
         Arc::new(TmSystem {
-            heap: TmHeap::new(config.heap_words),
-            orecs: OrecTable::new(config.orec_count),
+            heap: if config.heap_arenas {
+                TmHeap::with_arenas(config.heap_words, config.max_threads)
+            } else {
+                TmHeap::new(config.heap_words)
+            },
+            orecs: OrecTable::new_sharded(config.orec_count, config.orec_shards),
             clock: GlobalClock::for_system(config.clock, Arc::clone(&epochs)),
             threads: ThreadRegistry::with_epochs(Arc::clone(&epochs)),
             waiters: WaitList::new(config.wake_shards),
@@ -137,9 +141,13 @@ impl TmSystem {
         }
     }
 
-    /// Aggregated statistics across all registered threads.
+    /// Aggregated statistics across all registered threads, overlaid with
+    /// the system-owned memory-plane counters (orec CAS failures live on
+    /// the shards, not in any thread's context).
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
-        self.threads.aggregate_stats()
+        let mut snap = self.threads.aggregate_stats();
+        snap.orec_cas_failures = self.orecs.cas_failure_total();
+        snap
     }
 }
 
@@ -160,6 +168,28 @@ mod tests {
         assert_eq!(s.timers.slot_count(), TmConfig::small().timer.slots);
         assert!(!s.serial.held());
         assert_eq!(s.policy().name(), "fixed");
+        assert_eq!(s.orecs.shard_count(), TmConfig::small().orec_shards);
+        assert!(s.heap.has_arenas());
+        let bare = TmSystem::new(
+            TmConfig::small()
+                .with_heap_arenas(false)
+                .with_orec_shards(8),
+        );
+        assert!(!bare.heap.has_arenas());
+        assert_eq!(bare.orecs.shard_count(), 8);
+    }
+
+    #[test]
+    fn stats_overlay_the_orec_contention_counters() {
+        use crate::orec::OrecValue;
+        let s = TmSystem::new(TmConfig::small());
+        let _th = s.register_thread();
+        let idx = s.orecs.index_for(Addr(7));
+        let cur = s.orecs.load(idx);
+        assert!(!s
+            .orecs
+            .cas(idx, OrecValue::unlocked(cur.version() + 9), cur));
+        assert_eq!(s.stats().orec_cas_failures, 1);
     }
 
     #[test]

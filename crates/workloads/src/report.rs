@@ -169,6 +169,7 @@ impl Panel {
         out.push_str(&self.render_hw_plane_stats());
         out.push_str(&self.render_clock_stats());
         out.push_str(&self.render_snapshot_stats());
+        out.push_str(&self.render_memory_plane_stats());
         out.push_str(&self.render_latency_stats());
         out
     }
@@ -349,6 +350,37 @@ impl Panel {
                 stats.ro_fast_commits,
                 stats.ro_upgrades,
                 stats.snapshot_refreshes,
+            );
+        }
+        out
+    }
+
+    /// One line per mechanism summarising the core-local memory plane:
+    /// mutex-free arena allocations versus global refills, remote (cross-
+    /// thread) frees, and failed CASes on the sharded ownership-record
+    /// table.  Empty when no series touched the plane.
+    pub fn render_memory_plane_stats(&self) -> String {
+        let mut out = String::new();
+        for s in &self.series {
+            let stats = s
+                .points
+                .iter()
+                .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
+            if stats.heap_arena_allocs == 0
+                && stats.heap_global_refills == 0
+                && stats.heap_remote_frees == 0
+                && stats.orec_cas_failures == 0
+            {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "# memory-plane {:>10}: arena allocs {:>8}  global refills {:>8}  remote frees {:>8}  orec cas failures {:>8}",
+                s.mechanism.label(),
+                stats.heap_arena_allocs,
+                stats.heap_global_refills,
+                stats.heap_remote_frees,
+                stats.orec_cas_failures,
             );
         }
         out
@@ -900,6 +932,33 @@ mod tests {
         assert!(
             !text.contains("snapshot   Pthreads"),
             "series without snapshot work stay out of the block"
+        );
+    }
+
+    #[test]
+    fn memory_plane_stats_render_only_when_the_plane_was_touched() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        panel.series_mut(Mechanism::Pthreads).push(point(4, 1.0));
+        assert!(
+            panel.render_memory_plane_stats().is_empty(),
+            "no arena or orec work, no memory-plane line"
+        );
+
+        let mut with_mem = point(4, 1.0);
+        with_mem.stats.heap_arena_allocs = 640;
+        with_mem.stats.heap_global_refills = 9;
+        with_mem.stats.heap_remote_frees = 17;
+        with_mem.stats.orec_cas_failures = 3;
+        panel.series_mut(Mechanism::Retry).push(with_mem);
+        let text = panel.render();
+        assert!(text.contains("# memory-plane"));
+        assert!(text.contains("arena allocs      640"));
+        assert!(text.contains("global refills        9"));
+        assert!(text.contains("remote frees       17"));
+        assert!(text.contains("orec cas failures        3"));
+        assert!(
+            !text.contains("memory-plane   Pthreads"),
+            "series without memory-plane work stay out of the block"
         );
     }
 
