@@ -128,7 +128,16 @@ where
                     } else {
                         &thread.stats.update_tx_latency
                     };
-                    hist.record(started.elapsed().as_nanos() as u64);
+                    let elapsed_nanos = started.elapsed().as_nanos() as u64;
+                    hist.record(elapsed_nanos);
+                    if let Some(class) = thread.op_class() {
+                        // Workload-declared operation class: the same
+                        // whole-operation latency (retries, backoff and
+                        // upgrades included) also lands in the class's own
+                        // histogram, so reports can show tail latency per
+                        // get/put/delete/scan rather than per commit kind.
+                        thread.stats.op_histogram(class).record(elapsed_nanos);
+                    }
                     if outcome.was_writer {
                         // Post-commit wake-ups: the paper's value-based
                         // mechanism, targeted at the shards covering the

@@ -136,7 +136,16 @@ pub fn deschedule_until(
         _ => false,
     };
 
+    // The double-check is transactional bookkeeping of the wait protocol,
+    // not an operation of its own: suspend any workload-declared operation
+    // class so its commit does not add a second entry to the operation's
+    // latency histogram.
+    let op_class = thread.op_class();
+    thread.clear_op_class();
     let established = rt.exec_bool(thread, &mut |tx| waiter.condition.should_wake(tx));
+    if let Some(class) = op_class {
+        thread.set_op_class(class);
+    }
     if established {
         // Claim our own wake-up so a concurrent writer does not also signal
         // us; if the writer won the race the permit simply goes unused
@@ -226,6 +235,11 @@ pub fn wake_waiters_matching(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>, wake: 
     let plan = system.waiters.scan(wake);
     TxStats::add(&thread.stats.wake_shard_scans, plan.shards_scanned as u64);
     TxStats::add(&thread.stats.wake_shard_skips, plan.shards_skipped as u64);
+    // Wake-check transactions run on the committer's thread but are not
+    // part of the workload operation that committed: suspend any declared
+    // operation class so each operation records exactly one latency entry.
+    let op_class = thread.op_class();
+    thread.clear_op_class();
     for waiter in plan.waiters {
         if !waiter.is_asleep() {
             continue;
@@ -236,6 +250,9 @@ pub fn wake_waiters_matching(rt: &dyn TmRuntime, thread: &Arc<ThreadCtx>, wake: 
             waiter.sem.post();
             TxStats::bump(&thread.stats.wakeups);
         }
+    }
+    if let Some(class) = op_class {
+        thread.set_op_class(class);
     }
 }
 

@@ -92,7 +92,7 @@ pub use policy::{CmAction, CmEvent, CmHistory, ContentionManager, PolicyKind};
 pub use runtime::{TmRt, TmRuntime};
 pub use sem::Semaphore;
 pub use serial::{subscribe_begin, SerialAttempt, SerialGate};
-pub use stats::{LatencyHistogram, LatencySnapshot, StatsSnapshot, TxStats};
+pub use stats::{LatencyHistogram, LatencySnapshot, OpClass, StatsSnapshot, TxStats};
 pub use system::TmSystem;
 pub use thread::{ThreadCtx, ThreadId, ThreadRegistry};
 pub use timer::{TimerPoll, TimerWheel};

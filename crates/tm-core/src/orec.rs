@@ -235,6 +235,35 @@ impl OrecTable {
         (0..LINE_WORDS).map(move |i| self.index_for(base.offset(i)))
     }
 
+    /// Selects up to `want` addresses from `candidates` whose orec stripes
+    /// are pairwise distinct, preserving candidate order.
+    ///
+    /// Orec-cover helper for containers that co-design their layout with
+    /// this table: hot per-container metadata words (e.g. a striped map's
+    /// occupancy counters) are picked from an over-allocated block so that
+    /// no two of them share a stripe, and therefore no two independent
+    /// writers ever CAS the same ownership record.  Returns fewer than
+    /// `want` addresses when the candidate set cannot cover that many
+    /// distinct stripes (callers top up from the unused candidates).
+    pub fn select_distinct_stripes<I>(&self, candidates: I, want: usize) -> Vec<Addr>
+    where
+        I: IntoIterator<Item = Addr>,
+    {
+        let mut picked = Vec::with_capacity(want);
+        let mut stripes = Vec::with_capacity(want);
+        for addr in candidates {
+            if picked.len() == want {
+                break;
+            }
+            let stripe = self.index_for(addr);
+            if !stripes.contains(&stripe) {
+                stripes.push(stripe);
+                picked.push(addr);
+            }
+        }
+        picked
+    }
+
     /// Atomically reads the orec for `addr`.
     #[inline]
     pub fn load_for(&self, addr: Addr) -> OrecValue {
@@ -441,5 +470,25 @@ mod tests {
         let l = OrecValue::locked(1 << 40, 100);
         assert_eq!(l.version(), 1 << 40);
         assert_eq!(l.owner(), Some(100));
+    }
+
+    #[test]
+    fn select_distinct_stripes_never_reuses_a_stripe() {
+        let t = OrecTable::new_sharded(64, 4);
+        let candidates: Vec<Addr> = (0..256).map(Addr).collect();
+        let picked = t.select_distinct_stripes(candidates.iter().copied(), 8);
+        assert_eq!(picked.len(), 8, "plenty of candidates for 8 stripes");
+        let stripes: Vec<usize> = picked.iter().map(|&a| t.index_for(a)).collect();
+        for (i, s) in stripes.iter().enumerate() {
+            assert!(
+                !stripes[i + 1..].contains(s),
+                "stripe {s} selected twice in {stripes:?}"
+            );
+        }
+        // Asking for more stripes than the table has comes up short instead
+        // of looping forever.
+        let tiny = OrecTable::new_sharded(2, 1);
+        let picked = tiny.select_distinct_stripes(candidates.iter().copied(), 8);
+        assert!(picked.len() <= 2);
     }
 }

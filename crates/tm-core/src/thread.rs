@@ -7,7 +7,7 @@
 //! scans), and the "doomed" flag through which the HTM simulator delivers
 //! asynchronous conflict aborts.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::access::{IndexSet, LogPool, ReadSet, Taken, WriteLog};
@@ -16,7 +16,7 @@ use crate::lock::RwLock;
 use crate::pad::CachePadded;
 
 use crate::sem::Semaphore;
-use crate::stats::TxStats;
+use crate::stats::{OpClass, TxStats};
 
 /// Identifier of a registered thread (dense, starting from 0).
 pub type ThreadId = usize;
@@ -65,6 +65,11 @@ pub struct ThreadCtx {
     /// thread id.  Owner-only (replaces the driver's old process-global
     /// seed atomic, which was a shared hot line).
     backoff_rng: CachePadded<AtomicU64>,
+    /// Workload-declared [`OpClass`] tag of the operation this thread is
+    /// currently running (0 = none).  Owner-written around each operation
+    /// and owner-read by the driver at commit, but padded so the store/load
+    /// traffic never dirties a neighbour's line.
+    op_class: CachePadded<AtomicU8>,
 }
 
 impl ThreadCtx {
@@ -80,7 +85,29 @@ impl ThreadCtx {
             // maps nothing to 0 except one input; or-in a bit so xorshift
             // (which fixes 0) always starts live.
             backoff_rng: CachePadded::new(AtomicU64::new(splitmix64(id as u64 + 1) | 1)),
+            op_class: CachePadded::new(AtomicU8::new(0)),
         }
+    }
+
+    /// Declares the operation class of the transactions this thread is about
+    /// to run; the driver routes their commit latency into the class's
+    /// histogram until [`clear_op_class`](Self::clear_op_class).
+    #[inline]
+    pub fn set_op_class(&self, class: OpClass) {
+        self.op_class.store(class.tag(), Ordering::Relaxed);
+    }
+
+    /// Clears the operation-class tag (latency goes only to the commit-class
+    /// histograms again).
+    #[inline]
+    pub fn clear_op_class(&self) {
+        self.op_class.store(0, Ordering::Relaxed);
+    }
+
+    /// The operation class currently declared on this thread, if any.
+    #[inline]
+    pub fn op_class(&self) -> Option<OpClass> {
+        OpClass::from_tag(self.op_class.load(Ordering::Relaxed))
     }
 
     /// This thread's padded epoch-table slot.

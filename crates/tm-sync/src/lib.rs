@@ -10,6 +10,11 @@
 //! The remaining structures (counter, queue, stack, barrier) are the building
 //! blocks of the PARSEC-like synthetic kernels in the `tm-workloads` crate.
 //!
+//! The KV plane — [`map::TmHashMap`] (primary store, with a measured
+//! stripe-aligned layout) and [`ordered::TmOrderedMap`] (skiplist index for
+//! range scans) — backs the `kv_store` session-store scenario and its
+//! tail-latency benchmark.
+//!
 //! The blocking structures also expose **timed** operations built on the
 //! deadline-carrying waits of `condsync`
 //! ([`TmBoundedBuffer::produce_timeout`] / [`TmBoundedBuffer::consume_timeout`],
@@ -27,6 +32,7 @@ pub mod cell;
 pub mod counter;
 pub mod latch;
 pub mod map;
+pub mod ordered;
 pub mod pthread;
 pub mod queue;
 pub mod stack;
@@ -36,7 +42,8 @@ pub use buffer::TmBoundedBuffer;
 pub use cell::TmOnceCell;
 pub use counter::TmCounter;
 pub use latch::TmLatch;
-pub use map::TmHashMap;
+pub use map::{MapLayout, TmHashMap};
+pub use ordered::TmOrderedMap;
 pub use pthread::PthreadBuffer;
 pub use queue::TmQueue;
 pub use stack::TmStack;

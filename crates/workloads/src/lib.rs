@@ -13,7 +13,10 @@
 //!
 //! Beyond the paper, [`timeout`] exercises the timed-wait extension
 //! (`consume_timeout` over a stalling pipeline; lossy consumers that give
-//! up after repeated deadline misses).
+//! up after repeated deadline misses), and [`kv_store`] is the
+//! server-shaped session-store scenario: Zipf-skewed get/put/delete/scan
+//! traffic ([`zipf`]) over the transactional KV plane with bounded-mailbox
+//! flow control and per-operation-class tail latency.
 //!
 //! Both families run every combination of the seven mechanisms
 //! ([`condsync::Mechanism`]) and the three runtime configurations
@@ -25,12 +28,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod json;
+pub mod kv_store;
 pub mod loc;
 pub mod parsec;
 pub mod pc;
 pub mod report;
 pub mod runtime;
 pub mod timeout;
+pub mod zipf;
 
 pub use loc::{measured_table, paper_table, LocRow};
 
@@ -45,8 +50,10 @@ pub fn stress_iters() -> u64 {
         .unwrap_or(1)
         .max(1)
 }
+pub use kv_store::{run_kv_store_scenario, KvParams, KvResult};
 pub use parsec::{KernelParams, KernelResult, ParsecApp, Scale};
 pub use pc::{run_pc, run_pc_configured, run_pc_trials, PcParams, PcResult};
 pub use report::{DataPoint, Panel, Report, Series};
 pub use runtime::{AnyRuntime, RuntimeKind};
 pub use timeout::{run_timeout_scenario, TimeoutParams, TimeoutResult};
+pub use zipf::ZipfGen;

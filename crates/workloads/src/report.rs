@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use crate::json::{JsonError, Value};
 use condsync::Mechanism;
-use tm_core::StatsSnapshot;
+use tm_core::{OpClass, StatsSnapshot};
 
 /// One measured point: a configuration label (e.g. buffer size or thread
 /// count) mapped to a wall-clock time and the runtime statistics gathered
@@ -386,10 +386,14 @@ impl Panel {
         out
     }
 
-    /// One line per mechanism and operation class (update / read-only)
-    /// giving whole-transaction latency quantile upper bounds from the log2
-    /// histograms: p50, p99 and p999, each the inclusive upper edge of the
-    /// bucket the quantile falls in.  Empty classes are skipped.
+    /// One line per mechanism and operation class giving whole-transaction
+    /// latency quantile upper bounds from the log2 histograms: p50, p99 and
+    /// p999, each the inclusive upper edge of the bucket the quantile falls
+    /// in.  The commit classes (update / read-only) come first, then the
+    /// workload-declared [`OpClass`] classes (get/put/del/scan); classes
+    /// never recorded are skipped.  Each line also carries the series'
+    /// `ro_fast_commits` / `snapshot_refreshes` counters, so the snapshot
+    /// fast-path claim is visible wherever a latency is quoted.
     pub fn render_latency_stats(&self) -> String {
         let mut out = String::new();
         for s in &self.series {
@@ -397,22 +401,28 @@ impl Panel {
                 .points
                 .iter()
                 .fold(StatsSnapshot::default(), |acc, p| acc.merge(&p.stats));
-            for (class, hist) in [
+            let mut classes = vec![
                 ("update", &stats.update_tx_latency),
                 ("ro", &stats.ro_tx_latency),
-            ] {
+            ];
+            for op in OpClass::ALL {
+                classes.push((op.label(), stats.op_latency(op)));
+            }
+            for (class, hist) in classes {
                 if hist.count() == 0 {
                     continue;
                 }
                 let _ = writeln!(
                     out,
-                    "# latency {:>10} {:>6}: n {:>10}  p50 <= {:>12}ns  p99 <= {:>12}ns  p999 <= {:>12}ns",
+                    "# latency {:>10} {:>6}: n {:>10}  p50 <= {:>12}ns  p99 <= {:>12}ns  p999 <= {:>12}ns  ro_fast {:>10}  refreshes {:>8}",
                     s.mechanism.label(),
                     class,
                     hist.count(),
                     hist.quantile_upper_bound(0.50),
                     hist.quantile_upper_bound(0.99),
                     hist.quantile_upper_bound(0.999),
+                    stats.ro_fast_commits,
+                    stats.snapshot_refreshes,
                 );
             }
         }
@@ -986,6 +996,32 @@ mod tests {
         assert!(text.contains("p50 <=         1023ns"));
         assert!(text.contains("p999 <=      1048575ns"));
         assert!(!text.contains("    ro:"), "the empty ro class is skipped");
+    }
+
+    #[test]
+    fn latency_stats_render_workload_operation_classes() {
+        let mut panel = Panel::new("p1-c1", "buffer size");
+        let mut p = point(4, 1.0);
+        let get_hist = tm_core::LatencyHistogram::default();
+        get_hist.record(700);
+        get_hist.record(900);
+        let scan_hist = tm_core::LatencyHistogram::default();
+        scan_hist.record(50_000);
+        p.stats.op_get_latency = get_hist.snapshot();
+        p.stats.op_scan_latency = scan_hist.snapshot();
+        p.stats.ro_fast_commits = 2;
+        p.stats.snapshot_refreshes = 1;
+        panel.series_mut(Mechanism::Await).push(p);
+        let text = panel.render_latency_stats();
+        assert!(text.contains("   get: n          2"), "{text}");
+        assert!(text.contains("  scan: n          1"), "{text}");
+        assert!(
+            !text.contains("   put:") && !text.contains("   del:"),
+            "unrecorded operation classes are skipped: {text}"
+        );
+        // The fast-path counters ride on every latency line.
+        assert!(text.contains("ro_fast          2"), "{text}");
+        assert!(text.contains("refreshes        1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Deterministic Zipfian key generator.
+//!
+//! Session-store traffic is famously skewed — a few hot keys absorb most of
+//! the requests — and the perf claims of the snapshot read path and the
+//! stripe-aligned map layout are only meaningful under that skew.  This
+//! generator produces Zipf(`theta`)-distributed key indices from a seeded
+//! xorshift64\* stream: **no `rand` dependency, no host entropy**, so a
+//! given `(keys, theta, seed)` triple yields the same key sequence on every
+//! machine and every runtime — which is what lets the parity tests replay
+//! identical histories and the benches publish reproducible cells.
+//!
+//! Sampling inverts the precomputed CDF with a binary search
+//! (`partition_point`), exactly like the `read_mostly` bench's inline
+//! generator, of which this is the shared, unit-tested extraction.
+
+/// A seeded Zipfian sampler over key indices `0..keys`.
+///
+/// Rank 0 is the hottest key: `P(k) ∝ 1 / (k+1)^theta`.  `theta = 0`
+/// degenerates to uniform; the classic YCSB skew is `theta = 0.99`.
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl ZipfGen {
+    /// Builds the CDF for `keys` keys with skew `theta`, seeding the
+    /// xorshift stream with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn new(keys: usize, theta: f64, seed: u64) -> Self {
+        assert!(keys > 0, "need at least one key");
+        let mut cdf = Vec::with_capacity(keys);
+        let mut total = 0.0f64;
+        for k in 0..keys {
+            total += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfGen {
+            cdf,
+            // xorshift fixes 0; force the state live for any seed.
+            state: seed | 1,
+        }
+    }
+
+    /// Number of keys in the sampled space.
+    pub fn keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Next raw pseudo-random word (xorshift64\*).  Exposed so a workload
+    /// can draw auxiliary decisions (op mix rolls) from the same stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut s = self.state;
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        self.state = s;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Next Zipf-distributed key index in `0..keys` (rank order: 0 is the
+    /// hottest key).
+    pub fn next_key(&mut self) -> usize {
+        // 53 uniform mantissa bits, mapped through the CDF.
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.keys() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_seed_produces_the_golden_sequence() {
+        // Locked down so any accidental change to the hash/CDF arithmetic —
+        // which would silently invalidate every recorded bench cell — fails
+        // loudly.  Values observed from the initial implementation.
+        let mut g = ZipfGen::new(100, 0.99, 42);
+        let got: Vec<usize> = (0..12).map(|_| g.next_key()).collect();
+        let mut again = ZipfGen::new(100, 0.99, 42);
+        let replay: Vec<usize> = (0..12).map(|_| again.next_key()).collect();
+        assert_eq!(got, replay, "same seed, same sequence");
+        assert_eq!(got, vec![29, 26, 58, 13, 44, 46, 46, 6, 0, 20, 1, 0]);
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let a: Vec<usize> = {
+            let mut g = ZipfGen::new(1000, 0.99, 1);
+            (0..64).map(|_| g.next_key()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut g = ZipfGen::new(1000, 0.99, 2);
+            (0..64).map(|_| g.next_key()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn head_key_frequency_tracks_theta() {
+        // With n keys, P(key 0) = 1 / H_{n,theta}.  Check the empirical head
+        // frequency against the analytic value within a tolerance that a
+        // 64k-draw sample comfortably meets — this is the distribution
+        // sanity gate, not a statistics paper.
+        for &(theta, n) in &[(0.99f64, 100usize), (0.6, 100), (0.0, 16)] {
+            let expected = {
+                let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+                1.0 / h
+            };
+            let mut g = ZipfGen::new(n, theta, 7);
+            let draws = 65_536;
+            let head = (0..draws).filter(|_| g.next_key() == 0).count();
+            let freq = head as f64 / draws as f64;
+            assert!(
+                (freq - expected).abs() < 0.01,
+                "theta={theta} n={n}: head frequency {freq:.4} vs analytic {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_cover_the_space() {
+        let n = 32;
+        let mut g = ZipfGen::new(n, 0.99, 3);
+        let mut seen = vec![false; n];
+        for _ in 0..20_000 {
+            let k = g.next_key();
+            assert!(k < n);
+            seen[k] = true;
+        }
+        // Even the coldest keys of a 32-key space appear in 20k skewed draws.
+        assert!(seen.iter().all(|&s| s), "some key never sampled");
+    }
+}

@@ -61,8 +61,8 @@
 //! | [`htm`] (`htm-sim`) | best-effort HTM runtime over the pluggable `HwTm` hardware plane — simulator backend, real-RTM stub, fault-injection fuzzer (paper: "HTM") |
 //! | [`hybrid`] (`tm-hybrid`) | hybrid HTM+STM runtime: hardware fast path over the lazy STM (beyond the paper) |
 //! | [`sync`] (`condsync`) | **the contribution**: Deschedule, Retry, Await, WaitPred, plus TMCondVar / Retry-Orig / Restart baselines |
-//! | [`structures`] (`tm-sync`) | bounded buffer (Fig. 2.2), queue, stack, counter, barrier, hash map, once-cell, latch, Pthreads baseline buffer |
-//! | [`workloads`] (`tm-workloads`) | producer/consumer micro-benchmark, PARSEC-like kernels, Table 2.1 accounting |
+//! | [`structures`] (`tm-sync`) | bounded buffer (Fig. 2.2), queue, stack, counter, barrier, once-cell, latch, Pthreads baseline buffer, and the KV plane: stripe-aligned hash map + ordered (skip-list) index |
+//! | [`workloads`] (`tm-workloads`) | producer/consumer micro-benchmark, PARSEC-like kernels, Zipfian session-store scenario, Table 2.1 accounting |
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -104,8 +104,8 @@ pub mod prelude {
         Addr, Semaphore, TmArray, TmConfig, TmRt, TmRuntime, TmSystem, TmVar, Tx, TxCtl, TxResult,
     };
     pub use tm_sync::{
-        BarrierWait, PthreadBuffer, TmBarrier, TmBoundedBuffer, TmCounter, TmHashMap, TmLatch,
-        TmOnceCell, TmQueue, TmStack,
+        BarrierWait, MapLayout, PthreadBuffer, TmBarrier, TmBoundedBuffer, TmCounter, TmHashMap,
+        TmLatch, TmOnceCell, TmOrderedMap, TmQueue, TmStack,
     };
     pub use tm_workloads::runtime::{AnyRuntime, RuntimeKind};
 }

@@ -505,6 +505,99 @@ fn writer_commits_advance_the_clock_past_their_begin_snapshot() {
     }
 }
 
+/// Replays one deterministic 6k-operation history — Zipf-free but seeded
+/// insert/remove/get/range traffic over a [`TmHashMap`] and a parallel
+/// [`TmOrderedMap`] — and returns its running checksum plus both final
+/// dumps.  Lookups and range scans run as declared read-only transactions,
+/// so the history crosses the snapshot fast path wherever the runtime
+/// offers one.
+fn kv_history_outcome(kind: RuntimeKind, layout: MapLayout) -> (u64, Vec<(u64, u64)>) {
+    use tm_core::backoff::XorShift64;
+
+    const KEYSPACE: u64 = 96;
+    const OPS: usize = 6_000;
+
+    let rt = kind.build(TmConfig::default());
+    let system = Arc::clone(rt.system());
+    let th = system.register_thread();
+    let store = TmHashMap::<u64, u64>::with_layout(&system, 256, layout);
+    let index = TmOrderedMap::<u64, u64>::new(&system);
+
+    let mut rng = XorShift64::new(0x6B56_0A11);
+    let mut acc = 0u64;
+    for step in 0..OPS {
+        let op = rng.next() % 8;
+        let key = rng.next() % KEYSPACE;
+        match op {
+            // Point lookup (declared read-only).
+            0..=2 => {
+                let got = rt.atomically_read(&th, |tx| store.get(tx, key));
+                acc = acc.wrapping_add(got.unwrap_or(u64::MAX));
+            }
+            // Range scan over the ordered index (declared read-only).
+            3 => {
+                let hi = key + rng.next() % 16;
+                let entries = rt.atomically_read(&th, |tx| index.range(tx, key, hi));
+                for (k, v) in entries {
+                    acc = acc.wrapping_add(k ^ v);
+                }
+            }
+            // Delete from both structures in one transaction.
+            4 => {
+                let old = rt.atomically(&th, |tx| {
+                    let old = store.remove(tx, key)?;
+                    if old.is_some() {
+                        index.remove(tx, key)?;
+                    }
+                    Ok(old)
+                });
+                acc = acc.wrapping_add(old.unwrap_or(7));
+            }
+            // Insert/update both structures in one transaction.
+            _ => {
+                let value = (step as u64) << 8 | op;
+                let old = rt.atomically(&th, |tx| {
+                    let old = store.insert(tx, key, value)?;
+                    index.insert(tx, key, value)?;
+                    Ok(old)
+                });
+                acc = acc.wrapping_add(old.unwrap_or(13));
+            }
+        }
+    }
+
+    let dump = store.dump_direct(&system);
+    assert_eq!(
+        dump,
+        index.dump_direct(&system),
+        "{kind} with {} layout: store and index diverged",
+        layout.label()
+    );
+    (acc, dump)
+}
+
+#[test]
+fn kv_history_is_identical_across_runtimes_and_layouts() {
+    // The same seeded map/index history must produce one golden checksum
+    // and one golden final image on every runtime and both map layouts:
+    // the stripe-aligned layout is a contention lever, not a semantic one,
+    // and the declared-read-only lookups must observe the same values
+    // whether they run logged, as snapshots, or in hardware.
+    let golden = kv_history_outcome(RuntimeKind::EagerStm, MapLayout::StripeAligned);
+    assert!(!golden.1.is_empty(), "history must leave residual entries");
+    for kind in RuntimeKind::ALL {
+        for layout in MapLayout::ALL {
+            let outcome = kv_history_outcome(kind, layout);
+            assert_eq!(
+                outcome,
+                golden,
+                "{kind} with {} layout diverged from the golden history",
+                layout.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn parity_holds_under_repetition() {
     // The scenario is timing-sensitive (waiters may skip the sleep if the

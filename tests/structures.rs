@@ -145,6 +145,49 @@ fn hash_map_concurrent_inserts_are_all_visible() {
 }
 
 #[test]
+fn ordered_map_range_composes_with_map_updates() {
+    // Store + index updated in one transaction: a concurrent range scan
+    // (declared read-only) must never observe a key in one structure but
+    // not the other, and the scan result is always sorted and in-bounds.
+    for kind in RuntimeKind::ALL {
+        let rt = kind.build(TmConfig::default().with_heap_words(1 << 14));
+        let system = Arc::clone(rt.system());
+        let store = TmHashMap::<u64, u64>::with_layout(&system, 128, MapLayout::StripeAligned);
+        let index = TmOrderedMap::<u64, u64>::new(&system);
+        let th = system.register_thread();
+
+        for key in (0..40u64).rev() {
+            rt.atomically(&th, |tx| {
+                store.insert(tx, key, key + 100)?;
+                index.insert(tx, key, key + 100)?;
+                Ok(())
+            });
+        }
+        let window = rt.atomically_read(&th, |tx| index.range(tx, 10, 19));
+        assert_eq!(window.len(), 10, "{kind}");
+        assert!(
+            window.windows(2).all(|w| w[0].0 < w[1].0),
+            "{kind}: scan out of order"
+        );
+        for &(k, v) in &window {
+            assert_eq!(v, k + 100, "{kind}");
+            let stored = rt.atomically_read(&th, |tx| store.get(tx, k));
+            assert_eq!(stored, Some(v), "{kind}: store and index disagree");
+        }
+
+        rt.atomically(&th, |tx| {
+            store.remove(tx, 15)?;
+            index.remove(tx, 15)?;
+            Ok(())
+        });
+        let after = rt.atomically_read(&th, |tx| index.range(tx, 10, 19));
+        assert_eq!(after.len(), 9, "{kind}");
+        assert!(after.iter().all(|&(k, _)| k != 15), "{kind}");
+        assert_eq!(store.dump_direct(&system), index.dump_direct(&system));
+    }
+}
+
+#[test]
 fn hash_map_get_waiting_sees_a_later_insert() {
     for mechanism in [Mechanism::Retry, Mechanism::Await, Mechanism::WaitPred] {
         let rt = RuntimeKind::EagerStm.build(TmConfig::small());
